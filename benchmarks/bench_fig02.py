@@ -1,0 +1,16 @@
+"""Figure 2: refinement tracks collapsing structure over timesteps."""
+
+from __future__ import annotations
+
+from conftest import emit, once
+
+from repro.experiments.figures import run_fig2
+
+
+def test_fig02(benchmark, scale):
+    """Generate three Nyx timesteps and regrid each."""
+    rows = once(benchmark, run_fig2, scale)
+    emit("Figure 2 (timesteps: growth, boxes, fine fraction, max density)", rows)
+    maxima = [r.max_density for r in rows]
+    assert maxima == sorted(maxima), "structure sharpens as the universe evolves"
+    assert all(r.n_fine_boxes > 0 for r in rows)

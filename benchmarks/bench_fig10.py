@@ -1,0 +1,16 @@
+"""Figure 10: WarpX + SZ-Interp, re-sampling vs dual-cell."""
+
+from __future__ import annotations
+
+from conftest import emit, once
+
+from repro.experiments.figures import run_fig10
+
+
+def test_fig10(benchmark, scale):
+    """SZ-Interp at eb 1e-3: bump artifacts amplified by dual-cell."""
+    rows = once(benchmark, run_fig10, scale)
+    emit("Figure 10 (WarpX, SZ-Interp)", rows)
+    res = next(r for r in rows if r.method == "resampling")
+    dual = next(r for r in rows if r.method == "dual+redundant")
+    assert dual.render_r_ssim > res.render_r_ssim

@@ -1,0 +1,47 @@
+"""Parallel blockwise compression (paper §3.3: blocks are independent)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, once
+
+from repro.parallel import compress_chunks, decompress_chunks
+
+
+def test_chunked_compression_equivalence(benchmark, warpx):
+    """Chunked parallel compression reassembles within the error bound."""
+    data = warpx.uniform_field()
+
+    def run():
+        stream = compress_chunks(data, "sz-lr", 1e-3, mode="rel", n_chunks=4, parallel="thread")
+        return stream, decompress_chunks(stream, parallel="thread")
+
+    stream, out = once(benchmark, run)
+    eb_abs = 1e-3 * (data.max() - data.min())
+    assert np.abs(out - data).max() <= eb_abs * (1 + 1e-12)
+    from dataclasses import make_dataclass
+
+    Row = make_dataclass("Row", ["n_chunks", "compressed_bytes", "cr"])
+    emit(
+        "Chunked parallel compression",
+        [Row(len(stream.blobs), stream.compressed_bytes, data.nbytes / stream.compressed_bytes)],
+    )
+
+
+def test_chunk_count_overhead(benchmark, warpx):
+    """More chunks -> slightly more stream overhead, bounded ratio loss."""
+    data = warpx.uniform_field()
+
+    def sweep():
+        sizes = {}
+        for n in (1, 2, 4, 8):
+            stream = compress_chunks(data, "sz-lr", 1e-3, mode="rel", n_chunks=n)
+            sizes[n] = stream.compressed_bytes
+        return sizes
+
+    sizes = once(benchmark, sweep)
+    from dataclasses import make_dataclass
+
+    Row = make_dataclass("Row", ["n_chunks", "bytes"])
+    emit("Chunk-count overhead", [Row(n, b) for n, b in sizes.items()])
+    assert sizes[8] < 1.3 * sizes[1], "chunking overhead must stay bounded"

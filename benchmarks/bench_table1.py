@@ -1,0 +1,16 @@
+"""Table 1: dataset generation and per-level density measurement."""
+
+from __future__ import annotations
+
+from conftest import emit, once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, scale):
+    """Regenerate Table 1 (dataset geometry + densities)."""
+    rows = once(benchmark, run_table1, scale)
+    emit("Table 1 (measured vs paper densities)", rows)
+    for row in rows:
+        assert row.n_levels == 2
+        assert row.density_error < 0.1

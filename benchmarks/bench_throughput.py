@@ -1,0 +1,66 @@
+"""Codec throughput (MB/s) per stage — the third SZ quality axis (§2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from conftest import emit
+
+from repro.compression.registry import make_codec
+
+
+@dataclass(frozen=True)
+class Row:
+    codec: str
+    direction: str
+    mb_per_s: float
+
+
+def test_compress_throughput(benchmark, warpx):
+    """SZ-L/R compression throughput on the WarpX field."""
+    data = warpx.uniform_field()
+    codec = make_codec("sz-lr")
+    benchmark(codec.compress, data, 1e-3, "rel")
+    mb = data.nbytes / 1e6
+    emit(
+        "SZ-L/R compress",
+        [Row("sz-lr", "compress", mb / benchmark.stats["mean"])],
+    )
+
+
+def test_decompress_throughput(benchmark, warpx):
+    """SZ-L/R decompression throughput."""
+    data = warpx.uniform_field()
+    codec = make_codec("sz-lr")
+    blob = codec.compress(data, 1e-3, "rel")
+    benchmark(codec.decompress, blob)
+    mb = data.nbytes / 1e6
+    emit(
+        "SZ-L/R decompress",
+        [Row("sz-lr", "decompress", mb / benchmark.stats["mean"])],
+    )
+
+
+def test_interp_compress_throughput(benchmark, warpx):
+    """SZ-Interp compression throughput."""
+    data = warpx.uniform_field()
+    codec = make_codec("sz-interp")
+    benchmark(codec.compress, data, 1e-3, "rel")
+    mb = data.nbytes / 1e6
+    emit(
+        "SZ-Interp compress",
+        [Row("sz-interp", "compress", mb / benchmark.stats["mean"])],
+    )
+
+
+def test_interp_decompress_throughput(benchmark, warpx):
+    """SZ-Interp decompression throughput."""
+    data = warpx.uniform_field()
+    codec = make_codec("sz-interp")
+    blob = codec.compress(data, 1e-3, "rel")
+    benchmark(codec.decompress, blob)
+    mb = data.nbytes / 1e6
+    emit(
+        "SZ-Interp decompress",
+        [Row("sz-interp", "decompress", mb / benchmark.stats["mean"])],
+    )

@@ -1,0 +1,63 @@
+"""Extension bench: compressibility across simulation timesteps.
+
+Figure 2 of the paper shows structure sharpening over Nyx timesteps. The
+sharper the structure, the harder the field is to predict — so the
+compression ratio at a fixed relative bound should *fall* as the universe
+evolves, and the campaign-level storage projection (the paper's intro
+arithmetic) shifts accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from conftest import emit, once
+
+from repro.amr import campaign_cost
+from repro.compression.amr_codec import compress_hierarchy
+from repro.sims import NyxConfig
+from repro.sims.nyx import nyx_timesteps
+
+
+@dataclass(frozen=True)
+class Row:
+    growth: float
+    cr: float
+    snapshot_mb: float
+    campaign_raw_gb: float
+    campaign_compressed_gb: float
+
+
+def _run(coarse_n: int) -> list[Row]:
+    steps = nyx_timesteps(config=NyxConfig(coarse_n=coarse_n))
+    rows = []
+    # Fix the absolute bound from the first timestep's field range.
+    from repro.amr import flatten_to_uniform
+
+    first = flatten_to_uniform(steps[0], "baryon_density")
+    eb_abs = 1e-3 * float(first.max() - first.min())
+    for h, growth in zip(steps, (0.35, 0.65, 1.0)):
+        container = compress_hierarchy(
+            h, "sz-lr", eb_abs, mode="abs", fields=["baryon_density"]
+        )
+        cost = campaign_cost(h, compression_ratio=container.ratio)
+        rows.append(
+            Row(
+                growth=growth,
+                cr=container.ratio,
+                snapshot_mb=cost.snapshot_bytes / 1e6,
+                campaign_raw_gb=cost.total_raw_bytes / 1e9,
+                campaign_compressed_gb=cost.total_compressed_bytes / 1e9,
+            )
+        )
+    return rows
+
+
+def test_compressibility_over_time(benchmark, scale):
+    """CR at fixed relative eb falls as structure forms (Figure 2 data)."""
+    rows = once(benchmark, _run, max(16, int(round(32 * scale))))
+    emit("Compressibility across Nyx timesteps (eb 1e-3 rel)", rows)
+    crs = [r.cr for r in rows]
+    assert crs[0] > crs[-1], "collapsed structure must be harder to compress"
+    for r in rows:
+        assert r.campaign_compressed_gb < r.campaign_raw_gb

@@ -1,0 +1,51 @@
+"""Benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures while timing the dominant
+computation. Grid scale comes from ``REPRO_BENCH_SCALE`` (default 0.5 — a
+quarter of the default reproduction size per dimension) so the suite runs
+in minutes on one core; raise it to approach paper-sized grids.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import load_app
+
+
+def bench_scale() -> float:
+    """Grid-size multiplier for the benchmark suite."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def warpx(scale):
+    """The WarpX dataset at benchmark scale (session-cached)."""
+    return load_app("warpx", scale)
+
+
+@pytest.fixture(scope="session")
+def nyx(scale):
+    """The Nyx dataset at benchmark scale (session-cached)."""
+    return load_app("nyx", scale)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer (expensive end-to-end runs)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, rows) -> None:
+    """Print a result table below the benchmark output."""
+    from repro.experiments.report import format_table
+
+    print()
+    print(format_table(rows, title=title))

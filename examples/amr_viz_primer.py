@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""2-D primer on AMR visualization artifacts (the paper's Figures 4-8, 14).
+
+Walks the didactic constructions of the paper's background section in two
+dimensions, printing ASCII sketches:
+
+* cell->vertex re-sampling (Figure 4 left),
+* marching squares on the vertex grid (Figure 4 right),
+* the dangling-node crack between two AMR levels (Figures 5/6),
+* the dual-cell method and its inter-level gap (Figures 7/8),
+* stitching segments bridging the gap (Figure 8 bottom),
+* the 1-D interpolation-smoothing mechanism (Figure 14).
+
+Usage::
+
+    python examples/amr_viz_primer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz import (
+    cell_to_vertex,
+    contour_length,
+    figure14_demo,
+    marching_squares,
+    stitch_contours_2d,
+)
+
+
+def segment_endpoints(segments: np.ndarray, near_x: float | None = None, tol: float = 0.2) -> np.ndarray:
+    """Open endpoints of a 2-D contour: points used exactly once.
+
+    With ``near_x`` given, keep only endpoints within ``tol`` of that x
+    coordinate — used to isolate the endpoints at the level interface from
+    the ones where the contour legitimately exits the domain.
+    """
+    if len(segments) == 0:
+        return np.empty((0, 2))
+    pts = np.round(segments.reshape(-1, 2), 9)
+    uniq, counts = np.unique(pts, axis=0, return_counts=True)
+    ends = uniq[counts == 1]
+    if near_x is not None and len(ends):
+        ends = ends[np.abs(ends[:, 0] - near_x) <= tol]
+    return ends
+
+
+def main() -> int:
+    # ------------------------------------------------------------------
+    # Figure 4: re-sampling and marching squares.
+    # ------------------------------------------------------------------
+    print("== Figure 4: cell->vertex re-sampling")
+    cells = np.array([[8.0, 6.0, 4.0], [6.0, 4.0, 2.0], [4.0, 2.0, 0.0]])
+    vertices = cell_to_vertex(cells)
+    print("cell data:\n", cells)
+    print("vertex data (note the interior 6 = mean of 8,6,6,4):\n", np.round(vertices, 2))
+    segs = marching_squares(vertices, 5.0)
+    print(f"marching squares at iso=5: {len(segs)} segments, length {contour_length(segs):.3f}\n")
+
+    # ------------------------------------------------------------------
+    # Figures 5/6: the crack. Two levels of a radial field.
+    # ------------------------------------------------------------------
+    print("== Figures 5/6: dangling-node crack between levels")
+    # Coarse level: left half (cells 8x4), fine level: right half (16x16).
+    def radial(x, y):
+        return np.sqrt((x - 1.0) ** 2 + (y - 0.5) ** 2)
+
+    n = 8
+    xs_c = (np.arange(n // 2) + 0.5) / n * 2
+    ys_c = (np.arange(n) + 0.5) / n
+    coarse = radial(xs_c[:, None], ys_c[None, :])
+    xs_f = 1.0 + (np.arange(n) + 0.5) / n
+    ys_f = (np.arange(2 * n) + 0.5) / (2 * n)
+    fine = radial(xs_f[:, None], ys_f[None, :])
+    iso = 0.4
+    segs_c = marching_squares(cell_to_vertex(coarse), iso, spacing=(2 / n, 1 / n))
+    segs_f = marching_squares(
+        cell_to_vertex(fine), iso, spacing=(1 / n, 1 / (2 * n)), origin=(1.0, 0.0)
+    )
+    ends_c = segment_endpoints(segs_c, near_x=1.0)
+    ends_f = segment_endpoints(segs_f, near_x=1.0)
+    print(f"coarse contour: {len(segs_c)} segments; fine contour: {len(segs_f)} segments")
+    print(f"open endpoints at the interface: coarse {len(ends_c)}, fine {len(ends_f)}")
+    if len(ends_c) and len(ends_f):
+        d = np.linalg.norm(ends_c[:, None] - ends_f[None, :], axis=2)
+        print(f"closest endpoint mismatch (the crack): {d.min():.4f} domain units\n")
+
+    # ------------------------------------------------------------------
+    # Figures 7/8: dual-cell gap and stitching.
+    # ------------------------------------------------------------------
+    print("== Figures 7/8: dual-cell gap and stitching")
+    dual_c = marching_squares(coarse, iso, spacing=(2 / n, 1 / n), origin=(1 / n, 0.5 / n))
+    dual_f = marching_squares(
+        fine, iso, spacing=(1 / n, 1 / (2 * n)), origin=(1.0 + 0.5 / n, 0.25 / n)
+    )
+    e_c = segment_endpoints(dual_c, near_x=1.0)
+    e_f = segment_endpoints(dual_f, near_x=1.0)
+    print(f"dual contours: coarse {len(dual_c)} segs, fine {len(dual_f)} segs")
+    if len(e_c) and len(e_f):
+        d = np.linalg.norm(e_c[:, None] - e_f[None, :], axis=2)
+        print(f"gap between dual contours: {d.min():.4f} (vs crack above — wider)")
+        stitches = stitch_contours_2d(e_f, e_c, max_span=4.0 / n)
+        print(f"stitching cells bridge it with {len(stitches)} segments (Figure 8 bottom)\n")
+
+    # ------------------------------------------------------------------
+    # Figure 14: why re-sampling hides block artifacts.
+    # ------------------------------------------------------------------
+    print("== Figure 14: interpolation smooths block artifacts")
+    demo = figure14_demo()
+    print("original:      ", demo.original.tolist())
+    print("decompressed:  ", demo.decompressed.tolist(), "(dual-cell shows this as-is)")
+    print("re-sampled:    ", demo.resampled.tolist(), "(2.5 and 5.5 soften the steps)")
+    print(f"dual-cell RMSE = {demo.dual_cell_rmse:.4f}, re-sampled RMSE = {demo.resampled_rmse:.4f}")
+    print("=> re-sampling's interpolation partially repairs the artifact, which is")
+    print("   why the paper finds dual-cell visualizations of compressed data worse.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Analyzing Impact of Data Reduction Techniques on
+Visualization for AMR Applications Using AMReX Framework" (SC-W 2023).
+
+The package provides, from scratch:
+
+* a patch-based AMR substrate (:mod:`repro.amr`),
+* synthetic Nyx / WarpX workload generators (:mod:`repro.sims`),
+* SZ-style error-bounded lossy compressors (:mod:`repro.compression`),
+* AMR iso-surface visualization pipelines (:mod:`repro.viz`),
+* quality metrics incl. SSIM / R-SSIM (:mod:`repro.metrics`),
+* the paper's experiment harness (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ReproError,
+    BoxError,
+    HierarchyError,
+    CompressionError,
+    DecompressionError,
+    FormatError,
+    VisualizationError,
+    MetricError,
+    ExperimentError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "BoxError",
+    "HierarchyError",
+    "CompressionError",
+    "DecompressionError",
+    "FormatError",
+    "VisualizationError",
+    "MetricError",
+    "ExperimentError",
+]

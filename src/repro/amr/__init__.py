@@ -1,0 +1,40 @@
+"""Patch-based AMR substrate (AMReX-style boxes, levels, hierarchies)."""
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.patch import Patch
+from repro.amr.level import AMRLevel
+from repro.amr.hierarchy import AMRHierarchy
+from repro.amr.tagging import tag_gradient, tag_threshold, tag_fraction, dilate_tags
+from repro.amr.regrid import cluster_tags, boxes_from_mask
+from repro.amr.coverage import patch_covered_mask, level_covered_masks, exposed_fraction
+from repro.amr.uniform import flatten_to_uniform, upsample_nearest, upsample_linear
+from repro.amr.io import write_plotfile, read_plotfile
+from repro.amr.ghost import fill_ghosts
+from repro.amr.iostats import CampaignCost, snapshot_bytes, campaign_cost
+
+__all__ = [
+    "Box",
+    "BoxArray",
+    "Patch",
+    "AMRLevel",
+    "AMRHierarchy",
+    "tag_gradient",
+    "tag_threshold",
+    "tag_fraction",
+    "dilate_tags",
+    "cluster_tags",
+    "boxes_from_mask",
+    "patch_covered_mask",
+    "level_covered_masks",
+    "exposed_fraction",
+    "flatten_to_uniform",
+    "upsample_nearest",
+    "upsample_linear",
+    "write_plotfile",
+    "read_plotfile",
+    "fill_ghosts",
+    "CampaignCost",
+    "snapshot_bytes",
+    "campaign_cost",
+]

@@ -1,0 +1,125 @@
+"""Plotfile I/O: a self-contained on-disk format for AMR hierarchies.
+
+The paper's datasets are AMReX plotfiles / HDF5 groups with one group per
+level (Figure 3 left). HDF5 is unavailable offline, so this module provides
+an equivalent directory layout:
+
+.. code-block:: text
+
+    myplt/
+      Header.json                     # domain, ratios, boxes, fields
+      level_0/density_00000.npy       # one array per (field, patch)
+      level_0/density_00001.npy
+      level_1/density_00000.npy
+      ...
+
+Arrays are stored as ``.npy`` (no pickling), so any NumPy can read them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.hierarchy import AMRHierarchy
+from repro.amr.level import AMRLevel
+from repro.amr.patch import Patch
+from repro.errors import FormatError
+
+__all__ = ["write_plotfile", "read_plotfile"]
+
+_FORMAT_NAME = "repro-amr-plotfile"
+_FORMAT_VERSION = 1
+
+
+def write_plotfile(path: str | Path, hierarchy: AMRHierarchy, overwrite: bool = False) -> Path:
+    """Serialize ``hierarchy`` to directory ``path``.
+
+    Parameters
+    ----------
+    path:
+        Target directory (created; must not exist unless ``overwrite``).
+    hierarchy:
+        Dataset to store.
+    overwrite:
+        Allow writing into an existing directory.
+
+    Returns
+    -------
+    pathlib.Path
+        The plotfile directory.
+    """
+    root = Path(path)
+    if root.exists() and not overwrite:
+        raise FormatError(f"plotfile path {root} already exists (pass overwrite=True)")
+    root.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": _FORMAT_NAME,
+        "version": _FORMAT_VERSION,
+        "ndim": hierarchy.ndim,
+        "domain": {"lo": list(hierarchy.domain.lo), "hi": list(hierarchy.domain.hi)},
+        "ref_ratios": [list(r) for r in hierarchy.ref_ratios],
+        "fields": list(hierarchy.field_names),
+        "levels": [],
+    }
+    for lev in hierarchy:
+        lev_dir = root / f"level_{lev.index}"
+        lev_dir.mkdir(exist_ok=True)
+        header["levels"].append(
+            {
+                "index": lev.index,
+                "dx": list(lev.dx),
+                "boxes": [{"lo": list(b.lo), "hi": list(b.hi)} for b in lev.boxes],
+            }
+        )
+        for field in hierarchy.field_names:
+            for i, patch in enumerate(lev.patches(field)):
+                np.save(lev_dir / f"{field}_{i:05d}.npy", patch.data, allow_pickle=False)
+    (root / "Header.json").write_text(json.dumps(header, indent=2))
+    return root
+
+
+def read_plotfile(path: str | Path) -> AMRHierarchy:
+    """Load a hierarchy previously written by :func:`write_plotfile`."""
+    root = Path(path)
+    header_path = root / "Header.json"
+    if not header_path.is_file():
+        raise FormatError(f"{root} is not a plotfile (missing Header.json)")
+    try:
+        header = json.loads(header_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"corrupt plotfile header: {exc}") from exc
+    if header.get("format") != _FORMAT_NAME:
+        raise FormatError(f"unrecognized plotfile format {header.get('format')!r}")
+    if header.get("version") != _FORMAT_VERSION:
+        raise FormatError(f"unsupported plotfile version {header.get('version')!r}")
+    fields = list(header["fields"])
+    domain = Box(tuple(header["domain"]["lo"]), tuple(header["domain"]["hi"]))
+    levels = []
+    for lev_hdr in header["levels"]:
+        idx = int(lev_hdr["index"])
+        boxes = BoxArray(Box(tuple(b["lo"]), tuple(b["hi"])) for b in lev_hdr["boxes"])
+        level = AMRLevel(idx, boxes, tuple(lev_hdr["dx"]))
+        lev_dir = root / f"level_{idx}"
+        for field in fields:
+            patches = []
+            for i, box in enumerate(boxes):
+                file = lev_dir / f"{field}_{i:05d}.npy"
+                if not file.is_file():
+                    raise FormatError(f"plotfile missing patch file {file}")
+                data = np.load(file, allow_pickle=False)
+                if data.shape != box.shape:
+                    raise FormatError(
+                        f"{file}: stored shape {data.shape} != box shape {box.shape}"
+                    )
+                patches.append(Patch(box, data))
+            level.add_field(field, patches)
+        levels.append(level)
+    ratios = [tuple(r) for r in header["ref_ratios"]]
+    if not ratios:
+        return AMRHierarchy(domain, levels, 2)
+    return AMRHierarchy(domain, levels, ratios)

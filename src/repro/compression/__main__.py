@@ -1,0 +1,145 @@
+"""Command-line compressor for ``.npy`` arrays and plotfiles.
+
+Usage::
+
+    python -m repro.compression compress field.npy -o field.rprc \\
+        --codec sz-interp --eb 1e-3 --mode rel
+    python -m repro.compression decompress field.rprc -o restored.npy
+    python -m repro.compression info field.rprc
+    python -m repro.compression compress-plotfile myplt/ -o myplt.rprh \\
+        --codec sz-lr --eb 1e-3
+
+``info`` prints the self-describing header (codec, shape, parameters,
+section sizes) without decompressing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.amr.io import read_plotfile
+from repro.compression.amr_codec import CompressedHierarchy, compress_hierarchy
+from repro.compression.base import StreamReader
+from repro.compression.registry import available_codecs, decompress_any, make_codec
+
+__all__ = ["main"]
+
+
+def _cmd_compress(args) -> int:
+    data = np.load(args.input, allow_pickle=False)
+    codec = make_codec(args.codec)
+    blob = codec.compress(data, args.eb, mode=args.mode)
+    out = args.output if args.output else args.input.with_suffix(".rprc")
+    Path(out).write_bytes(blob)
+    print(
+        f"{args.input} -> {out}: {data.nbytes} -> {len(blob)} bytes "
+        f"(ratio {data.nbytes / len(blob):.2f}x, codec {args.codec}, "
+        f"eb {args.eb:g} {args.mode})"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    blob = Path(args.input).read_bytes()
+    data = decompress_any(blob)
+    out = args.output if args.output else Path(args.input).with_suffix(".npy")
+    np.save(out, data, allow_pickle=False)
+    print(f"{args.input} -> {out}: shape {data.shape}, dtype {data.dtype}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    blob = Path(args.input).read_bytes()
+    reader = StreamReader(blob)
+    print(f"codec:  {reader.codec}")
+    print(f"shape:  {reader.shape}")
+    print(f"dtype:  {reader.dtype}")
+    print(f"params: {reader.params}")
+    meta = reader._meta  # header section table
+    total = len(blob)
+    for sec in meta["sections"]:
+        share = 100.0 * sec["length"] / total
+        print(f"  section {sec['name']:10s} {sec['length']:10d} bytes ({share:4.1f}%)")
+    return 0
+
+
+def _cmd_compress_plotfile(args) -> int:
+    hierarchy = read_plotfile(args.input)
+    fields = args.fields.split(",") if args.fields else None
+    container = compress_hierarchy(
+        hierarchy, args.codec, args.eb, mode=args.mode, fields=fields,
+        exclude_covered=args.exclude_covered,
+    )
+    out = args.output if args.output else Path(args.input).with_suffix(".rprh")
+    Path(out).write_bytes(container.tobytes())
+    print(
+        f"{args.input} -> {out}: ratio {container.ratio:.2f}x over "
+        f"{list(container.fields)} ({container.original_bytes} -> "
+        f"{container.compressed_bytes} bytes)"
+    )
+    return 0
+
+
+def _cmd_info_plotfile(args) -> int:
+    container = CompressedHierarchy.frombytes(Path(args.input).read_bytes())
+    print(f"codec:   {container.codec}")
+    print(f"eb:      {container.error_bound:g} ({container.mode})")
+    print(f"fields:  {list(container.fields)}")
+    print(f"levels:  {len(container.streams)}")
+    print(f"ratio:   {container.ratio:.2f}x")
+    for lev_idx, level in enumerate(container.streams):
+        for field, blobs in sorted(level.items()):
+            size = sum(len(b) for b in blobs)
+            print(f"  level {lev_idx} {field}: {len(blobs)} patches, {size} bytes")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compression",
+        description="Error-bounded compression of .npy arrays and plotfiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a .npy array")
+    p.add_argument("input", type=Path)
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.add_argument("--codec", choices=available_codecs(), default="sz-lr")
+    p.add_argument("--eb", type=float, default=1e-3)
+    p.add_argument("--mode", choices=("abs", "rel"), default="rel")
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a .rprc stream")
+    p.add_argument("input", type=Path)
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.set_defaults(fn=_cmd_decompress)
+
+    p = sub.add_parser("info", help="inspect a .rprc stream header")
+    p.add_argument("input", type=Path)
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("compress-plotfile", help="compress a plotfile directory")
+    p.add_argument("input", type=Path)
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.add_argument("--codec", choices=available_codecs(), default="sz-lr")
+    p.add_argument("--eb", type=float, default=1e-3)
+    p.add_argument("--mode", choices=("abs", "rel"), default="rel")
+    p.add_argument("--fields", default=None, help="comma-separated subset")
+    p.add_argument("--exclude-covered", action="store_true")
+    p.set_defaults(fn=_cmd_compress_plotfile)
+
+    p = sub.add_parser("info-plotfile", help="inspect a .rprh container")
+    p.add_argument("input", type=Path)
+    p.set_defaults(fn=_cmd_info_plotfile)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

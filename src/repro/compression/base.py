@@ -1,0 +1,200 @@
+"""Compressor interface and self-describing stream container.
+
+Every codec in :mod:`repro.compression` produces a byte stream with a small
+framed header (magic, codec name, dtype, shape, parameter JSON) followed by
+named binary sections. The container is what makes streams self-describing:
+:func:`repro.compression.registry.decompress` can route any blob to the
+right codec without out-of-band metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import CompressionError, DecompressionError, FormatError
+
+__all__ = ["Compressor", "StreamWriter", "StreamReader", "CompressionStats"]
+
+_MAGIC = b"RPRC"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Summary of one compression run."""
+
+    codec: str
+    original_bytes: int
+    compressed_bytes: int
+    error_bound: float
+    stage_seconds: Mapping[str, float]
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed)."""
+        if self.compressed_bytes == 0:
+            raise CompressionError("compressed size is zero")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bitrate(self) -> float:
+        """Bits per value, assuming float64 input."""
+        n_values = self.original_bytes / 8
+        return 8.0 * self.compressed_bytes / n_values
+
+
+class StreamWriter:
+    """Builds a framed codec stream: header JSON + named binary sections."""
+
+    def __init__(self, codec: str, shape: tuple[int, ...], dtype: np.dtype, params: dict[str, Any]):
+        self._meta: dict[str, Any] = {
+            "codec": codec,
+            "shape": list(int(s) for s in shape),
+            "dtype": np.dtype(dtype).str,
+            "params": params,
+            "sections": [],
+        }
+        self._blobs: list[bytes] = []
+
+    def add_section(self, name: str, blob: bytes) -> None:
+        """Append a named binary section."""
+        self._meta["sections"].append({"name": name, "length": len(blob)})
+        self._blobs.append(blob)
+
+    def tobytes(self) -> bytes:
+        """Serialize header + sections."""
+        header = json.dumps(self._meta, separators=(",", ":")).encode()
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<BI", _VERSION, len(header))
+        out += header
+        for blob in self._blobs:
+            out += blob
+        return bytes(out)
+
+
+class StreamReader:
+    """Parses a framed codec stream produced by :class:`StreamWriter`."""
+
+    def __init__(self, blob: bytes):
+        if len(blob) < 9 or blob[:4] != _MAGIC:
+            raise FormatError("not a repro compressed stream (bad magic)")
+        version, header_len = struct.unpack_from("<BI", blob, 4)
+        if version != _VERSION:
+            raise FormatError(f"unsupported stream version {version}")
+        start = 9
+        try:
+            self._meta = json.loads(blob[start : start + header_len].decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FormatError(f"corrupt stream header: {exc}") from exc
+        self._sections: dict[str, bytes] = {}
+        offset = start + header_len
+        for sec in self._meta["sections"]:
+            end = offset + sec["length"]
+            if end > len(blob):
+                raise FormatError(f"stream truncated in section {sec['name']!r}")
+            self._sections[sec["name"]] = blob[offset:end]
+            offset = end
+
+    @property
+    def codec(self) -> str:
+        """Codec name recorded in the header."""
+        return str(self._meta["codec"])
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Original array shape."""
+        return tuple(self._meta["shape"])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Original array dtype."""
+        return np.dtype(self._meta["dtype"])
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """Codec parameters recorded at compression time."""
+        return dict(self._meta["params"])
+
+    def section(self, name: str) -> bytes:
+        """Fetch a named binary section."""
+        try:
+            return self._sections[name]
+        except KeyError:
+            raise FormatError(f"stream has no section {name!r}") from None
+
+
+class Compressor(ABC):
+    """Error-bounded lossy compressor interface.
+
+    Subclasses implement :meth:`compress` / :meth:`decompress` over 1-3 D
+    float arrays and must guarantee ``max|x - x'| <= eb`` for the resolved
+    absolute error bound.
+    """
+
+    #: registry name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: np.ndarray, error_bound: float, mode: str = "abs") -> bytes:
+        """Compress ``data`` under an error bound.
+
+        Parameters
+        ----------
+        data:
+            1-3 D floating array.
+        error_bound:
+            Bound value; interpretation depends on ``mode``.
+        mode:
+            ``"abs"`` — absolute bound; ``"rel"`` — value-range-relative
+            bound (``eb_abs = error_bound * (max - min)``), as used
+            throughout the paper's evaluation.
+        """
+
+    @abstractmethod
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct the array from a stream produced by this codec."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_input(data: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(data)
+        if arr.dtype.kind != "f":
+            raise CompressionError(f"only float arrays are supported, got {arr.dtype}")
+        if arr.ndim not in (1, 2, 3):
+            raise CompressionError(f"only 1-3 D arrays supported, got {arr.ndim}-D")
+        if arr.size == 0:
+            raise CompressionError("cannot compress an empty array")
+        if not np.isfinite(arr).all():
+            raise CompressionError("input contains NaN/Inf; mask before compressing")
+        return arr.astype(np.float64, copy=False)
+
+    @staticmethod
+    def resolve_error_bound(data: np.ndarray, error_bound: float, mode: str) -> float:
+        """Convert a (value, mode) pair to an absolute bound."""
+        if error_bound <= 0:
+            raise CompressionError(f"error bound must be > 0, got {error_bound}")
+        if mode == "abs":
+            return float(error_bound)
+        if mode == "rel":
+            value_range = float(np.max(data) - np.min(data))
+            if value_range == 0.0:
+                # Constant field: any positive bound works; pick the value.
+                return float(error_bound)
+            return float(error_bound) * value_range
+        raise CompressionError(f"unknown error-bound mode {mode!r} (use 'abs' or 'rel')")
+
+    @classmethod
+    def _check_stream(cls, reader: StreamReader) -> None:
+        if reader.codec != cls.name:
+            raise DecompressionError(
+                f"stream was produced by codec {reader.codec!r}, not {cls.name!r}"
+            )

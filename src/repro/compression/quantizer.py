@@ -1,0 +1,75 @@
+"""Error-bounded linear-scale quantization (the SZ quantizer).
+
+Prediction-based compressors quantize the residual ``value - prediction``
+onto a uniform lattice of pitch ``2 * eb``; reconstructing as
+``prediction + 2 * eb * code`` guarantees ``|value - recon| <= eb``
+regardless of how good the prediction was. This module implements that
+quantizer plus the *pre-quantization* ("dual-quant") variant used by the
+vectorized Lorenzo path, where the data itself is snapped to the lattice
+first and all later arithmetic is exact integer math.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = [
+    "quantize_residuals",
+    "reconstruct_from_codes",
+    "prequantize",
+    "dequantize",
+]
+
+#: Quantization codes are stored as int64; bound where float rounding is exact.
+_MAX_SAFE_CODE = 2**52
+
+
+def quantize_residuals(values: np.ndarray, predictions: np.ndarray, eb: float) -> np.ndarray:
+    """Quantize ``values - predictions`` with pitch ``2 * eb``.
+
+    Returns int64 codes such that ``predictions + 2 * eb * codes`` differs
+    from ``values`` by at most ``eb`` element-wise.
+    """
+    if eb <= 0:
+        raise CompressionError(f"error bound must be > 0, got {eb}")
+    codes = np.rint((values - predictions) / (2.0 * eb))
+    if np.abs(codes).max(initial=0.0) > _MAX_SAFE_CODE:
+        raise CompressionError(
+            "residual / error-bound ratio too large for exact integer codes; "
+            "increase the error bound"
+        )
+    return codes.astype(np.int64)
+
+
+def reconstruct_from_codes(predictions: np.ndarray, codes: np.ndarray, eb: float) -> np.ndarray:
+    """Inverse of :func:`quantize_residuals`."""
+    if eb <= 0:
+        raise CompressionError(f"error bound must be > 0, got {eb}")
+    return predictions + (2.0 * eb) * codes.astype(np.float64)
+
+
+def prequantize(data: np.ndarray, eb: float) -> np.ndarray:
+    """Snap ``data`` to the lattice ``2 * eb * k`` (dual-quant first stage).
+
+    The returned int64 array ``q`` satisfies ``|data - 2 * eb * q| <= eb``.
+    All subsequent prediction/transform arithmetic on ``q`` is exact, which
+    is what makes the vectorized Lorenzo codec bit-exact invertible.
+    """
+    if eb <= 0:
+        raise CompressionError(f"error bound must be > 0, got {eb}")
+    q = np.rint(np.asarray(data, dtype=np.float64) / (2.0 * eb))
+    if np.abs(q).max(initial=0.0) > _MAX_SAFE_CODE:
+        raise CompressionError(
+            "value / error-bound ratio too large for exact integer codes; "
+            "increase the error bound"
+        )
+    return q.astype(np.int64)
+
+
+def dequantize(q: np.ndarray, eb: float) -> np.ndarray:
+    """Inverse of :func:`prequantize`."""
+    if eb <= 0:
+        raise CompressionError(f"error bound must be > 0, got {eb}")
+    return q.astype(np.float64) * (2.0 * eb)

@@ -1,0 +1,50 @@
+"""Codec registry: name-based construction and stream routing."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compression.base import Compressor, StreamReader
+from repro.compression.sz_interp import SZInterp
+from repro.compression.sz_lr import SZLR
+from repro.compression.zfp_like import ZFPLike
+from repro.errors import CompressionError
+
+import numpy as np
+
+__all__ = ["available_codecs", "make_codec", "register_codec", "decompress_any"]
+
+_FACTORIES: dict[str, Callable[..., Compressor]] = {
+    SZLR.name: SZLR,
+    SZInterp.name: SZInterp,
+    ZFPLike.name: ZFPLike,
+}
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Registered codec names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def register_codec(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a custom codec factory under ``name``."""
+    if name in _FACTORIES:
+        raise CompressionError(f"codec {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def make_codec(name: str, **kwargs) -> Compressor:
+    """Instantiate a codec by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise CompressionError(
+            f"unknown codec {name!r}; available: {available_codecs()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def decompress_any(blob: bytes) -> np.ndarray:
+    """Decompress a stream from any registered codec (routed by header)."""
+    codec_name = StreamReader(blob).codec
+    return make_codec(codec_name).decompress(blob)

@@ -1,0 +1,145 @@
+"""SZ-Interp: global spline-interpolation codec (paper §3.3).
+
+The second compressor evaluated by the paper. Unlike SZ-L/R it has no block
+structure: a coarse anchor lattice is stored almost losslessly, then each
+refinement level predicts the new lattice points by cubic interpolation
+along one axis at a time (see :mod:`repro.compression.interpolation`) and
+quantizes the corrections. Artifacts are therefore smooth and global rather
+than block-wise — the property the paper's Figures 10/11 analyze.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import huffman
+from repro.compression.base import Compressor, StreamReader, StreamWriter
+from repro.compression.interpolation import InterpPlan, predict_axis
+from repro.compression.lossless import compress_bytes, decompress_bytes, pack_ints, unpack_ints
+from repro.compression.quantizer import quantize_residuals, reconstruct_from_codes
+from repro.errors import DecompressionError
+from repro.util.timer import StageTimes
+
+__all__ = ["SZInterp"]
+
+
+class SZInterp(Compressor):
+    """Global interpolation-predicted SZ codec.
+
+    Parameters
+    ----------
+    entropy:
+        ``"huffman"`` (default SZ pipeline) or ``"deflate"``.
+    backend:
+        Lossless byte backend for all sections.
+    """
+
+    name = "sz-interp"
+
+    def __init__(self, entropy: str = "huffman", backend: str = "deflate"):
+        if entropy not in ("huffman", "deflate"):
+            raise DecompressionError(f"entropy must be 'huffman' or 'deflate', got {entropy!r}")
+        self.entropy = entropy
+        self.backend = backend
+        self.last_stage_times: StageTimes = StageTimes()
+
+    # ------------------------------------------------------------------
+    def _sub_lattice(self, recon: np.ndarray, plan: InterpPlan, stride: int, axis: int) -> np.ndarray:
+        """Knot lattice for one interpolation pass: axes before ``axis`` at
+        half spacing, axes after at full spacing, ``axis`` kept dense."""
+        half = stride // 2
+        grids = []
+        for d, n in enumerate(plan.shape):
+            if d == axis:
+                grids.append(np.arange(n))
+            elif d < axis:
+                grids.append(np.arange(0, n, half))
+            else:
+                grids.append(np.arange(0, n, stride))
+        return recon[np.ix_(*grids)]
+
+    def compress(self, data: np.ndarray, error_bound: float, mode: str = "abs") -> bytes:
+        orig_dtype = np.asarray(data).dtype
+        arr = self._validate_input(data)
+        eb = self.resolve_error_bound(arr, error_bound, mode)
+        times = StageTimes()
+        plan = InterpPlan(arr.shape)
+        recon = np.zeros(arr.shape, dtype=np.float64)
+        anchors = arr[plan.anchor_slices()]
+        recon[plan.anchor_slices()] = anchors
+        code_chunks: list[np.ndarray] = []
+        with times.measure("interp"):
+            for stride, half in plan.levels():
+                for axis in range(arr.ndim):
+                    grid = plan.target_grid(stride, axis)
+                    targets = np.arange(half, arr.shape[axis], stride)
+                    if targets.size == 0:
+                        continue
+                    knots = self._sub_lattice(recon, plan, stride, axis)
+                    pred = predict_axis(knots, axis, targets, half)
+                    codes = quantize_residuals(arr[grid], pred, eb)
+                    recon[grid] = reconstruct_from_codes(pred, codes, eb)
+                    code_chunks.append(codes.ravel())
+        all_codes = (
+            np.concatenate(code_chunks) if code_chunks else np.empty(0, dtype=np.int64)
+        )
+        with times.measure("entropy"):
+            entropy_used = self.entropy
+            if self.entropy == "huffman":
+                try:
+                    code_blob = compress_bytes(huffman.encode(all_codes), self.backend)
+                except huffman.HuffmanAlphabetError:
+                    entropy_used = "deflate"
+                    code_blob = pack_ints(all_codes, self.backend)
+            else:
+                code_blob = pack_ints(all_codes, self.backend)
+        with times.measure("pack"):
+            writer = StreamWriter(
+                self.name,
+                arr.shape,
+                orig_dtype,
+                {"eb": eb, "stride": plan.stride, "entropy": entropy_used},
+            )
+            writer.add_section(
+                "anchors", compress_bytes(np.ascontiguousarray(anchors).tobytes(), self.backend)
+            )
+            writer.add_section("codes", code_blob)
+            blob = writer.tobytes()
+        self.last_stage_times = times
+        return blob
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        reader = StreamReader(blob)
+        self._check_stream(reader)
+        eb = float(reader.params["eb"])
+        shape = reader.shape
+        plan = InterpPlan(shape)
+        recon = np.zeros(shape, dtype=np.float64)
+        anchor_raw = decompress_bytes(reader.section("anchors"))
+        anchor_view = recon[plan.anchor_slices()]
+        anchors = np.frombuffer(anchor_raw, dtype=np.float64).reshape(anchor_view.shape)
+        recon[plan.anchor_slices()] = anchors
+        if reader.params["entropy"] == "huffman":
+            all_codes = huffman.decode(decompress_bytes(reader.section("codes")))
+        else:
+            all_codes = unpack_ints(reader.section("codes"))
+        pos = 0
+        for stride, half in plan.levels():
+            for axis in range(len(shape)):
+                grid = plan.target_grid(stride, axis)
+                targets = np.arange(half, shape[axis], stride)
+                if targets.size == 0:
+                    continue
+                knots = self._sub_lattice(recon, plan, stride, axis)
+                pred = predict_axis(knots, axis, targets, half)
+                count = pred.size
+                if pos + count > all_codes.size:
+                    raise DecompressionError("interpolation code stream truncated")
+                codes = all_codes[pos : pos + count].reshape(pred.shape)
+                pos += count
+                recon[grid] = reconstruct_from_codes(pred, codes, eb)
+        if pos != all_codes.size:
+            raise DecompressionError(
+                f"interpolation code stream has {all_codes.size - pos} unused codes"
+            )
+        return recon.astype(reader.dtype, copy=False)

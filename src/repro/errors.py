@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything from this package with a single ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BoxError",
+    "HierarchyError",
+    "CompressionError",
+    "DecompressionError",
+    "FormatError",
+    "VisualizationError",
+    "MetricError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class BoxError(ReproError):
+    """Invalid index-space box operation (empty box, dim mismatch, ...)."""
+
+
+class HierarchyError(ReproError):
+    """Inconsistent AMR hierarchy (nesting violation, bad refinement ratio)."""
+
+
+class CompressionError(ReproError):
+    """Failure while compressing data (bad parameters, unsupported dtype)."""
+
+
+class DecompressionError(ReproError):
+    """Failure while decompressing a stream (corruption, truncation)."""
+
+
+class FormatError(ReproError):
+    """Malformed on-disk or in-memory container (plotfile, codec stream)."""
+
+
+class VisualizationError(ReproError):
+    """Failure in the iso-surface / rendering pipeline."""
+
+
+class MetricError(ReproError):
+    """Invalid metric computation request (shape mismatch, empty input)."""
+
+
+class ExperimentError(ReproError):
+    """Failure while running a paper experiment."""

@@ -1,0 +1,49 @@
+"""Table 1: dataset geometry and per-level densities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.datasets import APPS, PAPER_TABLE1, load_app
+
+__all__ = ["Table1Row", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One application's row of Table 1 (measured and paper values)."""
+
+    app: str
+    n_levels: int
+    grids: tuple[tuple[int, ...], ...]
+    densities: tuple[float, ...]
+    paper_densities: tuple[float, ...]
+
+    @property
+    def density_error(self) -> float:
+        """Largest deviation from the paper's per-level density."""
+        return max(abs(a - b) for a, b in zip(self.densities, self.paper_densities))
+
+
+def run_table1(scale: float = 1.0) -> list[Table1Row]:
+    """Measure Table 1 on the generated datasets.
+
+    Grid sizes scale with ``scale`` (see
+    :func:`repro.experiments.datasets.load_app`); densities are
+    scale-independent targets and should match the paper within the
+    clustering tolerance.
+    """
+    rows = []
+    for app in APPS:
+        ds = load_app(app, scale)
+        h = ds.hierarchy
+        rows.append(
+            Table1Row(
+                app=app,
+                n_levels=h.n_levels,
+                grids=tuple(h.grid_shape(l) for l in range(h.n_levels)),
+                densities=h.densities(),
+                paper_densities=PAPER_TABLE1[app]["densities"],
+            )
+        )
+    return rows

@@ -1,0 +1,95 @@
+"""Rate-distortion sweeps (Figures 12 and 13 of the paper).
+
+Sweep a codec across error bounds on one field, collecting compression
+ratio, bitrate, PSNR (on the data) and optionally SSIM/R-SSIM (on rendered
+images via a caller-supplied callback — the paper computes image SSIM, so
+the renderer is injected rather than hard-wired here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.registry import make_codec
+from repro.metrics.error import psnr
+from repro.metrics.ssim import ssim as _ssim
+
+__all__ = ["RDPoint", "RDCurve", "rate_distortion_sweep"]
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One point of a rate-distortion curve."""
+
+    error_bound: float
+    ratio: float
+    bitrate: float
+    psnr: float
+    ssim: float | None = None
+
+    @property
+    def r_ssim(self) -> float | None:
+        """Reverse SSIM (1 - SSIM)."""
+        return None if self.ssim is None else 1.0 - self.ssim
+
+
+@dataclass
+class RDCurve:
+    """A labeled sequence of RD points."""
+
+    label: str
+    points: list[RDPoint] = field(default_factory=list)
+
+    def column(self, name: str) -> list[float]:
+        """Extract one metric as a list (e.g. ``"ratio"``, ``"psnr"``)."""
+        return [getattr(p, name) for p in self.points]
+
+
+def rate_distortion_sweep(
+    data: np.ndarray,
+    codec: str | Compressor,
+    error_bounds: Sequence[float],
+    mode: str = "rel",
+    image_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    label: str | None = None,
+) -> RDCurve:
+    """Sweep ``codec`` over ``error_bounds`` on ``data``.
+
+    Parameters
+    ----------
+    data:
+        Field to compress (uniform array).
+    codec:
+        Registry name or instance.
+    error_bounds:
+        Bound values (interpreted per ``mode``), typically log-spaced.
+    mode:
+        ``"rel"`` (paper convention) or ``"abs"``.
+    image_fn:
+        Optional callback mapping a field array to a rendered 2-D image;
+        when given, SSIM is computed between the images of the original and
+        decompressed data (the paper's methodology for Table 2 / Figs 12-13).
+    label:
+        Curve label (defaults to the codec name).
+    """
+    comp = make_codec(codec) if isinstance(codec, str) else codec
+    curve = RDCurve(label=label if label is not None else comp.name)
+    ref_image = image_fn(data) if image_fn is not None else None
+    n_bytes = np.asarray(data).nbytes
+    for eb in error_bounds:
+        blob = comp.compress(data, eb, mode=mode)
+        restored = comp.decompress(blob)
+        ratio = n_bytes / len(blob)
+        bitrate = 8.0 * len(blob) / np.asarray(data).size
+        quality = psnr(data, restored)
+        ssim_val: float | None = None
+        if image_fn is not None:
+            ssim_val = _ssim(ref_image, image_fn(restored))
+        curve.points.append(
+            RDPoint(error_bound=float(eb), ratio=ratio, bitrate=bitrate, psnr=quality, ssim=ssim_val)
+        )
+    return curve

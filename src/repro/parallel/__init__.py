@@ -1,0 +1,21 @@
+"""Parallel execution: ordered pools, chunking, blockwise compression."""
+
+from repro.parallel.pool import parallel_map, EXECUTION_MODES
+from repro.parallel.chunking import chunk_boxes, aligned_chunk_boxes
+from repro.parallel.blockwise import (
+    ChunkedStream,
+    compress_chunks,
+    decompress_chunks,
+    compress_patches,
+)
+
+__all__ = [
+    "parallel_map",
+    "EXECUTION_MODES",
+    "chunk_boxes",
+    "aligned_chunk_boxes",
+    "ChunkedStream",
+    "compress_chunks",
+    "decompress_chunks",
+    "compress_patches",
+]

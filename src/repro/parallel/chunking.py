@@ -1,0 +1,71 @@
+"""Domain decomposition helpers for parallel compression.
+
+Splits a uniform array into contiguous chunks whose boundaries align with
+codec block sizes, so per-chunk compression produces bit-identical blocks
+to whole-array compression (no cross-chunk dependencies in SZ-L/R).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.errors import ReproError
+
+__all__ = ["chunk_boxes", "aligned_chunk_boxes"]
+
+
+def chunk_boxes(shape: tuple[int, ...], n_chunks: int, axis: int = 0) -> list[Box]:
+    """Split ``shape`` into up to ``n_chunks`` slabs along ``axis``."""
+    if n_chunks < 1:
+        raise ReproError(f"n_chunks must be >= 1, got {n_chunks}")
+    if not 0 <= axis < len(shape):
+        raise ReproError(f"axis {axis} out of range for shape {shape}")
+    n = shape[axis]
+    n_chunks = min(n_chunks, n)
+    edges = np.linspace(0, n, n_chunks + 1, dtype=np.int64)
+    boxes = []
+    full = Box.from_shape(shape)
+    for a, b in zip(edges[:-1], edges[1:]):
+        if b <= a:
+            continue
+        lo = list(full.lo)
+        hi = list(full.hi)
+        lo[axis] = int(a)
+        hi[axis] = int(b) - 1
+        boxes.append(Box(tuple(lo), tuple(hi)))
+    return boxes
+
+
+def aligned_chunk_boxes(
+    shape: tuple[int, ...], n_chunks: int, block_size: int, axis: int = 0
+) -> list[Box]:
+    """Slab decomposition with cut planes rounded to ``block_size``.
+
+    Guarantees each chunk (except possibly the last) has an extent that is
+    a multiple of the codec block size along ``axis``, so blockwise codecs
+    see the same block grid as they would on the full array.
+    """
+    if block_size < 1:
+        raise ReproError(f"block_size must be >= 1, got {block_size}")
+    raw = chunk_boxes(shape, n_chunks, axis)
+    if block_size == 1 or len(raw) <= 1:
+        return raw
+    full = Box.from_shape(shape)
+    cuts = []
+    for box in raw[:-1]:
+        end = box.hi[axis] + 1
+        cuts.append(int(round(end / block_size)) * block_size)
+    cuts = sorted({c for c in cuts if 0 < c < shape[axis]})
+    boxes = []
+    prev = 0
+    for c in cuts + [shape[axis]]:
+        if c <= prev:
+            continue
+        lo = list(full.lo)
+        hi = list(full.hi)
+        lo[axis] = prev
+        hi[axis] = c - 1
+        boxes.append(Box(tuple(lo), tuple(hi)))
+        prev = c
+    return boxes

@@ -1,0 +1,62 @@
+"""Ordered parallel map over threads or processes.
+
+SZ-L/R blocks and AMR patches are independent (paper §3.3), so their
+compression is a pure map. This module provides the one primitive the
+parallel paths need: ``parallel_map`` with selectable executor, preserving
+input order and propagating worker exceptions.
+
+Thread mode is effective here despite the GIL because the heavy kernels
+(NumPy ufuncs, zlib) release it; process mode trades startup cost for true
+parallelism on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["parallel_map", "EXECUTION_MODES"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Supported execution modes.
+EXECUTION_MODES = ("serial", "thread", "process")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    mode: str = "serial",
+    workers: int = 2,
+    chunksize: int = 1,
+) -> list[R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    Parameters
+    ----------
+    fn:
+        Callable applied per item; must be picklable for ``"process"``.
+    items:
+        Work items.
+    mode:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    workers:
+        Executor size for the parallel modes.
+    chunksize:
+        Batch size for process mode (amortizes IPC overhead).
+    """
+    if mode not in EXECUTION_MODES:
+        raise ReproError(f"unknown execution mode {mode!r} (have {EXECUTION_MODES})")
+    seq: Sequence[T] = list(items)
+    if mode == "serial" or len(seq) <= 1:
+        return [fn(item) for item in seq]
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    if mode == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, seq))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, seq, chunksize=max(1, chunksize)))

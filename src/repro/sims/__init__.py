@@ -1,0 +1,28 @@
+"""Synthetic AMR simulation workloads (Nyx- and WarpX-like generators)."""
+
+from repro.sims.spectral import (
+    gaussian_random_field,
+    smooth_field,
+    wavenumber_grid,
+    zeldovich_velocity,
+)
+from repro.sims.amr_build import average_pool, calibrated_boxes, two_level_hierarchy
+from repro.sims.nyx import NyxConfig, nyx_hierarchy, nyx_timesteps, NYX_FIELDS
+from repro.sims.warpx import WarpXConfig, warpx_hierarchy, WARPX_FIELDS
+
+__all__ = [
+    "gaussian_random_field",
+    "smooth_field",
+    "wavenumber_grid",
+    "zeldovich_velocity",
+    "average_pool",
+    "calibrated_boxes",
+    "two_level_hierarchy",
+    "NyxConfig",
+    "nyx_hierarchy",
+    "nyx_timesteps",
+    "NYX_FIELDS",
+    "WarpXConfig",
+    "warpx_hierarchy",
+    "WARPX_FIELDS",
+]

@@ -1,0 +1,82 @@
+"""Spectral field synthesis (FFT-based Gaussian random fields).
+
+Substrate for the synthetic Nyx/WarpX generators: periodic Gaussian random
+fields with a prescribed isotropic power spectrum, plus Fourier-space
+helpers (Gaussian smoothing, inverse-Laplacian for Zel'dovich velocities).
+All functions are deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+__all__ = ["wavenumber_grid", "gaussian_random_field", "smooth_field", "zeldovich_velocity"]
+
+
+def wavenumber_grid(shape: tuple[int, ...], box_size: float = 1.0) -> np.ndarray:
+    """Isotropic wavenumber magnitude |k| on the FFT lattice."""
+    if any(s < 2 for s in shape):
+        raise ReproError(f"shape {shape} too small for spectral synthesis")
+    axes = [np.fft.fftfreq(n, d=box_size / n) * 2.0 * np.pi for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    k2 = np.zeros(shape, dtype=np.float64)
+    for g in grids:
+        k2 += g * g
+    return np.sqrt(k2)
+
+
+def gaussian_random_field(
+    shape: tuple[int, ...],
+    spectral_index: float = -2.5,
+    seed: int | np.random.Generator | None = 0,
+    box_size: float = 1.0,
+) -> np.ndarray:
+    """Periodic GRF with power spectrum ``P(k) ~ k**spectral_index``.
+
+    Normalized to zero mean, unit variance. Negative spectral indices give
+    large-scale-dominated fields (CDM-like for indices around -2.5).
+    """
+    rng = make_rng(seed)
+    white = rng.normal(size=shape)
+    k = wavenumber_grid(shape, box_size)
+    amp = np.zeros_like(k)
+    nonzero = k > 0
+    amp[nonzero] = k[nonzero] ** (spectral_index / 2.0)
+    fourier = np.fft.fftn(white) * amp
+    field = np.fft.ifftn(fourier).real
+    std = field.std()
+    if std == 0.0:
+        raise ReproError("degenerate random field (zero variance)")
+    return (field - field.mean()) / std
+
+
+def smooth_field(field: np.ndarray, sigma_cells: float) -> np.ndarray:
+    """Gaussian smoothing with periodic boundaries (Fourier multiplier)."""
+    if sigma_cells <= 0:
+        return np.asarray(field, dtype=np.float64).copy()
+    shape = field.shape
+    k = wavenumber_grid(shape, box_size=float(shape[0]))  # cell units
+    kernel = np.exp(-0.5 * (k * sigma_cells) ** 2)
+    return np.fft.ifftn(np.fft.fftn(field) * kernel).real
+
+
+def zeldovich_velocity(delta: np.ndarray, box_size: float = 1.0) -> list[np.ndarray]:
+    """Zel'dovich-approximation velocity components from an overdensity.
+
+    Solves ``laplacian(phi) = delta`` spectrally and returns ``-grad(phi)``
+    per axis — the standard way cosmology initial-condition generators
+    produce velocities consistent with a density field.
+    """
+    shape = delta.shape
+    axes = [np.fft.fftfreq(n, d=box_size / n) * 2.0 * np.pi for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    k2 = np.zeros(shape, dtype=np.float64)
+    for g in grids:
+        k2 += g * g
+    k2[k2 == 0.0] = np.inf  # kill the DC mode
+    dhat = np.fft.fftn(delta)
+    phi_hat = -dhat / k2
+    return [np.fft.ifftn(-1j * g * phi_hat).real for g in grids]

@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers, timers, deterministic RNG."""
+
+from repro.util.validation import (
+    check_dim,
+    check_positive,
+    check_array,
+    check_same_shape,
+    as_tuple,
+)
+from repro.util.timer import Timer, StageTimes
+from repro.util.rng import make_rng
+
+__all__ = [
+    "check_dim",
+    "check_positive",
+    "check_array",
+    "check_same_shape",
+    "as_tuple",
+    "Timer",
+    "StageTimes",
+    "make_rng",
+]

@@ -1,0 +1,102 @@
+"""2-D marching squares (the paper's Figure 4-right / Figure 5 examples).
+
+Produces iso-contour line segments from a vertex-centered 2-D grid, with
+the same "separate positive corners" ambiguity rule as the 3-D tables in
+:mod:`repro.viz.mc_tables` and the same NaN masking semantics. Used by the
+didactic 2-D figures and by the 2-D stitching demonstration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VisualizationError
+
+__all__ = ["marching_squares", "contour_length"]
+
+# Square corners: 0=(0,0) 1=(0,1) 2=(1,1) 3=(1,0), cyclic. Edge i connects
+# corner i and corner (i+1) % 4.
+_CORNERS = np.array([[0, 0], [0, 1], [1, 1], [1, 0]], dtype=np.int64)
+_EDGE_LOOKUP: dict[int, list[tuple[int, int]]] = {}
+for cfg in range(16):
+    pos = [(cfg >> c) & 1 for c in range(4)]
+    n_pos = sum(pos)
+    segs: list[tuple[int, int]] = []
+    if n_pos in (1, 3):
+        target = 1 if n_pos == 1 else 0
+        corner = pos.index(target)
+        segs.append(((corner - 1) % 4, corner))
+    elif n_pos == 2:
+        if pos[0] == pos[2]:  # diagonal: separate positives
+            for corner in range(4):
+                if pos[corner]:
+                    segs.append(((corner - 1) % 4, corner))
+        else:
+            crossed = [i for i in range(4) if pos[i] != pos[(i + 1) % 4]]
+            segs.append((crossed[0], crossed[1]))
+    _EDGE_LOOKUP[cfg] = segs
+
+
+def _edge_point(grid: np.ndarray, ci: int, cj: int, edge: int, iso: float) -> np.ndarray:
+    a = _CORNERS[edge]
+    b = _CORNERS[(edge + 1) % 4]
+    pa = np.array([ci + a[0], cj + a[1]], dtype=np.float64)
+    pb = np.array([ci + b[0], cj + b[1]], dtype=np.float64)
+    va = grid[ci + a[0], cj + a[1]]
+    vb = grid[ci + b[0], cj + b[1]]
+    denom = vb - va
+    t = 0.5 if denom == 0.0 else float(np.clip((iso - va) / denom, 0.0, 1.0))
+    return pa + t * (pb - pa)
+
+
+def marching_squares(
+    field: np.ndarray,
+    iso: float,
+    spacing: tuple[float, float] | float = 1.0,
+    origin: tuple[float, float] = (0.0, 0.0),
+) -> np.ndarray:
+    """Extract iso-contour segments from a vertex-centered 2-D grid.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, 2, 2)`` array of segments (start/end x,y). Cells touching a
+        NaN vertex are skipped.
+    """
+    arr = np.asarray(field, dtype=np.float64)
+    if arr.ndim != 2:
+        raise VisualizationError(f"field must be 2-D, got {arr.ndim}-D")
+    if any(s < 2 for s in arr.shape):
+        raise VisualizationError("field too small for marching squares")
+    if np.isscalar(spacing):
+        dx = np.array([float(spacing)] * 2)
+    else:
+        dx = np.asarray(spacing, dtype=np.float64)
+    org = np.asarray(origin, dtype=np.float64)
+    segments = []
+    ni, nj = arr.shape
+    valid = np.isfinite(arr)
+    for ci in range(ni - 1):
+        for cj in range(nj - 1):
+            corners_idx = [(ci + o[0], cj + o[1]) for o in _CORNERS]
+            if not all(valid[i, j] for i, j in corners_idx):
+                continue
+            cfg = 0
+            for c, (i, j) in enumerate(corners_idx):
+                if arr[i, j] > iso:
+                    cfg |= 1 << c
+            for ea, eb in _EDGE_LOOKUP[cfg]:
+                p0 = _edge_point(arr, ci, cj, ea, iso)
+                p1 = _edge_point(arr, ci, cj, eb, iso)
+                segments.append([org + p0 * dx, org + p1 * dx])
+    if not segments:
+        return np.empty((0, 2, 2))
+    return np.asarray(segments)
+
+
+def contour_length(segments: np.ndarray) -> float:
+    """Total polyline length of marching-squares output."""
+    if len(segments) == 0:
+        return 0.0
+    d = segments[:, 1] - segments[:, 0]
+    return float(np.linalg.norm(d, axis=1).sum())

@@ -1,0 +1,185 @@
+"""Marching-cubes case tables, generated programmatically.
+
+Rather than transcribing the classic 256x16 triangle table (easy to corrupt
+silently), the table is *derived* at import time from first principles:
+
+1. For each of the 256 inside/outside corner configurations, intersect the
+   iso-surface with each cube face by running 2-D marching squares on the
+   face's four corners. The ambiguous two-diagonal case always separates
+   the *positive* corners; since a face's corner values look identical from
+   the two cubes sharing it, both cubes emit the same face segments — the
+   consistency property that makes the extracted surface crack-free within
+   a uniform grid.
+2. The face segments pair up into closed loops around the iso-surface
+   cross-section (every intersected cube edge lies on exactly two faces).
+3. Each loop is fan-triangulated, oriented so triangle normals point from
+   the positive (inside) region to the negative region.
+
+Conventions
+-----------
+* Corner ``c`` (0-7) sits at ``((c >> 2) & 1, (c >> 1) & 1, c & 1)``.
+* Edge ids 0-11 index :data:`EDGE_CORNERS`, the sorted list of corner pairs
+  differing in one bit; :data:`EDGE_ORIGIN_AXIS` gives each edge's lower
+  corner offset and direction for global-edge indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CORNER_OFFSETS",
+    "EDGE_CORNERS",
+    "EDGE_ORIGIN_AXIS",
+    "TRI_TABLE",
+    "MAX_TRIS_PER_CELL",
+]
+
+#: (8, 3) integer offsets of cube corners.
+CORNER_OFFSETS = np.array([[(c >> 2) & 1, (c >> 1) & 1, c & 1] for c in range(8)], dtype=np.int64)
+
+#: (12, 2) corner-id pairs, one per cube edge, lexicographically sorted.
+EDGE_CORNERS = np.array(
+    sorted((a, b) for a in range(8) for b in range(8) if a < b and bin(a ^ b).count("1") == 1),
+    dtype=np.int64,
+)
+
+#: (12, 4): (di, dj, dk, axis) of each edge's lower corner and direction.
+EDGE_ORIGIN_AXIS = np.array(
+    [
+        list(CORNER_OFFSETS[a]) + [int(np.nonzero(CORNER_OFFSETS[b] - CORNER_OFFSETS[a])[0][0])]
+        for a, b in EDGE_CORNERS
+    ],
+    dtype=np.int64,
+)
+
+_EDGE_INDEX = {(int(a), int(b)): i for i, (a, b) in enumerate(EDGE_CORNERS)}
+
+
+def _face_corners() -> list[list[int]]:
+    """Six faces, each as 4 corner ids in cyclic order around the face."""
+    faces = []
+    for axis in range(3):
+        for side in (0, 1):
+            corners = [c for c in range(8) if CORNER_OFFSETS[c][axis] == side]
+            # Order cyclically: sort by angle in the face plane.
+            other = [a for a in range(3) if a != axis]
+            pts = CORNER_OFFSETS[corners][:, other].astype(float) - 0.5
+            ang = np.arctan2(pts[:, 1], pts[:, 0])
+            faces.append([corners[i] for i in np.argsort(ang)])
+    return faces
+
+
+def _face_segments(cycle: list[int], inside: int) -> list[tuple[int, int]]:
+    """Marching-squares segments for one face.
+
+    ``cycle`` lists the face's corners in cyclic order; ``inside`` is the
+    cube configuration bitmask. Returns pairs of cube-edge ids. Ambiguous
+    faces separate the positive corners (fixed, orientation-independent
+    rule -> neighbor-consistent).
+    """
+    pos = [(inside >> c) & 1 for c in cycle]
+    n_pos = sum(pos)
+    edges_of = []  # face edge i connects cycle[i] and cycle[i+1]
+    for i in range(4):
+        a, b = cycle[i], cycle[(i + 1) % 4]
+        edges_of.append(_EDGE_INDEX[(min(a, b), max(a, b))])
+    crossed = [i for i in range(4) if pos[i] != pos[(i + 1) % 4]]
+    if n_pos in (0, 4):
+        return []
+    if n_pos == 1 or n_pos == 3:
+        target = 1 if n_pos == 1 else 0
+        corner = pos.index(target)
+        # The segment wraps the lone corner: its two adjacent face edges.
+        return [(edges_of[(corner - 1) % 4], edges_of[corner])]
+    # Two positives.
+    if pos[0] == pos[2]:  # diagonal (ambiguous): two segments, each
+        segs = []  # isolating one positive corner.
+        for corner in range(4):
+            if pos[corner]:
+                segs.append((edges_of[(corner - 1) % 4], edges_of[corner]))
+        return segs
+    # Adjacent pair: one segment across the two crossed face edges.
+    assert len(crossed) == 2
+    return [(edges_of[crossed[0]], edges_of[crossed[1]])]
+
+
+def _loops_from_segments(segments: list[tuple[int, int]]) -> list[list[int]]:
+    """Chain edge-id segments into closed loops."""
+    adj: dict[int, list[int]] = {}
+    for a, b in segments:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    for node, nbrs in adj.items():
+        if len(nbrs) != 2:
+            raise AssertionError(f"non-manifold segment graph at edge {node}: {nbrs}")
+    loops = []
+    visited: set[int] = set()
+    for start in sorted(adj):
+        if start in visited:
+            continue
+        loop = [start]
+        visited.add(start)
+        prev = None
+        cur = start
+        while True:
+            nxt = [n for n in adj[cur] if n != prev]
+            # Both neighbors equal prev only in a 2-cycle, which cannot
+            # happen: segments connect distinct edges of distinct faces.
+            step = nxt[0]
+            if step == start:
+                break
+            loop.append(step)
+            visited.add(step)
+            prev, cur = cur, step
+        loops.append(loop)
+    return loops
+
+
+def _edge_midpoint(edge_id: int) -> np.ndarray:
+    a, b = EDGE_CORNERS[edge_id]
+    return (CORNER_OFFSETS[a] + CORNER_OFFSETS[b]) / 2.0
+
+
+def _orient_loop(loop: list[int], inside: int) -> list[int]:
+    """Orient so the fan normals point away from the positive region."""
+    pts = np.array([_edge_midpoint(e) for e in loop])
+    centroid = pts.mean(axis=0)
+    # Newell normal of the (possibly non-planar) polygon.
+    normal = np.zeros(3)
+    for i in range(len(loop)):
+        u = pts[i] - centroid
+        v = pts[(i + 1) % len(loop)] - centroid
+        normal += np.cross(u, v)
+    pos_corners = [c for c in range(8) if (inside >> c) & 1]
+    neg_corners = [c for c in range(8) if not (inside >> c) & 1]
+    direction = CORNER_OFFSETS[neg_corners].mean(axis=0) - CORNER_OFFSETS[pos_corners].mean(axis=0)
+    if np.dot(normal, direction) < 0:
+        return loop[::-1]
+    return loop
+
+
+def _build_tri_table() -> list[list[tuple[int, int, int]]]:
+    faces = _face_corners()
+    table: list[list[tuple[int, int, int]]] = []
+    for config in range(256):
+        segments: list[tuple[int, int]] = []
+        for cycle in faces:
+            segments.extend(_face_segments(cycle, config))
+        if not segments:
+            table.append([])
+            continue
+        tris: list[tuple[int, int, int]] = []
+        for loop in _loops_from_segments(segments):
+            loop = _orient_loop(loop, config)
+            for i in range(1, len(loop) - 1):
+                tris.append((loop[0], loop[i], loop[i + 1]))
+        table.append(tris)
+    return table
+
+
+#: ``TRI_TABLE[config]`` is a list of (edge, edge, edge) triangles.
+TRI_TABLE = _build_tri_table()
+
+#: Largest triangle count over all configurations (used to size buffers).
+MAX_TRIS_PER_CELL = max(len(t) for t in TRI_TABLE)

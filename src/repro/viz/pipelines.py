@@ -1,0 +1,131 @@
+"""End-to-end AMR iso-surface pipelines (the paper's two methods, §3.1).
+
+Both pipelines walk the hierarchy level by level:
+
+* :func:`resampling_isosurface` — the *basic* method: composite each
+  level's exposed cells, re-sample cell->vertex (Figure 4), then marching
+  cubes. Levels meet at dangling nodes, so the merged surface shows the
+  cracks of Figure 1a — and the interpolation inherent in re-sampling
+  partially smooths compression artifacts (§4.3).
+* :func:`dual_cell_isosurface` — the *advanced* method: marching cubes on
+  each level's dual (cell-center) grid. Crack-free, but with inter-level
+  gaps (Figure 1b) unless ``gap_fix="redundant"`` extends the coarse dual
+  grid with redundant coarse data (Figure 1c); uses raw cell values, so
+  compression artifacts pass through unsmoothed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import AMRHierarchy
+from repro.errors import VisualizationError
+from repro.viz.dual_cell import dual_isosurface
+from repro.viz.marching_cubes import marching_cubes
+from repro.viz.mesh import TriangleMesh
+from repro.viz.resample import cell_to_vertex
+from repro.viz.stitching import redundant_ring_mask
+
+__all__ = ["IsoSurfaceResult", "resampling_isosurface", "dual_cell_isosurface"]
+
+
+@dataclass
+class IsoSurfaceResult:
+    """Output of an AMR iso-surface pipeline."""
+
+    method: str
+    iso: float
+    level_meshes: list[TriangleMesh] = field(default_factory=list)
+
+    @property
+    def merged(self) -> TriangleMesh:
+        """All level surfaces as one mesh (no welding across levels)."""
+        return TriangleMesh.merge(self.level_meshes)
+
+    @property
+    def n_faces(self) -> int:
+        """Total triangle count."""
+        return sum(m.n_faces for m in self.level_meshes)
+
+
+def _level_cells(
+    hierarchy: AMRHierarchy, level: int, fld: str, keep: np.ndarray
+) -> tuple[np.ndarray, Box]:
+    """Level's cell data over its full-domain window, NaN outside ``keep``."""
+    dom = hierarchy.domain_at(level)
+    cells = hierarchy[level].to_array(fld, dom, fill=np.nan)
+    cells[~keep] = np.nan
+    return cells, dom
+
+
+def _masks(hierarchy: AMRHierarchy, level: int) -> tuple[np.ndarray, np.ndarray]:
+    """(exposed, covered) cell masks over the level's full domain."""
+    dom = hierarchy.domain_at(level)
+    stored = hierarchy[level].boxes.mask(dom)
+    covered = hierarchy.covered_mask(level)
+    return stored & ~covered, stored & covered
+
+
+def resampling_isosurface(
+    hierarchy: AMRHierarchy,
+    fld: str,
+    iso: float,
+) -> IsoSurfaceResult:
+    """Basic AMR iso-surface: per-level re-sampling + marching cubes.
+
+    Each level contributes the surface over its *exposed* region (covered
+    coarse data is skipped, as in standard post-analysis — Figure 3). The
+    per-level vertex grids disagree at level interfaces (dangling nodes),
+    which is exactly the crack artifact the paper analyzes.
+    """
+    if hierarchy.ndim != 3:
+        raise VisualizationError("iso-surface pipelines need 3-D hierarchies")
+    result = IsoSurfaceResult(method="resampling", iso=float(iso))
+    for lev_idx, lev in enumerate(hierarchy):
+        exposed, _ = _masks(hierarchy, lev_idx)
+        cells, dom = _level_cells(hierarchy, lev_idx, fld, exposed)
+        vertices = cell_to_vertex(cells)
+        origin = tuple(l * d for l, d in zip(dom.lo, lev.dx))
+        mesh = marching_cubes(vertices, iso, spacing=tuple(lev.dx), origin=origin)
+        result.level_meshes.append(mesh)
+    return result
+
+
+def dual_cell_isosurface(
+    hierarchy: AMRHierarchy,
+    fld: str,
+    iso: float,
+    gap_fix: str = "none",
+    rings: int = 1,
+) -> IsoSurfaceResult:
+    """Advanced AMR iso-surface: per-level dual-cell marching cubes.
+
+    Parameters
+    ----------
+    hierarchy, fld, iso:
+        Dataset, field name, iso value.
+    gap_fix:
+        ``"none"`` — leave the inter-level gaps (Figure 1b);
+        ``"redundant"`` — extend coarse levels into refined regions using
+        the redundant coarse data ("switching cells", Figure 1c).
+    rings:
+        Redundant-cell rings to include with ``gap_fix="redundant"``.
+    """
+    if hierarchy.ndim != 3:
+        raise VisualizationError("iso-surface pipelines need 3-D hierarchies")
+    if gap_fix not in ("none", "redundant"):
+        raise VisualizationError(f"unknown gap_fix {gap_fix!r}")
+    result = IsoSurfaceResult(method=f"dual-cell[{gap_fix}]", iso=float(iso))
+    for lev_idx, lev in enumerate(hierarchy):
+        exposed, covered = _masks(hierarchy, lev_idx)
+        keep = exposed
+        if gap_fix == "redundant" and covered.any():
+            keep = redundant_ring_mask(exposed, covered, rings)
+        cells, dom = _level_cells(hierarchy, lev_idx, fld, keep)
+        origin = tuple(l * d for l, d in zip(dom.lo, lev.dx))
+        mesh = dual_isosurface(cells, iso, spacing=tuple(lev.dx), origin=origin)
+        result.level_meshes.append(mesh)
+    return result

@@ -1,0 +1,60 @@
+"""Cell-centered to vertex-centered re-sampling (paper §2.3, Figure 4).
+
+The conventional AMR visualization path "diffuses" each cell's value onto
+its vertices: a grid vertex receives the average of its adjacent cells (up
+to ``2**ndim`` of them; fewer at domain boundaries). Output has one more
+sample per dimension than the input.
+
+NaN-aware: invalid (masked) cells simply do not contribute, and vertices
+with no valid neighbor stay NaN — which is what confines per-level
+extraction to the level's region.
+
+The paper's §4.3 discussion hinges on this step: averaging acts as a small
+low-pass filter that *smooths away part of the compression artifacts*
+(Figure 14), which is why re-sampling visualizations of decompressed data
+look better than dual-cell ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VisualizationError
+
+__all__ = ["cell_to_vertex"]
+
+
+def cell_to_vertex(cells: np.ndarray) -> np.ndarray:
+    """Average cell-centered data onto the surrounding vertex lattice.
+
+    Parameters
+    ----------
+    cells:
+        n-D cell-centered array; NaN marks invalid cells.
+
+    Returns
+    -------
+    numpy.ndarray
+        Vertex-centered array of shape ``cells.shape + 1`` per axis; NaN
+        where no adjacent valid cell exists.
+    """
+    arr = np.asarray(cells, dtype=np.float64)
+    if arr.ndim < 1:
+        raise VisualizationError("cells must be an array")
+    out_shape = tuple(s + 1 for s in arr.shape)
+    total = np.zeros(out_shape, dtype=np.float64)
+    count = np.zeros(out_shape, dtype=np.int64)
+    valid = np.isfinite(arr)
+    filled = np.where(valid, arr, 0.0)
+    # Each cell contributes to its 2**ndim surrounding vertices; iterate the
+    # corner offsets (vectorized adds, 2**ndim passes).
+    for corner in range(1 << arr.ndim):
+        sl = tuple(
+            slice(1, None) if (corner >> d) & 1 else slice(None, -1) for d in range(arr.ndim)
+        )
+        total[sl] += filled
+        count[sl] += valid
+    with np.errstate(invalid="ignore"):
+        out = total / count
+    out[count == 0] = np.nan
+    return out

@@ -1,0 +1,72 @@
+"""Tests for repro.amr.patch.Patch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr import Box, Patch
+from repro.errors import BoxError
+
+
+class TestConstruction:
+    def test_shape_must_match(self):
+        with pytest.raises(BoxError):
+            Patch(Box((0, 0), (3, 3)), np.zeros((3, 3)))
+
+    def test_full(self):
+        p = Patch.full(Box((0, 0, 0), (1, 1, 1)), fill=2.5)
+        assert (p.data == 2.5).all()
+        assert p.data.dtype == np.float64
+
+    def test_full_int_dtype(self):
+        p = Patch.full(Box((0,), (3,)), fill=1, dtype=np.int32)
+        assert p.data.dtype == np.int32
+
+    def test_from_function_samples_cell_centers(self):
+        p = Patch.from_function(Box((0, 0), (1, 1)), lambda x, y: x + 10 * y, dx=1.0)
+        # Cell centers at 0.5 and 1.5.
+        assert p.data[0, 0] == pytest.approx(0.5 + 5.0)
+        assert p.data[1, 1] == pytest.approx(1.5 + 15.0)
+
+    def test_from_function_anisotropic_dx(self):
+        p = Patch.from_function(Box((0,), (3,)), lambda x: x, dx=(0.25,))
+        assert p.data[0] == pytest.approx(0.125)
+
+    def test_from_function_offset_box(self):
+        p = Patch.from_function(Box((4,), (5,)), lambda x: x, dx=2.0)
+        assert p.data[0] == pytest.approx(9.0)  # (4 + 0.5) * 2
+
+    def test_from_function_bad_dx(self):
+        with pytest.raises(BoxError):
+            Patch.from_function(Box((0, 0), (1, 1)), lambda x, y: x, dx=(1.0,))
+
+
+class TestViews:
+    def test_view_is_a_view(self):
+        p = Patch.full(Box((0, 0), (4, 4)), 0.0)
+        sub = Box((1, 1), (2, 2))
+        v = p.view(sub)
+        v[...] = 7.0
+        assert p.data[1, 1] == 7.0
+        assert p.data[0, 0] == 0.0
+
+    def test_view_respects_box_offset(self):
+        p = Patch(Box((10, 10), (13, 13)), np.arange(16, dtype=float).reshape(4, 4))
+        v = p.view(Box((11, 12), (11, 12)))
+        assert v[0, 0] == p.data[1, 2]
+
+    def test_view_outside_rejected(self):
+        p = Patch.full(Box((0, 0), (3, 3)), 0.0)
+        with pytest.raises(BoxError):
+            p.view(Box((2, 2), (5, 5)))
+
+    def test_copy_is_deep(self):
+        p = Patch.full(Box((0,), (3,)), 1.0)
+        q = p.copy()
+        q.data[0] = 9.0
+        assert p.data[0] == 1.0
+
+    def test_nbytes(self):
+        p = Patch.full(Box((0, 0), (3, 3)), 0.0)
+        assert p.nbytes == 16 * 8

@@ -1,0 +1,89 @@
+"""Tests for repro.amr.tagging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr import dilate_tags, tag_fraction, tag_gradient, tag_threshold
+from repro.errors import ReproError
+
+
+class TestThreshold:
+    def test_basic(self):
+        arr = np.array([[0.0, 1.0], [2.0, 3.0]])
+        assert tag_threshold(arr, 1.5).sum() == 2
+
+    def test_none_above(self):
+        assert not tag_threshold(np.zeros((3, 3)), 1.0).any()
+
+
+class TestGradient:
+    def test_step_edge_tagged(self):
+        arr = np.zeros((8, 8))
+        arr[:, 4:] = 10.0
+        tags = tag_gradient(arr, 1.0)
+        assert tags[:, 3:5].all()
+        assert not tags[:, 0].any()
+
+    def test_constant_untagged(self):
+        assert not tag_gradient(np.full((5, 5), 3.0), 1e-9).any()
+
+    def test_3d(self):
+        arr = np.zeros((6, 6, 6))
+        arr[3:] = 5.0
+        tags = tag_gradient(arr, 1.0)
+        assert tags[2:4].all()
+
+
+class TestFraction:
+    def test_fraction_approximate(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(20, 20, 20))
+        tags = tag_fraction(arr, 0.25)
+        frac = tags.mean()
+        assert 0.2 < frac < 0.3
+
+    def test_fraction_one_tags_all(self):
+        assert tag_fraction(np.arange(10.0), 1.0).all()
+
+    def test_gradient_criterion(self):
+        arr = np.zeros((10, 10))
+        arr[:, 5:] = 1.0
+        tags = tag_fraction(arr, 0.3, criterion="gradient")
+        assert tags[:, 4:6].any()
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ReproError):
+            tag_fraction(np.arange(10.0), 0.0)
+        with pytest.raises(ReproError):
+            tag_fraction(np.arange(10.0), 1.5)
+
+    def test_bad_criterion_rejected(self):
+        with pytest.raises(ReproError):
+            tag_fraction(np.arange(10.0), 0.5, criterion="bogus")
+
+
+class TestDilate:
+    def test_single_cell_grows_to_cross(self):
+        tags = np.zeros((5, 5), dtype=bool)
+        tags[2, 2] = True
+        grown = dilate_tags(tags, 1)
+        assert grown.sum() == 5  # center + 4 axis neighbors
+
+    def test_zero_iterations_identity(self):
+        tags = np.zeros((4, 4), dtype=bool)
+        tags[1, 1] = True
+        assert np.array_equal(dilate_tags(tags, 0), tags)
+
+    def test_does_not_wrap(self):
+        tags = np.zeros((4, 4), dtype=bool)
+        tags[0, 0] = True
+        grown = dilate_tags(tags, 1)
+        assert not grown[3, 0] and not grown[0, 3]
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        tags = rng.random((10, 10)) > 0.8
+        grown = dilate_tags(tags, 2)
+        assert (grown | tags).sum() == grown.sum()

@@ -1,0 +1,112 @@
+"""Tests for AMR-aware hierarchy compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr import flatten_to_uniform
+from repro.compression.amr_codec import (
+    CompressedHierarchy,
+    average_down,
+    compress_hierarchy,
+    decompress_hierarchy,
+)
+from repro.errors import CompressionError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("codec", ["sz-lr", "sz-interp", "zfp-like"])
+    def test_error_bound_per_patch(self, sphere_hierarchy, codec):
+        container = compress_hierarchy(sphere_hierarchy, codec, 1e-3, mode="rel")
+        out = decompress_hierarchy(container, sphere_hierarchy)
+        for lev_o, lev_r in zip(sphere_hierarchy, out):
+            for p, q in zip(lev_o.patches("f"), lev_r.patches("f")):
+                eb = 1e-3 * (p.data.max() - p.data.min())
+                assert np.abs(p.data - q.data).max() <= eb * (1 + 1e-9)
+
+    def test_ratio_positive(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-2)
+        assert container.ratio > 1.0
+
+    def test_field_subset(self, multi_field_hierarchy):
+        container = compress_hierarchy(multi_field_hierarchy, "sz-lr", 1e-3, fields=["a"])
+        out = decompress_hierarchy(container, multi_field_hierarchy)
+        # Field b copied from template verbatim.
+        assert np.array_equal(
+            out[0].patches("b")[0].data, multi_field_hierarchy[0].patches("b")[0].data
+        )
+
+    def test_unknown_field_rejected(self, sphere_hierarchy):
+        with pytest.raises(CompressionError):
+            compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3, fields=["nope"])
+
+    def test_codec_instance_accepted(self, sphere_hierarchy):
+        from repro.compression.sz_lr import SZLR
+
+        container = compress_hierarchy(sphere_hierarchy, SZLR(block_size=4), 1e-3)
+        out = decompress_hierarchy(container, sphere_hierarchy)
+        assert out.n_levels == 2
+
+
+class TestExcludeCovered:
+    def test_improves_ratio_on_structured_data(self, sphere_hierarchy):
+        plain = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-4)
+        excl = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-4, exclude_covered=True)
+        # Covered half of the coarse level becomes a constant: never worse.
+        assert excl.compressed_bytes <= plain.compressed_bytes
+
+    def test_exposed_coarse_data_still_bounded(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3, exclude_covered=True)
+        out = decompress_hierarchy(container, sphere_hierarchy)
+        covered = sphere_hierarchy.covered_mask(0)
+        orig = sphere_hierarchy[0].patches("f")[0].data
+        recon = out[0].patches("f")[0].data
+        # The filled region carries no guarantee, but exposed cells must.
+        eb = 1e-3 * (np.ptp(orig))  # compressed patch had filled values;
+        exposed_err = np.abs(orig - recon)[~covered]
+        assert exposed_err.max() <= 2 * eb  # fill shifts the range slightly
+
+    def test_average_down_restore(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3, exclude_covered=True)
+        out = decompress_hierarchy(container, sphere_hierarchy, restore="average_down")
+        covered = sphere_hierarchy.covered_mask(0)
+        coarse = out[0].patches("f")[0].data
+        fine = out[1].patches("f")[0].data
+        # Covered coarse cells equal the mean of their 8 fine children.
+        pooled = fine.reshape(8, 2, 16, 2, 16, 2).mean(axis=(1, 3, 5))
+        assert np.allclose(coarse[8:], pooled, atol=1e-12)
+
+    def test_bad_restore_rejected(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
+        with pytest.raises(CompressionError):
+            decompress_hierarchy(container, sphere_hierarchy, restore="magic")
+
+
+class TestContainer:
+    def test_serialization_roundtrip(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-interp", 1e-3)
+        raw = container.tobytes()
+        parsed = CompressedHierarchy.frombytes(raw)
+        assert parsed.codec == container.codec
+        assert parsed.compressed_bytes == container.compressed_bytes
+        out = decompress_hierarchy(parsed, sphere_hierarchy)
+        a = flatten_to_uniform(out, "f")
+        b = flatten_to_uniform(decompress_hierarchy(container, sphere_hierarchy), "f")
+        assert np.array_equal(a, b)
+
+    def test_frombytes_rejects_garbage(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            CompressedHierarchy.frombytes(b"XXXXjunk")
+
+
+class TestAverageDown:
+    def test_exact_on_manual_hierarchy(self, sphere_hierarchy):
+        h = sphere_hierarchy
+        average_down(h, "f")
+        coarse = h[0].patches("f")[0].data
+        fine = h[1].patches("f")[0].data
+        pooled = fine.reshape(8, 2, 16, 2, 16, 2).mean(axis=(1, 3, 5))
+        assert np.allclose(coarse[8:], pooled)

@@ -1,0 +1,53 @@
+"""Property-based error-bound guarantees across all codecs.
+
+The single most important invariant of the library: for any finite float
+data and any positive bound, every codec reconstructs within the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.registry import available_codecs, make_codec
+
+CODICS = sorted(available_codecs())
+
+
+def _arrays_3d():
+    return hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=3, max_dims=3, min_side=2, max_side=10),
+        elements=st.floats(-1e5, 1e5, allow_nan=False, allow_infinity=False, width=64),
+    )
+
+
+@pytest.mark.parametrize("codec", CODICS)
+class TestBoundProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(data=_arrays_3d(), eb=st.floats(1e-4, 1.0))
+    def test_abs_bound(self, codec, data, eb):
+        comp = make_codec(codec)
+        recon = comp.decompress(comp.compress(data, eb, mode="abs"))
+        # Reconstruction arithmetic is float64, so the guarantee carries an
+        # unavoidable ULP-scale slack proportional to the data magnitude
+        # (same as reference SZ): eb + O(eps * |value|).
+        slack = 16 * np.spacing(np.abs(data).max() + eb)
+        assert np.abs(recon - data).max() <= eb * (1 + 1e-9) + slack
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=_arrays_3d(), eb=st.sampled_from([1e-4, 1e-3, 1e-2]))
+    def test_rel_bound(self, codec, data, eb):
+        comp = make_codec(codec)
+        recon = comp.decompress(comp.compress(data, eb, mode="rel"))
+        value_range = data.max() - data.min()
+        eb_abs = eb * value_range if value_range > 0 else eb
+        assert np.abs(recon - data).max() <= eb_abs * (1 + 1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=_arrays_3d())
+    def test_deterministic(self, codec, data):
+        comp = make_codec(codec)
+        assert comp.compress(data, 1e-3) == comp.compress(data, 1e-3)

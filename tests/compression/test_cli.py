@@ -1,0 +1,67 @@
+"""Tests for the compression CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr import write_plotfile
+from repro.compression.__main__ import main
+
+
+@pytest.fixture
+def npy_file(tmp_path, smooth_field):
+    path = tmp_path / "field.npy"
+    np.save(path, smooth_field, allow_pickle=False)
+    return path
+
+
+class TestArrayCommands:
+    def test_compress_decompress_roundtrip(self, npy_file, tmp_path, capsys, smooth_field):
+        blob = tmp_path / "field.rprc"
+        assert main(["compress", str(npy_file), "-o", str(blob), "--eb", "1e-3"]) == 0
+        assert "ratio" in capsys.readouterr().out
+        out = tmp_path / "restored.npy"
+        assert main(["decompress", str(blob), "-o", str(out)]) == 0
+        restored = np.load(out)
+        eb = 1e-3 * (smooth_field.max() - smooth_field.min())
+        assert np.abs(restored - smooth_field).max() <= eb * (1 + 1e-9)
+
+    def test_default_output_names(self, npy_file, capsys):
+        assert main(["compress", str(npy_file)]) == 0
+        rprc = npy_file.with_suffix(".rprc")
+        assert rprc.is_file()
+        assert main(["decompress", str(rprc)]) == 0
+
+    def test_codec_selection(self, npy_file, tmp_path, capsys):
+        blob = tmp_path / "x.rprc"
+        assert main(["compress", str(npy_file), "-o", str(blob), "--codec", "sz-interp"]) == 0
+        assert main(["info", str(blob)]) == 0
+        out = capsys.readouterr().out
+        assert "sz-interp" in out
+        assert "section" in out
+
+    def test_abs_mode(self, npy_file, tmp_path, smooth_field):
+        blob = tmp_path / "a.rprc"
+        main(["compress", str(npy_file), "-o", str(blob), "--mode", "abs", "--eb", "0.05"])
+        out = tmp_path / "a.npy"
+        main(["decompress", str(blob), "-o", str(out)])
+        assert np.abs(np.load(out) - smooth_field).max() <= 0.05 * (1 + 1e-9)
+
+
+class TestPlotfileCommands:
+    def test_compress_and_info(self, sphere_hierarchy, tmp_path, capsys):
+        plt = write_plotfile(tmp_path / "plt", sphere_hierarchy)
+        out = tmp_path / "plt.rprh"
+        assert main(["compress-plotfile", str(plt), "-o", str(out), "--fields", "f"]) == 0
+        assert "ratio" in capsys.readouterr().out
+        assert main(["info-plotfile", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "level 1" in info and "sz-lr" in info
+
+    def test_exclude_covered_flag(self, sphere_hierarchy, tmp_path, capsys):
+        plt = write_plotfile(tmp_path / "plt", sphere_hierarchy)
+        out = tmp_path / "x.rprh"
+        assert main([
+            "compress-plotfile", str(plt), "-o", str(out), "--exclude-covered"
+        ]) == 0

@@ -1,0 +1,103 @@
+"""Tests for the canonical Huffman coder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import huffman
+from repro.errors import CompressionError
+
+
+class TestCodeLengths:
+    def test_uniform_four_symbols(self):
+        lengths = huffman.code_lengths(np.array([1, 1, 1, 1]))
+        assert (lengths == 2).all()
+
+    def test_skewed_shorter_for_frequent(self):
+        lengths = huffman.code_lengths(np.array([100, 1, 1]))
+        assert lengths[0] < lengths[1]
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(1, 1000, size=50)
+        lengths = huffman.code_lengths(freqs)
+        assert np.sum(2.0 ** -lengths.astype(float)) <= 1.0 + 1e-12
+
+    def test_single_symbol(self):
+        assert huffman.code_lengths(np.array([5]))[0] == 1
+
+    def test_length_cap_respected(self):
+        # Fibonacci-like frequencies force deep trees without limiting.
+        freqs = np.array([1, 1] + [int(1.6**k) + 1 for k in range(2, 40)])
+        lengths = huffman.code_lengths(freqs)
+        assert lengths.max() <= huffman.MAX_CODE_LENGTH
+        assert np.sum(2.0 ** -lengths.astype(float)) <= 1.0 + 1e-12
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(CompressionError):
+            huffman.code_lengths(np.array([3, 0, 2]))
+
+    def test_oversized_alphabet_rejected(self):
+        with pytest.raises(huffman.HuffmanAlphabetError):
+            huffman.code_lengths(np.ones((1 << 16) + 1, dtype=np.int64))
+
+
+class TestRoundtrip:
+    def test_skewed_symbols(self, rng):
+        syms = (rng.geometric(0.4, size=50_000) - 1).astype(np.int64)
+        syms *= rng.choice([-1, 1], size=syms.size)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)
+
+    def test_empty(self):
+        out = huffman.decode(huffman.encode(np.empty(0, dtype=np.int64)))
+        assert out.size == 0
+
+    def test_single_value_repeated(self):
+        syms = np.full(1000, -7, dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)
+
+    def test_two_symbols(self):
+        syms = np.array([0, 1, 0, 0, 1, 1, 0], dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)
+
+    def test_large_sparse_values(self):
+        syms = np.array([2**40, -(2**41), 2**40, 0], dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)
+
+    def test_compresses_skewed_data(self, rng):
+        syms = (rng.geometric(0.6, size=100_000) - 1).astype(np.int64)
+        blob = huffman.encode(syms)
+        assert len(blob) < syms.nbytes / 4
+
+    def test_multidimensional_input_flattened(self, rng):
+        syms = rng.integers(-5, 5, size=(10, 10)).astype(np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms.ravel())
+
+
+class TestErrors:
+    def test_truncated_blob(self):
+        with pytest.raises(Exception):
+            huffman.decode(b"\x01\x02")
+
+    def test_truncated_bitstream(self, rng):
+        syms = rng.integers(0, 100, size=1000).astype(np.int64)
+        blob = huffman.encode(syms)
+        with pytest.raises(Exception):
+            huffman.decode(blob[: len(blob) // 2])
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=500))
+    def test_roundtrip_random(self, values):
+        syms = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 8))
+    def test_roundtrip_small_alphabet(self, n, k):
+        rng = np.random.default_rng(n * 31 + k)
+        syms = rng.integers(0, k, size=n).astype(np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)

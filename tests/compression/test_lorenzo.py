@@ -1,0 +1,83 @@
+"""Tests for the integer Lorenzo transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.lorenzo import lorenzo_forward, lorenzo_inverse
+from repro.errors import CompressionError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(17,), (9, 13), (5, 6, 7)])
+    def test_inverse_identity(self, rng, shape):
+        q = rng.integers(-(2**30), 2**30, size=shape)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    def test_restricted_axes(self, rng):
+        q = rng.integers(-100, 100, size=(4, 5, 6))
+        # Transform the trailing two axes only (batched use).
+        f = lorenzo_forward(q, axes=(1, 2))
+        assert np.array_equal(lorenzo_inverse(f, axes=(1, 2)), q)
+        # Batches must be independent: transforming one batch alone matches.
+        f0 = lorenzo_forward(q[0], axes=(0, 1))
+        assert np.array_equal(f[0], f0)
+
+    def test_float_rejected(self):
+        with pytest.raises(CompressionError):
+            lorenzo_forward(np.zeros(4))
+        with pytest.raises(CompressionError):
+            lorenzo_inverse(np.zeros(4))
+
+
+class TestSemantics:
+    def test_1d_is_first_difference(self):
+        q = np.array([3, 5, 4, 4], dtype=np.int64)
+        f = lorenzo_forward(q)
+        assert np.array_equal(f, [3, 2, -1, 0])
+
+    def test_constant_field_sparse(self):
+        q = np.full((6, 6, 6), 42, dtype=np.int64)
+        f = lorenzo_forward(q)
+        assert f[0, 0, 0] == 42
+        assert np.count_nonzero(f) == 1
+
+    def test_linear_ramp_two_nonzero_per_axis(self):
+        i = np.arange(8, dtype=np.int64)
+        f = lorenzo_forward(i)
+        assert f[0] == 0 and (f[1:] == 1).all()
+
+    def test_2d_lorenzo_residual_formula(self):
+        rng = np.random.default_rng(0)
+        q = rng.integers(-50, 50, size=(5, 5))
+        f = lorenzo_forward(q)
+        # Interior: residual = q[i,j] - q[i-1,j] - q[i,j-1] + q[i-1,j-1].
+        i, j = 3, 2
+        expected = q[i, j] - q[i - 1, j] - q[i, j - 1] + q[i - 1, j - 1]
+        assert f[i, j] == expected
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hnp.arrays(
+            np.int64,
+            hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    def test_roundtrip_property(self, q):
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(np.int64, (4, 4), elements=st.integers(-1000, 1000)),
+        hnp.arrays(np.int64, (4, 4), elements=st.integers(-1000, 1000)),
+    )
+    def test_linearity(self, a, b):
+        lhs = lorenzo_forward(a + b)
+        rhs = lorenzo_forward(a) + lorenzo_forward(b)
+        assert np.array_equal(lhs, rhs)

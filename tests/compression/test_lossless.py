@@ -1,0 +1,79 @@
+"""Tests for the lossless byte backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.lossless import (
+    BACKENDS,
+    compress_bytes,
+    decompress_bytes,
+    pack_ints,
+    unpack_ints,
+)
+from repro.errors import CompressionError, DecompressionError
+
+
+class TestBytes:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_roundtrip(self, backend):
+        raw = b"the quick brown fox " * 100
+        assert decompress_bytes(compress_bytes(raw, backend)) == raw
+
+    def test_empty_payload(self):
+        assert decompress_bytes(compress_bytes(b"")) == b""
+
+    def test_deflate_compresses(self):
+        raw = b"a" * 10_000
+        assert len(compress_bytes(raw, "deflate")) < 200
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CompressionError):
+            compress_bytes(b"x", "zstd")
+
+    def test_corrupt_stream_rejected(self):
+        blob = compress_bytes(b"hello world" * 10, "deflate")
+        with pytest.raises(DecompressionError):
+            decompress_bytes(blob[:1] + b"\xff" + blob[5:])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DecompressionError):
+            decompress_bytes(b"\x9fdata")
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(DecompressionError):
+            decompress_bytes(b"")
+
+
+class TestPackInts:
+    def test_roundtrip_int64(self, rng):
+        arr = rng.integers(-(2**40), 2**40, size=1000)
+        assert np.array_equal(unpack_ints(pack_ints(arr)), arr)
+
+    def test_narrowing_small_values(self, rng):
+        arr = rng.integers(-100, 100, size=10_000)
+        blob = pack_ints(arr)
+        # int8 narrowing: payload well under the int64 raw size.
+        assert len(blob) < arr.size  # compressed int8 stream
+        assert np.array_equal(unpack_ints(blob), arr)
+
+    def test_empty_array(self):
+        out = unpack_ints(pack_ints(np.empty(0, dtype=np.int64)))
+        assert out.size == 0
+
+    def test_output_always_int64(self):
+        out = unpack_ints(pack_ints(np.array([1, 2, 3], dtype=np.int8)))
+        assert out.dtype == np.int64
+
+    def test_float_rejected(self):
+        with pytest.raises(CompressionError):
+            pack_ints(np.array([1.5]))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecompressionError):
+            unpack_ints(b"\x00\x01")
+
+    def test_boundary_values(self):
+        arr = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max, 0])
+        assert np.array_equal(unpack_ints(pack_ints(arr)), arr)

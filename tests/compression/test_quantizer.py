@@ -1,0 +1,92 @@
+"""Tests for the error-bounded quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.quantizer import (
+    dequantize,
+    prequantize,
+    quantize_residuals,
+    reconstruct_from_codes,
+)
+from repro.errors import CompressionError
+
+
+class TestResidualQuantizer:
+    def test_roundtrip_bound(self, rng):
+        values = rng.normal(size=1000)
+        preds = values + rng.normal(size=1000) * 0.5
+        eb = 0.01
+        codes = quantize_residuals(values, preds, eb)
+        recon = reconstruct_from_codes(preds, codes, eb)
+        assert np.abs(recon - values).max() <= eb * (1 + 1e-12)
+
+    def test_perfect_prediction_zero_codes(self):
+        values = np.linspace(0, 1, 50)
+        codes = quantize_residuals(values, values, 0.1)
+        assert (codes == 0).all()
+
+    def test_codes_are_int64(self, rng):
+        codes = quantize_residuals(rng.normal(size=10), np.zeros(10), 0.5)
+        assert codes.dtype == np.int64
+
+    def test_nonpositive_eb_rejected(self):
+        with pytest.raises(CompressionError):
+            quantize_residuals(np.ones(3), np.zeros(3), 0.0)
+        with pytest.raises(CompressionError):
+            reconstruct_from_codes(np.zeros(3), np.zeros(3, dtype=np.int64), -1.0)
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompressionError):
+            quantize_residuals(np.array([1e30]), np.array([0.0]), 1e-10)
+
+
+class TestPrequantizer:
+    def test_bound(self, rng):
+        data = rng.normal(size=(8, 8, 8)) * 10
+        eb = 0.05
+        q = prequantize(data, eb)
+        assert np.abs(dequantize(q, eb) - data).max() <= eb * (1 + 1e-12)
+
+    def test_integer_output(self):
+        q = prequantize(np.array([0.2, 0.9, -0.9]), 0.25)
+        assert q.dtype == np.int64
+        assert np.array_equal(q, [0, 2, -2])
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompressionError):
+            prequantize(np.array([1e30]), 1e-12)
+
+    def test_bad_eb(self):
+        with pytest.raises(CompressionError):
+            prequantize(np.ones(3), 0.0)
+        with pytest.raises(CompressionError):
+            dequantize(np.zeros(3, dtype=np.int64), 0.0)
+
+
+class TestProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 64),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.floats(1e-6, 1e2),
+    )
+    def test_prequant_bound_holds(self, data, eb):
+        q = prequantize(data, eb)
+        assert np.abs(dequantize(q, eb) - data).max(initial=0.0) <= eb * (1 + 1e-9)
+
+    @given(
+        hnp.arrays(np.float64, 32, elements=st.floats(-1e4, 1e4, allow_nan=False)),
+        hnp.arrays(np.float64, 32, elements=st.floats(-1e4, 1e4, allow_nan=False)),
+        st.floats(1e-5, 10.0),
+    )
+    def test_residual_bound_holds_any_prediction(self, values, preds, eb):
+        codes = quantize_residuals(values, preds, eb)
+        recon = reconstruct_from_codes(preds, codes, eb)
+        assert np.abs(recon - values).max() <= eb * (1 + 1e-9)

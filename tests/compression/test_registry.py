@@ -1,0 +1,45 @@
+"""Tests for the codec registry and stream routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    SZLR,
+    available_codecs,
+    decompress_any,
+    make_codec,
+    register_codec,
+)
+from repro.errors import CompressionError
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_codecs()
+        assert {"sz-lr", "sz-interp", "zfp-like"} <= set(names)
+
+    def test_make_codec(self):
+        c = make_codec("sz-lr", block_size=4)
+        assert isinstance(c, SZLR)
+        assert c.block_size == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CompressionError):
+            make_codec("sz-9000")
+
+    def test_register_custom(self):
+        class Dummy(SZLR):
+            name = "dummy-lr"
+
+        register_codec("dummy-lr", Dummy)
+        assert "dummy-lr" in available_codecs()
+        with pytest.raises(CompressionError):
+            register_codec("dummy-lr", Dummy)
+
+    def test_decompress_any_routes(self, smooth_field):
+        for name in ("sz-lr", "sz-interp", "zfp-like"):
+            blob = make_codec(name).compress(smooth_field, 1e-3)
+            recon = decompress_any(blob)
+            assert np.abs(recon - smooth_field).max() <= 1e-3 * (1 + 1e-12)

@@ -1,0 +1,100 @@
+"""Tests for blockify/unblockify and the block regression predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import regression as reg
+from repro.errors import CompressionError
+
+
+class TestBlockify:
+    @pytest.mark.parametrize("shape", [(12,), (13,), (12, 18), (7, 8, 9)])
+    def test_roundtrip(self, rng, shape):
+        arr = rng.normal(size=shape)
+        blocks, padded = reg.blockify(arr, 4)
+        back = reg.unblockify(blocks, 4, padded, arr.shape)
+        assert np.array_equal(back, arr)
+
+    def test_exact_multiple_no_padding(self, rng):
+        arr = rng.normal(size=(8, 8))
+        blocks, padded = reg.blockify(arr, 4)
+        assert padded == (8, 8)
+        assert blocks.shape == (4, 16)
+
+    def test_block_raster_order(self):
+        arr = np.arange(16.0).reshape(4, 4)
+        blocks, _ = reg.blockify(arr, 2)
+        # First block is the top-left 2x2 corner.
+        assert np.array_equal(blocks[0], [0, 1, 4, 5])
+        # Blocks iterate the last axis fastest (C order).
+        assert np.array_equal(blocks[1], [2, 3, 6, 7])
+
+    def test_padding_replicates_edge(self):
+        arr = np.array([[1.0, 2.0], [3.0, 4.0]])
+        blocks, padded = reg.blockify(arr, 3)
+        assert padded == (3, 3)
+        full = reg.unblockify(blocks, 3, padded, padded)
+        assert full[2, 0] == 3.0 and full[0, 2] == 2.0 and full[2, 2] == 4.0
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(CompressionError):
+            reg.blockify(np.zeros((4, 4)), 1)
+
+
+class TestFit:
+    def test_exact_affine_recovery(self):
+        bs, ndim = 4, 3
+        i, j, k = np.meshgrid(*[np.arange(bs, dtype=float)] * 3, indexing="ij")
+        block = (2.0 + 0.5 * i - 1.5 * j + 3.0 * k).reshape(1, -1)
+        coefs = reg.fit_blocks(block, bs, ndim)
+        assert np.allclose(coefs[0], [2.0, 0.5, -1.5, 3.0])
+
+    def test_prediction_matches_affine_data(self):
+        bs, ndim = 6, 2
+        i, j = np.meshgrid(*[np.arange(bs, dtype=float)] * 2, indexing="ij")
+        block = (1.0 + 2.0 * i + 3.0 * j).reshape(1, -1)
+        coefs = reg.fit_blocks(block, bs, ndim)
+        pred = reg.predict_blocks(coefs, bs, ndim)
+        assert np.allclose(pred, block)
+
+    def test_many_blocks_vectorized(self, rng):
+        blocks = rng.normal(size=(100, 6**3))
+        coefs = reg.fit_blocks(blocks, 6, 3)
+        assert coefs.shape == (100, 4)
+        # Each row equals the individual lstsq solution.
+        one = reg.fit_blocks(blocks[7:8], 6, 3)
+        assert np.allclose(coefs[7], one[0])
+
+    def test_constant_block(self):
+        block = np.full((1, 4**3), 5.0)
+        coefs = reg.fit_blocks(block, 4, 3)
+        assert coefs[0, 0] == pytest.approx(5.0)
+        assert np.allclose(coefs[0, 1:], 0.0, atol=1e-12)
+
+
+class TestCoefficientQuantization:
+    def test_roundtrip_close(self, rng):
+        coefs = rng.normal(size=(10, 4))
+        eb = 0.01
+        codes = reg.quantize_coefficients(coefs, eb, 6, 3)
+        back = reg.dequantize_coefficients(codes, eb, 6, 3)
+        pitches = reg.coefficient_pitches(eb, 6, 3)
+        assert (np.abs(back - coefs) <= pitches / 2 * (1 + 1e-12)).all()
+
+    def test_slope_pitch_finer_than_intercept(self):
+        pitches = reg.coefficient_pitches(0.1, 6, 3)
+        assert pitches[0] > pitches[1]
+        assert np.allclose(pitches[1:], pitches[1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e-5, 1.0), st.integers(2, 8), st.integers(1, 3))
+    def test_quantize_dequantize_bound(self, eb, bs, ndim):
+        rng = np.random.default_rng(42)
+        coefs = rng.normal(size=(5, 1 + ndim))
+        codes = reg.quantize_coefficients(coefs, eb, bs, ndim)
+        back = reg.dequantize_coefficients(codes, eb, bs, ndim)
+        pitches = reg.coefficient_pitches(eb, bs, ndim)
+        assert (np.abs(back - coefs) <= pitches / 2 * (1 + 1e-9)).all()

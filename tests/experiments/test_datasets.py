@@ -1,0 +1,65 @@
+"""Tests for canonical experiment datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.datasets import APPS, PAPER_TABLE1, PAPER_TABLE2, load_app
+
+SCALE = 0.25  # tiny grids for CI
+
+
+class TestLoadApp:
+    @pytest.mark.parametrize("app", APPS)
+    def test_loads_and_caches(self, app):
+        a = load_app(app, SCALE)
+        b = load_app(app, SCALE)
+        assert a is b  # lru cached
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ExperimentError):
+            load_app("athena", SCALE)
+
+    def test_warpx_shape_elongated(self):
+        ds = load_app("warpx", SCALE)
+        shape = ds.hierarchy.grid_shape(0)
+        assert shape[2] > 4 * shape[0]
+
+    def test_nyx_cubic(self):
+        ds = load_app("nyx", SCALE)
+        s = ds.hierarchy.grid_shape(0)
+        assert s[0] == s[1] == s[2]
+
+    def test_fields_exist(self):
+        for app in APPS:
+            ds = load_app(app, SCALE)
+            assert ds.field in ds.hierarchy.field_names
+
+    def test_iso_inside_field_range(self):
+        for app in APPS:
+            ds = load_app(app, SCALE)
+            u = ds.uniform_field()
+            assert u.min() < ds.iso < u.max()
+
+    def test_uniform_field_shape(self):
+        ds = load_app("nyx", SCALE)
+        assert ds.uniform_field().shape == ds.hierarchy.grid_shape(1)
+
+    def test_seed_override_changes_data(self):
+        a = load_app("nyx", SCALE)
+        b = load_app("nyx", SCALE, seed=123)
+        assert not np.array_equal(a.uniform_field(), b.uniform_field())
+
+
+class TestPaperReferences:
+    def test_table1_density_shares_sum_to_one(self):
+        for app, ref in PAPER_TABLE1.items():
+            assert sum(ref["densities"]) == pytest.approx(1.0, abs=0.01)
+
+    def test_table2_complete(self):
+        for app in APPS:
+            for codec in ("sz-lr", "sz-interp"):
+                for eb in (1e-4, 1e-3, 1e-2):
+                    assert (app, codec, eb) in PAPER_TABLE2

@@ -1,0 +1,91 @@
+"""Tests for report formatting and the experiments CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import ascii_plot, format_table, rows_to_csv
+from repro.experiments.__main__ import main
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+    count: int
+
+
+ROWS = [Row("alpha", 1.2345678, 3), Row("beta", 1e-7, 42)]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(ROWS, title="T")
+        assert "T" in text
+        assert "alpha" in text and "beta" in text
+        assert "name" in text
+
+    def test_scientific_for_small_values(self):
+        assert "1.000e-07" in format_table(ROWS)
+
+    def test_column_subset(self):
+        text = format_table(ROWS, columns=["name"])
+        assert "value" not in text
+
+    def test_empty(self):
+        assert "empty" in format_table([])
+
+
+class TestCsv:
+    def test_write_and_content(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "out.csv")
+        text = path.read_text()
+        assert text.splitlines()[0] == "name,value,count"
+        assert "alpha" in text
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            rows_to_csv([], tmp_path / "x.csv")
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend(self):
+        out = ascii_plot({"a": [(1, 1), (2, 2)], "b": [(1, 2)]}, width=20, height=5)
+        assert "*" in out and "o" in out
+        assert "a" in out and "b" in out
+
+    def test_log_axes(self):
+        out = ascii_plot({"s": [(1, 1e-6), (10, 1e-2)]}, logy=True, logx=True)
+        assert "1e" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            ascii_plot({"s": [(1, 0.0)]}, logy=True)
+
+    def test_empty(self):
+        assert "no data" in ascii_plot({})
+
+
+class TestCli:
+    def test_fig14(self, capsys):
+        assert main(["fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "re-sampled" in out
+
+    def test_table1_with_out(self, tmp_path, capsys):
+        assert main(["table1", "--scale", "0.25", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").is_file()
+        assert "warpx" in capsys.readouterr().out
+
+    def test_fig1_writes_images(self, tmp_path):
+        assert main(["fig1", "--scale", "0.25", "--out", str(tmp_path)]) == 0
+        images = list((tmp_path / "images").glob("*.pgm"))
+        assert len(images) == 3
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

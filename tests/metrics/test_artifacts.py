@@ -1,0 +1,95 @@
+"""Tests for artifact-morphology metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import blockiness, hausdorff_distance
+from repro.viz import TriangleMesh, marching_cubes
+
+
+class TestBlockiness:
+    def test_white_noise_error_near_one(self, rng):
+        a = rng.normal(size=(36, 36, 36))
+        b = a + 0.01 * rng.normal(size=a.shape)
+        assert 0.8 < blockiness(a, b, 6) < 1.25
+
+    def test_block_constant_error_scores_high(self, rng):
+        a = rng.normal(size=(36, 36))
+        # Error constant within 6-blocks, jumping at boundaries.
+        block_err = np.repeat(np.repeat(rng.normal(size=(6, 6)), 6, axis=0), 6, axis=1)
+        b = a + 0.1 * block_err
+        assert blockiness(a, b, 6) > 5.0
+
+    def test_smooth_error_scores_low(self):
+        a = np.zeros((48, 48))
+        x, y = np.meshgrid(np.linspace(0, np.pi, 48), np.linspace(0, np.pi, 48), indexing="ij")
+        b = a + 0.1 * np.sin(x) * np.sin(y)
+        assert blockiness(a, b, 6) < 1.5
+
+    def test_identical_arrays(self):
+        a = np.zeros((24, 24))
+        assert blockiness(a, a, 6) == 1.0
+
+    def test_real_codecs_ordering(self):
+        """SZ-L/R artifacts are blockier than SZ-Interp's (paper §3.3).
+
+        Needs coherent multi-scale structure (white-noise residuals score
+        ~1 for any codec), so this runs on the Nyx-like field.
+        """
+        from repro.compression import SZLR, SZInterp
+        from repro.experiments.datasets import load_app
+
+        data = load_app("nyx", 0.25).uniform_field()
+        lr = SZLR(block_size=6)
+        it = SZInterp()
+        rec_lr = lr.decompress(lr.compress(data, 1e-2, mode="rel"))
+        rec_it = it.decompress(it.compress(data, 1e-2, mode="rel"))
+        score_lr = blockiness(data, rec_lr, 6)
+        score_it = blockiness(data, rec_it, 6)
+        assert score_lr > 1.2
+        assert score_lr > score_it
+
+    def test_shape_too_small(self):
+        with pytest.raises(MetricError):
+            blockiness(np.zeros((8, 8)), np.zeros((8, 8)), 6)
+
+    def test_bad_block(self):
+        with pytest.raises(MetricError):
+            blockiness(np.zeros((24, 24)), np.zeros((24, 24)), 1)
+
+
+class TestHausdorff:
+    def _sphere(self, r: float) -> TriangleMesh:
+        ax = np.linspace(-1, 1, 32)
+        x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+        return marching_cubes(
+            np.sqrt(x * x + y * y + z * z), r, spacing=2 / 31, origin=(-1, -1, -1)
+        )
+
+    def test_identical_zero(self):
+        m = self._sphere(0.6)
+        assert hausdorff_distance(m, m) == 0.0
+
+    def test_concentric_spheres(self):
+        a = self._sphere(0.5)
+        b = self._sphere(0.7)
+        d = hausdorff_distance(a, b)
+        assert 0.15 < d < 0.3  # ~0.2 radius difference
+
+    def test_symmetric(self):
+        a = self._sphere(0.5)
+        b = self._sphere(0.65)
+        assert hausdorff_distance(a, b) == hausdorff_distance(b, a)
+
+    def test_translation_detected(self):
+        a = self._sphere(0.6)
+        b = a.translated([0.1, 0.0, 0.0])
+        d = hausdorff_distance(a, b)
+        assert 0.05 < d <= 0.11
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            hausdorff_distance(self._sphere(0.6), TriangleMesh.empty())

@@ -1,0 +1,46 @@
+"""Tests for rate-distortion sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import rate_distortion_sweep
+
+
+class TestSweep:
+    def test_monotone_tradeoff(self, smooth_field):
+        curve = rate_distortion_sweep(smooth_field, "sz-lr", [1e-4, 1e-3, 1e-2])
+        ratios = curve.column("ratio")
+        psnrs = curve.column("psnr")
+        assert ratios == sorted(ratios)
+        assert psnrs == sorted(psnrs, reverse=True)
+
+    def test_label_defaults_to_codec(self, smooth_field):
+        curve = rate_distortion_sweep(smooth_field, "sz-interp", [1e-3])
+        assert curve.label == "sz-interp"
+
+    def test_custom_label(self, smooth_field):
+        curve = rate_distortion_sweep(smooth_field, "sz-lr", [1e-3], label="mine")
+        assert curve.label == "mine"
+
+    def test_ssim_via_image_fn(self, smooth_field):
+        def image_fn(vol):
+            return vol[:, :, vol.shape[2] // 2]
+
+        curve = rate_distortion_sweep(
+            smooth_field, "sz-lr", [1e-4, 1e-2], image_fn=image_fn
+        )
+        s = [p.ssim for p in curve.points]
+        assert all(v is not None for v in s)
+        assert s[0] >= s[1]
+        assert curve.points[0].r_ssim == 1.0 - s[0]
+
+    def test_no_image_fn_ssim_none(self, smooth_field):
+        curve = rate_distortion_sweep(smooth_field, "sz-lr", [1e-3])
+        assert curve.points[0].ssim is None
+        assert curve.points[0].r_ssim is None
+
+    def test_bitrate_consistent(self, smooth_field):
+        curve = rate_distortion_sweep(smooth_field, "sz-lr", [1e-3])
+        p = curve.points[0]
+        assert p.bitrate == 64.0 / p.ratio  # float64 input

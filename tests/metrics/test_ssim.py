@@ -1,0 +1,84 @@
+"""Tests for the from-scratch SSIM / R-SSIM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import r_ssim, ssim, ssim_map
+
+
+@pytest.fixture
+def image(rng):
+    x, y = np.meshgrid(np.linspace(0, 4, 64), np.linspace(0, 4, 64), indexing="ij")
+    return np.sin(x) * np.cos(y) + 0.05 * rng.normal(size=(64, 64))
+
+
+class TestIdentity:
+    def test_identical_images_ssim_one(self, image):
+        assert ssim(image, image) == pytest.approx(1.0, abs=1e-9)
+
+    def test_r_ssim_zero(self, image):
+        assert r_ssim(image, image) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_window_identity(self, image):
+        assert ssim(image, image, sigma=None, window=7) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSensitivity:
+    def test_monotone_in_noise(self, image, rng):
+        noisy1 = image + 0.01 * rng.normal(size=image.shape)
+        noisy2 = image + 0.1 * rng.normal(size=image.shape)
+        assert ssim(image, noisy1) > ssim(image, noisy2)
+
+    def test_constant_shift_penalized_less_than_structure_loss(self, image, rng):
+        shifted = image + 0.05
+        scrambled = rng.permutation(image.ravel()).reshape(image.shape)
+        assert ssim(image, shifted) > ssim(image, scrambled)
+
+    def test_range_bounded(self, image, rng):
+        other = rng.normal(size=image.shape)
+        val = ssim(image, other)
+        assert -1.0 <= val <= 1.0
+
+    def test_map_shape(self, image):
+        m = ssim_map(image, image)
+        assert m.shape == image.shape
+
+    def test_local_degradation_localized(self, image):
+        corrupted = image.copy()
+        corrupted[20:30, 20:30] += 1.0
+        m = ssim_map(image, corrupted)
+        assert m[25, 25] < 0.9
+        assert m[5, 5] > 0.99
+
+
+class TestVolumes:
+    def test_3d_uniform_window(self, rng):
+        vol = rng.normal(size=(20, 20, 20))
+        assert ssim(vol, vol, sigma=None, window=5) == pytest.approx(1.0, abs=1e-9)
+
+    def test_3d_noise_sensitivity(self, rng):
+        vol = np.broadcast_to(np.linspace(0, 1, 20)[:, None, None], (20, 20, 20)).copy()
+        noisy = vol + 0.1 * rng.normal(size=vol.shape)
+        assert ssim(vol, noisy, sigma=None, window=5) < 0.99
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(Exception):
+            ssim(np.zeros((8, 8)), np.zeros((9, 9)))
+
+    def test_even_window_rejected(self, image):
+        with pytest.raises(MetricError):
+            ssim(image, image, window=8)
+
+    def test_window_larger_than_image(self):
+        with pytest.raises(MetricError):
+            ssim(np.zeros((5, 5)), np.zeros((5, 5)), window=11)
+
+    def test_data_range_override(self, image):
+        a = ssim(image, image + 0.01, data_range=1.0)
+        b = ssim(image, image + 0.01, data_range=100.0)
+        assert b > a  # larger nominal range -> more forgiving

@@ -1,0 +1,64 @@
+"""Tests for parallel chunk/patch compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import ChunkedStream, compress_chunks, compress_patches, decompress_chunks
+
+
+class TestChunkedCompression:
+    @pytest.mark.parametrize("parallel", ["serial", "thread"])
+    def test_roundtrip_bound(self, smooth_field, parallel):
+        stream = compress_chunks(
+            smooth_field, "sz-lr", 1e-3, mode="abs", n_chunks=3, parallel=parallel
+        )
+        out = decompress_chunks(stream, parallel=parallel)
+        assert np.abs(out - smooth_field).max() <= 1e-3 * (1 + 1e-12)
+
+    def test_rel_mode_resolved_globally(self, smooth_field):
+        # Each chunk gets the same absolute bound as full-array compression.
+        stream = compress_chunks(smooth_field, "sz-lr", 1e-3, mode="rel", n_chunks=4)
+        out = decompress_chunks(stream)
+        eb_abs = 1e-3 * (smooth_field.max() - smooth_field.min())
+        assert np.abs(out - smooth_field).max() <= eb_abs * (1 + 1e-12)
+
+    def test_single_chunk_equivalent(self, smooth_field):
+        stream = compress_chunks(smooth_field, "sz-interp", 1e-3, n_chunks=1)
+        assert len(stream.blobs) == 1
+        out = decompress_chunks(stream)
+        assert np.abs(out - smooth_field).max() <= 1e-3 * (1 + 1e-12)
+
+    def test_chunks_block_aligned(self, smooth_field):
+        stream = compress_chunks(smooth_field, "sz-lr", 1e-3, n_chunks=3)
+        for box in stream.boxes[:-1]:
+            assert (box.hi[0] + 1) % 6 == 0
+
+    def test_serialization_roundtrip(self, smooth_field):
+        stream = compress_chunks(smooth_field, "sz-lr", 1e-2, n_chunks=2)
+        parsed = ChunkedStream.frombytes(stream.tobytes())
+        assert parsed.shape == stream.shape
+        out = decompress_chunks(parsed)
+        assert np.abs(out - smooth_field).max() <= 1e-2 * (1 + 1e-12)
+
+    def test_garbage_rejected(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            ChunkedStream.frombytes(b"nope")
+
+    def test_compressed_bytes_positive(self, smooth_field):
+        stream = compress_chunks(smooth_field, "sz-lr", 1e-3, n_chunks=2)
+        assert 0 < stream.compressed_bytes < smooth_field.nbytes
+
+
+class TestPatchCompression:
+    def test_order_preserved(self, rng):
+        patches = [rng.normal(size=(6, 6, 6)) + i for i in range(5)]
+        blobs = compress_patches(patches, "sz-lr", 1e-3, mode="abs", parallel="thread")
+        from repro.compression import decompress_any
+
+        for patch, blob in zip(patches, blobs):
+            out = decompress_any(blob)
+            assert np.abs(out - patch).max() <= 1e-3 * (1 + 1e-12)

@@ -1,0 +1,54 @@
+"""Tests for domain chunking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import aligned_chunk_boxes, chunk_boxes
+
+
+class TestChunkBoxes:
+    def test_partition(self):
+        boxes = chunk_boxes((10, 4, 4), 3, axis=0)
+        assert sum(b.size for b in boxes) == 160
+        starts = [b.lo[0] for b in boxes]
+        assert starts == sorted(starts)
+
+    def test_more_chunks_than_cells(self):
+        boxes = chunk_boxes((2, 3), 10, axis=0)
+        assert len(boxes) == 2
+
+    def test_single_chunk(self):
+        boxes = chunk_boxes((8, 8), 1)
+        assert len(boxes) == 1
+        assert boxes[0].shape == (8, 8)
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ReproError):
+            chunk_boxes((4, 4), 2, axis=5)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ReproError):
+            chunk_boxes((4, 4), 0)
+
+
+class TestAlignedChunks:
+    def test_cut_planes_aligned(self):
+        boxes = aligned_chunk_boxes((25, 4), 3, block_size=6, axis=0)
+        assert sum(b.size for b in boxes) == 100
+        for b in boxes[:-1]:
+            assert (b.hi[0] + 1) % 6 == 0
+
+    def test_block_one_same_as_plain(self):
+        a = aligned_chunk_boxes((10, 4), 3, block_size=1)
+        b = chunk_boxes((10, 4), 3)
+        assert a == b
+
+    def test_tiny_axis_collapses(self):
+        boxes = aligned_chunk_boxes((5, 4), 4, block_size=6, axis=0)
+        assert sum(b.size for b in boxes) == 20
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ReproError):
+            aligned_chunk_boxes((8, 8), 2, block_size=0)

@@ -1,0 +1,46 @@
+"""Tests for the ordered parallel map."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import EXECUTION_MODES, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_order_preserved(self, mode):
+        out = parallel_map(square, range(20), mode=mode, workers=3)
+        assert out == [x * x for x in range(20)]
+
+    def test_process_mode(self):
+        out = parallel_map(square, range(8), mode="process", workers=2)
+        assert out == [x * x for x in range(8)]
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], mode="thread") == []
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(square, [3], mode="process") == [9]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            parallel_map(square, [1], mode="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ReproError):
+            parallel_map(square, [1, 2], mode="thread", workers=0)
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], mode="thread", workers=2)

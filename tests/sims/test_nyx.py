@@ -1,0 +1,77 @@
+"""Tests for the Nyx-like workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sims import NyxConfig, nyx_hierarchy, nyx_timesteps
+from repro.sims.nyx import NYX_FIELDS
+
+
+@pytest.fixture(scope="module")
+def nyx():
+    return nyx_hierarchy(NyxConfig(coarse_n=16, seed=0))
+
+
+class TestStructure:
+    def test_two_levels(self, nyx):
+        assert nyx.n_levels == 2
+        assert nyx.grid_shape(0) == (16, 16, 16)
+        assert nyx.grid_shape(1) == (32, 32, 32)
+
+    def test_six_fields(self, nyx):
+        assert set(nyx.field_names) == set(NYX_FIELDS)
+
+    def test_fine_fraction_near_table1(self):
+        h = nyx_hierarchy(NyxConfig(coarse_n=32, seed=1))
+        assert abs(h.densities()[1] - 0.407) < 0.08
+
+    def test_deterministic(self):
+        a = nyx_hierarchy(NyxConfig(coarse_n=16, seed=3))
+        b = nyx_hierarchy(NyxConfig(coarse_n=16, seed=3))
+        pa = a[0].patches("baryon_density")[0].data
+        pb = b[0].patches("baryon_density")[0].data
+        assert np.array_equal(pa, pb)
+
+    def test_too_small_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            nyx_hierarchy(NyxConfig(coarse_n=4))
+
+
+class TestPhysics:
+    def test_density_positive_mean_one(self, nyx):
+        d = nyx[0].patches("baryon_density")[0].data
+        assert (d > 0).all()
+        # Coarse level is the average-down of a mean-1 fine field.
+        assert d.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_density_irregular(self, nyx):
+        # Lognormal collapse: heavy positive tail (max >> mean).
+        d = nyx[0].patches("baryon_density")[0].data
+        assert d.max() > 10 * d.mean()
+
+    def test_temperature_positive_and_correlated(self, nyx):
+        t = nyx[0].patches("temperature")[0].data
+        d = nyx[0].patches("baryon_density")[0].data
+        assert (t > 0).all()
+        corr = np.corrcoef(np.log(t).ravel(), np.log(d).ravel())[0, 1]
+        assert corr > 0.8  # polytropic relation
+
+    def test_refinement_tracks_density(self, nyx):
+        covered = nyx.covered_mask(0)
+        d = nyx[0].patches("baryon_density")[0].data
+        assert d[covered].mean() > d[~covered].mean()
+
+
+class TestTimesteps:
+    def test_three_steps(self):
+        steps = nyx_timesteps(config=NyxConfig(coarse_n=16))
+        assert len(steps) == 3
+
+    def test_structure_sharpens(self):
+        steps = nyx_timesteps(config=NyxConfig(coarse_n=16))
+        maxima = [s[0].patches("baryon_density")[0].data.max() for s in steps]
+        assert maxima[0] < maxima[1] < maxima[2]

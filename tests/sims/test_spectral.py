@@ -1,0 +1,92 @@
+"""Tests for spectral field synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sims import gaussian_random_field, smooth_field, wavenumber_grid, zeldovich_velocity
+
+
+class TestWavenumbers:
+    def test_dc_zero(self):
+        k = wavenumber_grid((8, 8, 8))
+        assert k[0, 0, 0] == 0.0
+
+    def test_symmetry(self):
+        k = wavenumber_grid((8, 8))
+        assert k[1, 0] == pytest.approx(k[-1, 0])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            wavenumber_grid((1, 8))
+
+
+class TestGRF:
+    def test_normalization(self):
+        f = gaussian_random_field((32, 32, 32), seed=0)
+        assert f.mean() == pytest.approx(0.0, abs=1e-12)
+        assert f.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_deterministic_in_seed(self):
+        a = gaussian_random_field((16, 16), seed=5)
+        b = gaussian_random_field((16, 16), seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_random_field((16, 16), seed=1)
+        b = gaussian_random_field((16, 16), seed=2)
+        assert not np.allclose(a, b)
+
+    def test_red_spectrum_smoother_than_blue(self):
+        red = gaussian_random_field((64, 64), spectral_index=-3.0, seed=0)
+        blue = gaussian_random_field((64, 64), spectral_index=0.0, seed=0)
+
+        def roughness(f):
+            return np.abs(np.diff(f, axis=0)).mean()
+
+        assert roughness(red) < roughness(blue)
+
+    def test_real_output(self):
+        f = gaussian_random_field((16, 16, 16), seed=3)
+        assert f.dtype == np.float64
+
+
+class TestSmoothing:
+    def test_reduces_variance(self):
+        f = gaussian_random_field((32, 32), spectral_index=0.0, seed=0)
+        s = smooth_field(f, 2.0)
+        assert s.std() < f.std()
+
+    def test_zero_sigma_identity(self):
+        f = gaussian_random_field((16, 16), seed=0)
+        assert np.allclose(smooth_field(f, 0.0), f)
+
+    def test_mean_preserved(self):
+        f = gaussian_random_field((32, 32), seed=0) + 5.0
+        assert smooth_field(f, 3.0).mean() == pytest.approx(5.0)
+
+
+class TestZeldovich:
+    def test_component_count(self):
+        delta = gaussian_random_field((16, 16, 16), seed=0)
+        vel = zeldovich_velocity(delta)
+        assert len(vel) == 3
+        assert all(v.shape == delta.shape for v in vel)
+
+    def test_velocity_divergence_tracks_density(self):
+        # div(v) = -delta for the Zel'dovich construction (spectrally).
+        delta = gaussian_random_field((32, 32, 32), seed=1)
+        vel = zeldovich_velocity(delta, box_size=32.0)
+        div = np.zeros_like(delta)
+        for axis, v in enumerate(vel):
+            div += np.gradient(v, 32.0 / 32, axis=axis)
+        # Correlation (not equality: finite differences vs spectral).
+        corr = np.corrcoef(div.ravel(), -delta.ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_zero_mean_velocities(self):
+        delta = gaussian_random_field((16, 16, 16), seed=2)
+        for v in zeldovich_velocity(delta):
+            assert v.mean() == pytest.approx(0.0, abs=1e-12)

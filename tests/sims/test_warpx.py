@@ -1,0 +1,71 @@
+"""Tests for the WarpX-like workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sims import WarpXConfig, warpx_hierarchy
+from repro.sims.warpx import WARPX_FIELDS
+
+
+@pytest.fixture(scope="module")
+def warpx():
+    return warpx_hierarchy(WarpXConfig(nx=8, nz=64, seed=0))
+
+
+class TestStructure:
+    def test_elongated_domain(self, warpx):
+        assert warpx.grid_shape(0) == (8, 8, 64)
+        assert warpx.grid_shape(1) == (16, 16, 128)
+
+    def test_fields(self, warpx):
+        assert set(warpx.field_names) == set(WARPX_FIELDS)
+
+    def test_fine_fraction_near_table1(self):
+        h = warpx_hierarchy(WarpXConfig(nx=16, nz=128, seed=1))
+        assert abs(h.densities()[1] - 0.086) < 0.05
+
+    def test_deterministic(self):
+        a = warpx_hierarchy(WarpXConfig(nx=8, nz=64, seed=2))
+        b = warpx_hierarchy(WarpXConfig(nx=8, nz=64, seed=2))
+        assert np.array_equal(
+            a[1].patches("Ez")[0].data, b[1].patches("Ez")[0].data
+        )
+
+    def test_too_small_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            warpx_hierarchy(WarpXConfig(nx=4, nz=8))
+
+
+class TestPhysics:
+    def test_ez_smooth(self, warpx):
+        # Smoothness: one-cell differences small relative to the range.
+        ez = warpx[0].patches("Ez")[0].data
+        jump = max(np.abs(np.diff(ez, axis=a)).max() for a in range(3))
+        assert jump < 0.5 * (ez.max() - ez.min())
+
+    def test_smoother_than_nyx(self, warpx):
+        from repro.sims import NyxConfig, nyx_hierarchy
+
+        nyx = nyx_hierarchy(NyxConfig(coarse_n=16, seed=0))
+
+        def norm_rough(f):
+            return np.abs(np.diff(f, axis=2)).mean() / (np.abs(f).mean() + 1e-12)
+
+        ez = warpx[0].patches("Ez")[0].data
+        rho = nyx[0].patches("baryon_density")[0].data
+        assert norm_rough(ez) < norm_rough(rho)
+
+    def test_refined_region_around_beam(self, warpx):
+        covered = warpx.covered_mask(0)
+        ez = warpx[0].patches("Ez")[0].data
+        energy = ez**2
+        assert energy[covered].mean() > energy[~covered].mean()
+
+    def test_pulse_located_late_z(self, warpx):
+        ez = warpx[0].patches("Ez")[0].data
+        profile = np.abs(ez).max(axis=(0, 1))
+        assert profile.argmax() > ez.shape[2] // 2

@@ -1,0 +1,54 @@
+"""Tests for colormap application and PPM output."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.viz import apply_colormap, write_ppm
+
+
+class TestColormap:
+    def test_shape_and_dtype(self):
+        rgb = apply_colormap(np.linspace(0, 1, 64).reshape(8, 8))
+        assert rgb.shape == (8, 8, 3)
+        assert rgb.dtype == np.uint8
+
+    def test_monotone_luminance(self):
+        t = np.linspace(0, 1, 32).reshape(1, -1)
+        rgb = apply_colormap(t).astype(float)[0]
+        lum = 0.2126 * rgb[:, 0] + 0.7152 * rgb[:, 1] + 0.0722 * rgb[:, 2]
+        assert (np.diff(lum) > -1.0).all()  # monotone up to 8-bit rounding
+        assert lum[-1] > lum[0] + 100
+
+    def test_out_of_range_clipped(self):
+        rgb = apply_colormap(np.array([[-5.0, 5.0]]))
+        assert np.array_equal(rgb[0, 0], apply_colormap(np.array([[0.0]]))[0, 0])
+        assert np.array_equal(rgb[0, 1], apply_colormap(np.array([[1.0]]))[0, 0])
+
+    def test_distinct_endpoints(self):
+        lo = apply_colormap(np.array([[0.0]]))[0, 0]
+        hi = apply_colormap(np.array([[1.0]]))[0, 0]
+        assert not np.array_equal(lo, hi)
+
+
+class TestPpm:
+    def test_write_and_header(self, tmp_path):
+        rgb = apply_colormap(np.random.default_rng(0).random((5, 7)))
+        path = write_ppm(tmp_path / "img.ppm", rgb)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n7 5\n255\n")
+        assert len(raw) == len(b"P6\n7 5\n255\n") + 5 * 7 * 3
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4), dtype=np.uint8))
+
+    def test_bad_dtype_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4, 3)))
+
+    def test_creates_directories(self, tmp_path):
+        rgb = np.zeros((2, 2, 3), dtype=np.uint8)
+        assert write_ppm(tmp_path / "a" / "b.ppm", rgb).is_file()

@@ -1,0 +1,55 @@
+"""Tests for PGM image I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.viz import read_pgm, write_pgm
+
+
+class TestRoundtrip:
+    def test_float_image(self, tmp_path, rng):
+        img = rng.random((17, 23))
+        path = write_pgm(tmp_path / "a.pgm", img)
+        back = read_pgm(path)
+        assert back.shape == img.shape
+        assert np.abs(back / 255.0 - img).max() <= 0.5 / 255 + 1e-9
+
+    def test_uint8_exact(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(8, 9), dtype=np.uint8)
+        back = read_pgm(write_pgm(tmp_path / "b.pgm", img))
+        assert np.array_equal(back, img)
+
+    def test_clipping(self, tmp_path):
+        img = np.array([[-1.0, 2.0]])
+        back = read_pgm(write_pgm(tmp_path / "c.pgm", img))
+        assert back[0, 0] == 0 and back[0, 1] == 255
+
+    def test_creates_directories(self, tmp_path):
+        path = write_pgm(tmp_path / "x" / "y" / "z.pgm", np.zeros((2, 2)))
+        assert path.is_file()
+
+
+class TestValidation:
+    def test_3d_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_pgm(tmp_path / "bad.pgm", np.zeros((2, 2, 2)))
+
+    def test_bad_dtype_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_pgm(tmp_path / "bad.pgm", np.zeros((2, 2), dtype=np.int32))
+
+    def test_read_non_pgm(self, tmp_path):
+        p = tmp_path / "junk.pgm"
+        p.write_bytes(b"JPEG....")
+        with pytest.raises(FormatError):
+            read_pgm(p)
+
+    def test_truncated_data(self, tmp_path):
+        p = write_pgm(tmp_path / "t.pgm", np.zeros((10, 10)))
+        raw = p.read_bytes()
+        p.write_bytes(raw[:-50])
+        with pytest.raises(FormatError):
+            read_pgm(p)

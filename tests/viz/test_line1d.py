@@ -1,0 +1,51 @@
+"""Tests for the Figure 14 construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz import blocky_compress_1d, figure14_demo
+
+
+class TestBlockyCompress:
+    def test_paper_example(self):
+        out = blocky_compress_1d(np.arange(9.0), 3)
+        assert out.tolist() == [1, 1, 1, 4, 4, 4, 7, 7, 7]
+
+    def test_block_one_identity(self):
+        x = np.arange(5.0)
+        assert np.array_equal(blocky_compress_1d(x, 1), x)
+
+    def test_partial_trailing_block(self):
+        out = blocky_compress_1d(np.array([0.0, 2.0, 10.0]), 2)
+        assert out.tolist() == [1.0, 1.0, 10.0]
+
+    def test_mean_preserved(self, rng):
+        x = rng.normal(size=30)
+        assert blocky_compress_1d(x, 5).mean() == pytest.approx(x.mean())
+
+    def test_2d_rejected(self):
+        with pytest.raises(VisualizationError):
+            blocky_compress_1d(np.zeros((3, 3)), 2)
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(VisualizationError):
+            blocky_compress_1d(np.zeros(4), 0)
+
+
+class TestDemo:
+    def test_paper_values(self):
+        demo = figure14_demo()
+        assert demo.decompressed.tolist() == [1, 1, 1, 4, 4, 4, 7, 7, 7]
+        assert demo.resampled.tolist() == [1, 1, 1, 2.5, 4, 4, 5.5, 7, 7, 7]
+
+    def test_resampling_smooths(self):
+        demo = figure14_demo()
+        assert demo.resampled_rmse < demo.dual_cell_rmse
+
+    def test_smoothing_holds_generally(self):
+        for n, block in ((30, 5), (64, 4), (100, 10)):
+            demo = figure14_demo(n, block)
+            assert demo.resampled_rmse <= demo.dual_cell_rmse

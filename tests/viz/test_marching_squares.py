@@ -1,0 +1,69 @@
+"""Tests for 2-D marching squares."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz import contour_length, marching_squares
+
+
+class TestBasics:
+    def test_circle_contour_length(self):
+        n = 64
+        ax = np.linspace(-1, 1, n)
+        x, y = np.meshgrid(ax, ax, indexing="ij")
+        field = np.sqrt(x * x + y * y)
+        segs = marching_squares(field, 0.5, spacing=2 / (n - 1), origin=(-1, -1))
+        assert contour_length(segs) == pytest.approx(2 * np.pi * 0.5, rel=0.02)
+
+    def test_vertical_line_position(self):
+        field = np.broadcast_to(np.arange(6.0)[:, None], (6, 6)).copy()
+        segs = marching_squares(field, 2.5)
+        assert np.allclose(segs[:, :, 0], 2.5)
+
+    def test_no_crossing_empty(self):
+        segs = marching_squares(np.zeros((4, 4)), 1.0)
+        assert segs.shape == (0, 2, 2)
+
+    def test_closed_loop_endpoints_chain(self):
+        # Each segment endpoint of a closed contour appears exactly twice.
+        n = 24
+        ax = np.linspace(-1, 1, n)
+        x, y = np.meshgrid(ax, ax, indexing="ij")
+        segs = marching_squares(np.sqrt(x * x + y * y), 0.6, spacing=2 / (n - 1), origin=(-1, -1))
+        pts = np.round(segs.reshape(-1, 2), 9)
+        _, counts = np.unique(pts, axis=0, return_counts=True)
+        assert (counts == 2).all()
+
+    def test_ambiguous_case_separates_positives(self):
+        # Checkerboard corners: positives on one diagonal -> 2 segments.
+        field = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        segs = marching_squares(field, 0.0)
+        assert len(segs) == 2
+
+    def test_nan_cell_skipped(self):
+        field = np.broadcast_to(np.arange(5.0)[:, None], (5, 5)).copy()
+        field[2, 2] = np.nan
+        segs = marching_squares(field, 2.5)
+        assert len(segs) > 0
+        assert np.isfinite(segs).all()
+
+    def test_scaling_and_origin(self):
+        field = np.broadcast_to(np.arange(4.0)[:, None], (4, 4)).copy()
+        segs = marching_squares(field, 1.5, spacing=(2.0, 1.0), origin=(5.0, 0.0))
+        assert np.allclose(segs[:, :, 0], 5.0 + 1.5 * 2.0)
+
+
+class TestValidation:
+    def test_3d_rejected(self):
+        with pytest.raises(VisualizationError):
+            marching_squares(np.zeros((3, 3, 3)), 0.0)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(VisualizationError):
+            marching_squares(np.zeros((1, 5)), 0.0)
+
+    def test_contour_length_empty(self):
+        assert contour_length(np.empty((0, 2, 2))) == 0.0

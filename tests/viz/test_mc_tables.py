@@ -1,0 +1,80 @@
+"""Structural validation of the generated marching-cubes tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz import mc_tables as t
+
+
+class TestStructure:
+    def test_twelve_edges(self):
+        assert t.EDGE_CORNERS.shape == (12, 2)
+        # Each edge's corners differ in exactly one coordinate bit.
+        for a, b in t.EDGE_CORNERS:
+            assert bin(a ^ b).count("1") == 1
+
+    def test_edge_origin_axis_consistent(self):
+        for e, (a, b) in enumerate(t.EDGE_CORNERS):
+            di, dj, dk, axis = t.EDGE_ORIGIN_AXIS[e]
+            assert np.array_equal(t.CORNER_OFFSETS[a], [di, dj, dk])
+            step = t.CORNER_OFFSETS[b] - t.CORNER_OFFSETS[a]
+            assert step[axis] == 1 and abs(step).sum() == 1
+
+    def test_empty_and_full_configs(self):
+        assert t.TRI_TABLE[0] == []
+        assert t.TRI_TABLE[255] == []
+
+    def test_single_corner_one_triangle(self):
+        for c in range(8):
+            tris = t.TRI_TABLE[1 << c]
+            assert len(tris) == 1
+
+    def test_max_tris(self):
+        assert 4 <= t.MAX_TRIS_PER_CELL <= 6
+
+
+class TestConsistency:
+    def test_every_triangle_uses_crossed_edges_only(self):
+        for config in range(256):
+            crossed = set()
+            for e, (a, b) in enumerate(t.EDGE_CORNERS):
+                ina = (config >> a) & 1
+                inb = (config >> b) & 1
+                if ina != inb:
+                    crossed.add(e)
+            used = {e for tri in t.TRI_TABLE[config] for e in tri}
+            assert used <= crossed
+            # Every crossed edge must appear in the triangulation.
+            assert crossed <= used or not t.TRI_TABLE[config]
+
+    def test_triangle_count_matches_loop_structure(self):
+        # Each loop of length L contributes L - 2 triangles; total edge uses
+        # = sum over loops of (3(L-2)); each crossed edge lies on >= 1 tri.
+        for config in range(1, 255):
+            tris = t.TRI_TABLE[config]
+            assert tris, f"non-trivial config {config} has no triangles"
+
+    def test_complementary_configs_use_same_edges(self):
+        for config in range(256):
+            e1 = {e for tri in t.TRI_TABLE[config] for e in tri}
+            e2 = {e for tri in t.TRI_TABLE[255 ^ config] for e in tri}
+            assert e1 == e2
+
+    def test_no_degenerate_triangles(self):
+        for config in range(256):
+            for tri in t.TRI_TABLE[config]:
+                assert len(set(tri)) == 3
+
+    def test_orientation_away_from_positive(self):
+        # For single-corner configs the triangle normal must point away
+        # from the inside corner.
+        for c in range(8):
+            (tri,) = t.TRI_TABLE[1 << c]
+            pts = []
+            for e in tri:
+                a, b = t.EDGE_CORNERS[e]
+                pts.append((t.CORNER_OFFSETS[a] + t.CORNER_OFFSETS[b]) / 2.0)
+            normal = np.cross(pts[1] - pts[0], pts[2] - pts[0])
+            outward = np.asarray(pts).mean(axis=0) - t.CORNER_OFFSETS[c]
+            assert np.dot(normal, outward) > 0

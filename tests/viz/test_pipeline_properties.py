@@ -1,0 +1,97 @@
+"""Property tests for the AMR iso-surface pipelines.
+
+Across randomly generated two-level hierarchies (random refinement
+placement, random smooth fields) the pipelines must uphold structural
+invariants: surfaces stay inside the domain, level meshes never overlap in
+*volume* coverage for re-sampling (exposed regions are disjoint), and the
+redundant-data fix never increases the interface gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amr import AMRHierarchy, AMRLevel, Box, BoxArray, Patch
+from repro.viz import crack_report, dual_cell_isosurface, resampling_isosurface
+
+
+def _random_hierarchy(seed: int) -> tuple[AMRHierarchy, float]:
+    rng = np.random.default_rng(seed)
+    n = 12
+    dom = Box.from_shape((n, n, n))
+    dx0 = 1.0 / n
+    # Smooth random field from a few Fourier modes, sampled at cell centers.
+    def field(box: Box, dx: float) -> np.ndarray:
+        axes = [(np.arange(box.lo[d], box.hi[d] + 1) + 0.5) * dx for d in range(3)]
+        xx, yy, zz = np.meshgrid(*axes, indexing="ij")
+        out = np.zeros_like(xx)
+        rng2 = np.random.default_rng(seed + 1)
+        for _ in range(3):
+            kx, ky, kz = rng2.integers(1, 4, size=3)
+            out += rng2.normal() * np.sin(
+                2 * np.pi * (kx * xx + ky * yy + kz * zz) + rng2.uniform(0, 6)
+            )
+        return out
+
+    l0 = AMRLevel(0, BoxArray([dom]), (dx0,) * 3, {"f": [Patch(dom, field(dom, dx0))]})
+    # Random refined sub-box, aligned to even cells.
+    lo = rng.integers(0, n // 2, size=3) // 2 * 2
+    hi = lo + rng.integers(2, n // 2, size=3) // 2 * 2 + 1
+    hi = np.minimum(hi, n - 1)
+    fine_box = Box(tuple(lo), tuple(hi)).refine(2)
+    l1 = AMRLevel(1, BoxArray([fine_box]), (dx0 / 2,) * 3, {"f": [Patch(fine_box, field(fine_box, dx0 / 2))]})
+    h = AMRHierarchy(dom, [l0, l1], 2)
+    return h, 0.0  # iso at zero (the field is zero-mean-ish)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_surfaces_stay_inside_domain(seed):
+    h, iso = _random_hierarchy(seed)
+    for result in (
+        resampling_isosurface(h, "f", iso),
+        dual_cell_isosurface(h, "f", iso, "redundant"),
+    ):
+        mesh = result.merged
+        if mesh.is_empty():
+            continue
+        lo, hi = mesh.bounds()
+        assert (lo >= -1e-9).all()
+        assert (hi <= 1.0 + 1e-9).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_redundant_fix_never_widens_gap(seed):
+    h, iso = _random_hierarchy(seed)
+    plain = dual_cell_isosurface(h, "f", iso, "none")
+    fixed = dual_cell_isosurface(h, "f", iso, "redundant")
+    if plain.n_faces == 0 or fixed.n_faces == 0:
+        return
+    gap_plain = crack_report(plain, h)
+    gap_fixed = crack_report(fixed, h)
+    assert gap_fixed.mean_gap <= gap_plain.mean_gap + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_resampling_coarse_mesh_avoids_fine_interior(seed):
+    """Coarse-level surface must not intrude deep into the refined region
+    (exposed-region masking), beyond the one-cell boundary band."""
+    h, iso = _random_hierarchy(seed)
+    result = resampling_isosurface(h, "f", iso)
+    coarse = result.level_meshes[0]
+    if coarse.is_empty():
+        return
+    fine_box = h[1].boxes[0].coarsen(2)
+    dx0 = h[0].dx[0]
+    inner_lo = (np.asarray(fine_box.lo) + 1) * dx0
+    inner_hi = (np.asarray(fine_box.hi)) * dx0
+    if (inner_hi <= inner_lo).any():
+        return
+    inside = np.all(
+        (coarse.vertices > inner_lo + 1e-9) & (coarse.vertices < inner_hi - 1e-9), axis=1
+    )
+    assert not inside.any()

@@ -1,0 +1,91 @@
+"""Tests for the software renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz import TriangleMesh, marching_cubes, render_mesh
+
+
+def big_quad(depth: float, shade_offset: float = 0.0) -> TriangleMesh:
+    verts = np.array(
+        [[depth, 0, 0], [depth, 10, 0], [depth, 10, 10], [depth, 0, 10]], dtype=float
+    )
+    faces = np.array([[0, 1, 2], [0, 2, 3]])
+    return TriangleMesh(verts, faces)
+
+
+class TestBasics:
+    def test_empty_mesh_background(self):
+        img = render_mesh(TriangleMesh.empty(), size=(32, 32), background=0.25)
+        assert (img == 0.25).all()
+
+    def test_quad_covers_image(self):
+        img = render_mesh(big_quad(1.0), axis=0, size=(32, 32))
+        assert (img > 0).mean() > 0.9
+
+    def test_image_range(self):
+        img = render_mesh(big_quad(1.0), axis=0, size=(16, 16))
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_determinism(self):
+        a = render_mesh(big_quad(1.0), size=(32, 32))
+        b = render_mesh(big_quad(1.0), size=(32, 32))
+        assert np.array_equal(a, b)
+
+    def test_view_axes(self):
+        n = 16
+        ax = np.linspace(-1, 1, n)
+        x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+        mesh = marching_cubes(np.sqrt(x * x + y * y + z * z), 0.6)
+        for axis in (0, 1, 2):
+            img = render_mesh(mesh, axis=axis, size=(48, 48))
+            assert (img > 0).sum() > 100
+
+
+class TestZBuffer:
+    def test_nearer_surface_wins(self):
+        # Camera looks along +x from above: larger x is nearer.
+        near = big_quad(5.0)
+        far = big_quad(1.0)
+        # Tilt the far quad so its shade differs.
+        v = far.vertices.copy()
+        v[:, 0] += 0.3 * v[:, 1]
+        far_tilted = TriangleMesh(v, far.faces)
+        img_near_only = render_mesh(near, axis=0, size=(32, 32))
+        both = TriangleMesh.merge([far_tilted, near])
+        img_both = render_mesh(both, axis=0, size=(32, 32), bounds=near.bounds())
+        # The near flat quad hides the tilted one almost everywhere.
+        assert np.abs(img_both - img_near_only).mean() < 0.05
+
+
+class TestBoundsAndShading:
+    def test_fixed_bounds_framing(self):
+        mesh = big_quad(1.0)
+        lo = np.array([0.0, -10.0, -10.0])
+        hi = np.array([2.0, 20.0, 20.0])
+        img = render_mesh(mesh, axis=0, size=(64, 64), bounds=(lo, hi))
+        # Mesh occupies roughly the central third of the frame.
+        cover = (img > 0).mean()
+        assert 0.05 < cover < 0.35
+
+    def test_flat_quad_uniform_shade(self):
+        img = render_mesh(big_quad(1.0), axis=0, size=(32, 32))
+        vals = img[img > 0]
+        assert vals.std() < 1e-12
+
+    def test_ambient_floor(self):
+        img = render_mesh(big_quad(1.0), axis=0, size=(16, 16), ambient=0.5)
+        assert img[img > 0].min() >= 0.5
+
+
+class TestValidation:
+    def test_bad_axis(self):
+        with pytest.raises(VisualizationError):
+            render_mesh(big_quad(1.0), axis=3)
+
+    def test_tiny_image(self):
+        with pytest.raises(VisualizationError):
+            render_mesh(big_quad(1.0), size=(1, 10))

@@ -1,0 +1,75 @@
+"""Tests for cell->vertex re-sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import cell_to_vertex
+
+
+class TestBasics:
+    def test_output_shape(self):
+        out = cell_to_vertex(np.zeros((4, 5, 6)))
+        assert out.shape == (5, 6, 7)
+
+    def test_paper_figure4_example_1d(self):
+        # Figure 14's vertex values: interior vertex = mean of 2 neighbors.
+        out = cell_to_vertex(np.array([1.0, 1.0, 1.0, 4.0, 4.0, 4.0, 7.0, 7.0, 7.0]))
+        assert out.tolist() == [1.0, 1.0, 1.0, 2.5, 4.0, 4.0, 5.5, 7.0, 7.0, 7.0]
+
+    def test_2d_interior_vertex_averages_4_cells(self):
+        cells = np.array([[8.0, 6.0], [6.0, 4.0]])
+        out = cell_to_vertex(cells)
+        assert out[1, 1] == pytest.approx(6.0)  # the paper's Figure 4 value
+
+    def test_corner_vertex_copies_cell(self):
+        cells = np.array([[3.0, 0.0], [0.0, 0.0]])
+        assert cell_to_vertex(cells)[0, 0] == 3.0
+
+    def test_edge_vertex_averages_2(self):
+        cells = np.array([[2.0, 4.0], [0.0, 0.0]])
+        assert cell_to_vertex(cells)[0, 1] == pytest.approx(3.0)
+
+    def test_constant_field_preserved(self):
+        out = cell_to_vertex(np.full((5, 5), 7.0))
+        assert np.allclose(out, 7.0)
+
+    def test_mean_preserved_globally(self):
+        rng = np.random.default_rng(0)
+        cells = rng.normal(size=(20, 20, 20))
+        out = cell_to_vertex(cells)
+        assert out.mean() == pytest.approx(cells.mean(), abs=0.05)
+
+
+class TestNaNHandling:
+    def test_nan_cells_ignored(self):
+        cells = np.array([[1.0, np.nan], [3.0, np.nan]])
+        out = cell_to_vertex(cells)
+        # Vertex between the two valid cells.
+        assert out[1, 0] == pytest.approx(2.0)
+        # Vertex adjacent to one valid and one NaN cell uses the valid one.
+        assert out[0, 1] == 1.0
+
+    def test_fully_invalid_vertex_nan(self):
+        cells = np.full((3, 3), np.nan)
+        assert np.isnan(cell_to_vertex(cells)).all()
+
+    def test_nan_island(self):
+        cells = np.ones((5, 5))
+        cells[2, 2] = np.nan
+        out = cell_to_vertex(cells)
+        assert np.isfinite(out).all()
+        assert np.allclose(out, 1.0)
+
+    def test_smoothing_reduces_block_steps(self):
+        # The §4.3 mechanism: resampling shrinks block-artifact RMSE.
+        ramp = np.arange(27.0)
+        blocky = ramp.copy()
+        for s in range(0, 27, 3):
+            blocky[s : s + 3] = blocky[s : s + 3].mean()
+        v_orig = cell_to_vertex(ramp)
+        v_blocky = cell_to_vertex(blocky)
+        rmse_cells = np.sqrt(np.mean((blocky - ramp) ** 2))
+        rmse_verts = np.sqrt(np.mean((v_blocky - v_orig) ** 2))
+        assert rmse_verts < rmse_cells
