@@ -1,0 +1,93 @@
+"""Selective decompression: random access must beat full decode (§3.3).
+
+The patch-indexed container exists so a consumer can pull one patch, one
+level, or one field without decompressing the rest. This benchmark builds
+a 3-level Nyx-like hierarchy, compresses it once, and compares a full
+decode against a single-patch selective decode — the latter must win by at
+least 5x (it reads and decodes O(patch) bytes, not O(hierarchy)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from conftest import bench_scale, emit
+
+from repro.compression.amr_codec import (
+    CompressedHierarchy,
+    compress_hierarchy,
+    decompress_selection,
+)
+from repro.sims import NyxConfig
+from repro.sims.nyx import nyx_multilevel_hierarchy
+
+
+@dataclass(frozen=True)
+class Row:
+    path: str
+    patches: int
+    seconds: float
+    speedup: float
+
+
+@pytest.fixture(scope="module")
+def three_level():
+    """3-level hierarchy at benchmark scale (coarse 16^3 at scale 0.5)."""
+    coarse_n = max(8, int(32 * bench_scale()))
+    return nyx_multilevel_hierarchy(NyxConfig(coarse_n=coarse_n), levels=3)
+
+
+@pytest.fixture(scope="module")
+def container_bytes(three_level):
+    return compress_hierarchy(three_level, "sz-lr", 1e-3, fields=["baryon_density"]).tobytes()
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_selective_vs_full_decode(benchmark, three_level, container_bytes):
+    """Single-patch selective decode >= 5x faster than decoding everything."""
+    raw = container_bytes
+    n_patches = sum(
+        len(plist)
+        for level in CompressedHierarchy.frombytes(raw).streams
+        for plist in level.values()
+    )
+    assert n_patches >= 6, "3-level hierarchy should carry several patches"
+
+    full_s = _best_of(lambda: decompress_selection(raw))
+    selective = benchmark(lambda: decompress_selection(raw, levels=2, patches=0))
+    sel_s = _best_of(lambda: decompress_selection(raw, levels=2, patches=0))
+    speedup = full_s / sel_s
+    emit(
+        "Selective vs full decode (3-level Nyx)",
+        [
+            Row("full", n_patches, full_s, 1.0),
+            Row("selective(1 patch)", 1, sel_s, speedup),
+        ],
+    )
+    assert len(selective) == 1
+    assert speedup >= 5.0, f"selective decode only {speedup:.1f}x faster than full"
+
+
+def test_selective_matches_full(three_level, container_bytes):
+    """Randomly accessed patches are byte-for-byte the full-decode arrays."""
+    full = decompress_selection(container_bytes)
+    key = (2, "baryon_density", 0)
+    one = decompress_selection(container_bytes, levels=2, patches=0)
+    assert np.array_equal(one[key], full[key])
+
+
+def test_per_level_extraction(benchmark, container_bytes):
+    """Level-granular decode: the dual-cell viz access pattern."""
+    out = benchmark(lambda: decompress_selection(container_bytes, levels=1))
+    assert out and all(k[0] == 1 for k in out)

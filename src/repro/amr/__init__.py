@@ -9,7 +9,13 @@ from repro.amr.tagging import tag_gradient, tag_threshold, tag_fraction, dilate_
 from repro.amr.regrid import cluster_tags, boxes_from_mask
 from repro.amr.coverage import patch_covered_mask, level_covered_masks, exposed_fraction
 from repro.amr.uniform import flatten_to_uniform, upsample_nearest, upsample_linear
-from repro.amr.io import write_plotfile, read_plotfile
+from repro.amr.io import (
+    write_plotfile,
+    read_plotfile,
+    write_container,
+    read_container,
+    open_container,
+)
 from repro.amr.ghost import fill_ghosts
 from repro.amr.iostats import CampaignCost, snapshot_bytes, campaign_cost
 
@@ -33,6 +39,9 @@ __all__ = [
     "upsample_linear",
     "write_plotfile",
     "read_plotfile",
+    "write_container",
+    "read_container",
+    "open_container",
     "fill_ghosts",
     "CampaignCost",
     "snapshot_bytes",

@@ -30,7 +30,13 @@ from repro.amr.level import AMRLevel
 from repro.amr.patch import Patch
 from repro.errors import FormatError
 
-__all__ = ["write_plotfile", "read_plotfile"]
+__all__ = [
+    "write_plotfile",
+    "read_plotfile",
+    "write_container",
+    "read_container",
+    "open_container",
+]
 
 _FORMAT_NAME = "repro-amr-plotfile"
 _FORMAT_VERSION = 1
@@ -123,3 +129,40 @@ def read_plotfile(path: str | Path) -> AMRHierarchy:
     if not ratios:
         return AMRHierarchy(domain, levels, 2)
     return AMRHierarchy(domain, levels, ratios)
+
+
+# ----------------------------------------------------------------------
+# Compressed containers (.rprh): the seekable RPH2 patch-indexed format.
+# The compression imports stay inside the functions — repro.compression
+# imports this package's submodules, so a module-level import would cycle.
+# ----------------------------------------------------------------------
+def write_container(path: str | Path, container, overwrite: bool = False) -> Path:
+    """Write a :class:`~repro.compression.amr_codec.CompressedHierarchy`
+    to ``path`` in the seekable ``RPH2`` container format."""
+    target = Path(path)
+    if target.exists() and not overwrite:
+        raise FormatError(f"container path {target} already exists (pass overwrite=True)")
+    target.write_bytes(container.tobytes())
+    return target
+
+
+def read_container(path: str | Path):
+    """Load a full :class:`~repro.compression.amr_codec.CompressedHierarchy`
+    from ``path`` (accepts both ``RPH2`` and legacy ``RPRH`` containers)."""
+    from repro.compression.amr_codec import CompressedHierarchy
+
+    return CompressedHierarchy.frombytes(Path(path).read_bytes())
+
+
+def open_container(path: str | Path):
+    """Open ``path`` for random access and return a
+    :class:`~repro.compression.container.ContainerReader`.
+
+    Only the footer and index are read eagerly; use the reader's
+    :meth:`~repro.compression.container.ContainerReader.select` /
+    :meth:`~repro.compression.container.ContainerReader.read_patch` for
+    O(patch)-byte selective decompression.
+    """
+    from repro.compression.container import ContainerReader
+
+    return ContainerReader.open(path)

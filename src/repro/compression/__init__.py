@@ -9,7 +9,11 @@ Public entry points:
 * :class:`repro.compression.zfp_like.ZFPLike` — transform-based baseline,
 * :func:`repro.compression.amr_codec.compress_hierarchy` /
   :func:`~repro.compression.amr_codec.decompress_hierarchy` — AMR-aware
-  per-patch compression with optional redundant-coarse-data exclusion.
+  per-patch compression with optional redundant-coarse-data exclusion,
+* :func:`repro.compression.amr_codec.decompress_selection` /
+  :class:`repro.compression.container.ContainerReader` — random access to
+  individual patches of a seekable ``RPH2`` container
+  (``docs/container_format.md``).
 """
 
 from repro.compression.base import Compressor, CompressionStats, StreamReader, StreamWriter
@@ -18,10 +22,12 @@ from repro.compression.sz_interp import SZInterp
 from repro.compression.zfp_like import ZFPLike
 from repro.compression.registry import available_codecs, make_codec, register_codec, decompress_any
 from repro.compression.zmesh_like import ZMeshLike, morton_order, serialize_hierarchy_1d
+from repro.compression.container import ContainerReader, PatchIndexEntry, pack_container
 from repro.compression.amr_codec import (
     CompressedHierarchy,
     compress_hierarchy,
     decompress_hierarchy,
+    decompress_selection,
     average_down,
 )
 
@@ -38,8 +44,12 @@ __all__ = [
     "register_codec",
     "decompress_any",
     "CompressedHierarchy",
+    "ContainerReader",
+    "PatchIndexEntry",
+    "pack_container",
     "compress_hierarchy",
     "decompress_hierarchy",
+    "decompress_selection",
     "average_down",
     "ZMeshLike",
     "morton_order",

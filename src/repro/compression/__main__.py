@@ -7,10 +7,15 @@ Usage::
     python -m repro.compression decompress field.rprc -o restored.npy
     python -m repro.compression info field.rprc
     python -m repro.compression compress-plotfile myplt/ -o myplt.rprh \\
-        --codec sz-lr --eb 1e-3
+        --codec sz-lr --eb 1e-3 --parallel thread --workers 0
+    python -m repro.compression inspect myplt.rprh
+    python -m repro.compression extract myplt.rprh -o patch.npy \\
+        --level 1 --field density --patch 0
 
 ``info`` prints the self-describing header (codec, shape, parameters,
-section sizes) without decompressing.
+section sizes) without decompressing. ``inspect`` walks the seekable
+container's patch index without touching the payload; ``extract`` decodes
+a selection of patches via random access (O(selection) bytes read).
 """
 
 from __future__ import annotations
@@ -21,10 +26,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.amr.io import read_plotfile
-from repro.compression.amr_codec import CompressedHierarchy, compress_hierarchy
+from repro.amr.io import open_container, read_plotfile
+from repro.compression.amr_codec import (
+    CompressedHierarchy,
+    compress_hierarchy,
+    decompress_selection,
+)
 from repro.compression.base import StreamReader
 from repro.compression.registry import available_codecs, decompress_any, make_codec
+from repro.parallel.pool import EXECUTION_MODES, resolve_workers
 
 __all__ = ["main"]
 
@@ -73,6 +83,7 @@ def _cmd_compress_plotfile(args) -> int:
     container = compress_hierarchy(
         hierarchy, args.codec, args.eb, mode=args.mode, fields=fields,
         exclude_covered=args.exclude_covered,
+        parallel=args.parallel, workers=resolve_workers(args.workers),
     )
     out = args.output if args.output else Path(args.input).with_suffix(".rprh")
     Path(out).write_bytes(container.tobytes())
@@ -95,6 +106,68 @@ def _cmd_info_plotfile(args) -> int:
         for field, blobs in sorted(level.items()):
             size = sum(len(b) for b in blobs)
             print(f"  level {lev_idx} {field}: {len(blobs)} patches, {size} bytes")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    with Path(args.input).open("rb") as probe:
+        magic = probe.read(4)
+    if magic == b"RPRH":
+        # Legacy blob: no index to walk; summarize via the full parse.
+        container = CompressedHierarchy.frombytes(Path(args.input).read_bytes())
+        print("legacy RPRH container (no patch index; re-compress to upgrade)")
+        print(f"codec:   {container.codec}")
+        print(f"fields:  {list(container.fields)}")
+        print(f"levels:  {len(container.streams)}")
+        print(f"ratio:   {container.ratio:.2f}x")
+        return 0
+    with open_container(args.input) as reader:
+        print(f"codec:    {reader.codec}")
+        print(f"eb:       {reader.error_bound:g} ({reader.mode})")
+        print(f"fields:   {list(reader.fields)}")
+        print(f"levels:   {reader.n_levels}")
+        print(f"patches:  {len(reader.entries)}")
+        print(f"payload:  {reader.compressed_bytes} bytes "
+              f"(ratio {reader.original_bytes / reader.compressed_bytes:.2f}x)")
+        print(f"{'level':>5} {'field':>12} {'patch':>5} {'offset':>10} "
+              f"{'length':>10} {'codec':>10} {'crc32':>10}")
+        for e in reader.entries:
+            print(f"{e.level:>5} {e.field:>12} {e.patch:>5} {e.offset:>10} "
+                  f"{e.length:>10} {e.codec:>10} {e.crc32:>10x}")
+    return 0
+
+
+def _parse_int_list(spec: str | None) -> list[int] | None:
+    return None if spec is None else [int(s) for s in spec.split(",")]
+
+
+def _cmd_extract(args) -> int:
+    # decompress_selection handles both RPH2 (seek-based) and legacy RPRH.
+    selected = decompress_selection(
+        args.input,
+        levels=_parse_int_list(args.level),
+        fields=args.field.split(",") if args.field else None,
+        patches=_parse_int_list(args.patch),
+        parallel=args.parallel,
+        workers=resolve_workers(args.workers),
+    )
+    if not selected:
+        print("selection matched no patches", file=sys.stderr)
+        return 1
+    if len(selected) == 1 and not args.npz:
+        ((key, data),) = selected.items()
+        out = args.output if args.output else Path(args.input).with_suffix(".npy")
+        np.save(out, data, allow_pickle=False)
+        print(f"{args.input} -> {out}: patch (level={key[0]}, field={key[1]!r}, "
+              f"patch={key[2]}), shape {data.shape}")
+    else:
+        out = args.output if args.output else Path(args.input).with_suffix(".npz")
+        arrays = {
+            f"level{l}_{field}_patch{p:05d}": data
+            for (l, field, p), data in selected.items()
+        }
+        np.savez(out, **arrays)
+        print(f"{args.input} -> {out}: {len(arrays)} patches")
     return 0
 
 
@@ -131,11 +204,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mode", choices=("abs", "rel"), default="rel")
     p.add_argument("--fields", default=None, help="comma-separated subset")
     p.add_argument("--exclude-covered", action="store_true")
+    p.add_argument("--parallel", choices=EXECUTION_MODES, default="serial")
+    p.add_argument("--workers", type=int, default=0, help="0 = one per CPU core")
     p.set_defaults(fn=_cmd_compress_plotfile)
 
     p = sub.add_parser("info-plotfile", help="inspect a .rprh container")
     p.add_argument("input", type=Path)
     p.set_defaults(fn=_cmd_info_plotfile)
+
+    p = sub.add_parser("inspect", help="walk a .rprh container's patch index")
+    p.add_argument("input", type=Path)
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("extract", help="selectively decode patches from a .rprh container")
+    p.add_argument("input", type=Path)
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.add_argument("--level", default=None, help="comma-separated level indices")
+    p.add_argument("--field", default=None, help="comma-separated field names")
+    p.add_argument("--patch", default=None, help="comma-separated patch indices")
+    p.add_argument("--npz", action="store_true", help="force .npz even for one patch")
+    p.add_argument("--parallel", choices=EXECUTION_MODES, default="serial")
+    p.add_argument("--workers", type=int, default=0, help="0 = one per CPU core")
+    p.set_defaults(fn=_cmd_extract)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,7 +1,8 @@
 """AMR-aware compression of whole hierarchies.
 
 Applies an error-bounded codec per (level, field, patch) and packages the
-result into one self-describing container. Two paper-relevant features:
+result into a seekable, patch-indexed container (see
+:mod:`repro.compression.container`). Three paper-relevant features:
 
 * **Redundant-data exclusion** (§2.2): patch-based AMR keeps coarse data
   under refined regions; since post-analysis never reads it (Figure 3), the
@@ -11,14 +12,25 @@ result into one self-describing container. Two paper-relevant features:
   averaging the decompressed fine data down (``restore="average_down"``),
   which keeps the hierarchy self-consistent for dual-cell visualization.
 * **Per-patch independence**: every patch is a separate stream, so patches
-  can be (de)compressed in parallel or selectively.
+  are (de)compressed through :func:`repro.parallel.pool.parallel_map` in
+  serial, thread, or process mode — with byte-identical output across
+  modes.
+* **Selective decompression**: the container's footer-located index lets
+  :func:`decompress_selection` pull one patch, one level, or one field
+  while reading O(selection) payload bytes.
+
+Containers written before the indexed format (magic ``RPRH``) remain
+readable for one release through a compatibility shim in
+:meth:`CompressedHierarchy.frombytes`.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import struct
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -28,12 +40,26 @@ from repro.amr.hierarchy import AMRHierarchy
 from repro.amr.level import AMRLevel
 from repro.amr.patch import Patch
 from repro.compression.base import Compressor
+from repro.compression.container import (
+    CONTAINER_MAGIC,
+    ContainerReader,
+    _normalize_selector,
+    pack_container,
+)
 from repro.compression.registry import make_codec
 from repro.errors import CompressionError, FormatError
+from repro.parallel.pool import parallel_map
 
-__all__ = ["CompressedHierarchy", "compress_hierarchy", "decompress_hierarchy", "average_down"]
+__all__ = [
+    "CompressedHierarchy",
+    "compress_hierarchy",
+    "decompress_hierarchy",
+    "decompress_selection",
+    "average_down",
+]
 
-_MAGIC = b"RPRH"
+#: Magic of the pre-index monolithic container (read-only compatibility).
+_LEGACY_MAGIC = b"RPRH"
 
 
 def _fill_covered(data: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -95,55 +121,140 @@ class CompressedHierarchy:
         """Compression ratio over the stored fields."""
         return self.original_bytes / self.compressed_bytes
 
-    def tobytes(self) -> bytes:
-        """Serialize container (header JSON + concatenated streams)."""
-        index = {
+    def _meta(self) -> dict:
+        return {
             "codec": self.codec,
             "error_bound": self.error_bound,
             "mode": self.mode,
             "fields": list(self.fields),
             "exclude_covered": self.exclude_covered,
             "original_bytes": self.original_bytes,
-            "levels": [
-                {field: [len(b) for b in plist] for field, plist in level.items()}
-                for level in self.streams
-            ],
         }
-        head = json.dumps(index, separators=(",", ":")).encode()
-        out = bytearray(_MAGIC + struct.pack("<I", len(head)) + head)
-        for level in self.streams:
+
+    def tobytes(self) -> bytes:
+        """Serialize to the seekable patch-indexed ``RPH2`` container."""
+        return pack_container(self._meta(), self.streams)
+
+    def select(
+        self,
+        levels=None,
+        fields=None,
+        patches=None,
+        parallel: str = "serial",
+        workers: int = 2,
+    ) -> dict[tuple[int, str, int], np.ndarray]:
+        """Decompress a subset of in-memory streams (see
+        :func:`decompress_selection` for the selector semantics).
+
+        Streams are already in memory, so this filters and decodes them
+        directly — no serialization round-trip.
+        """
+        want_levels = _normalize_selector(levels, "level")
+        want_fields = _normalize_selector(fields, "field")
+        want_patches = _normalize_selector(patches, "patch")
+        chosen: list[tuple[tuple[int, str, int], bytes]] = []
+        for lev_idx, level in enumerate(self.streams):
+            if want_levels is not None and lev_idx not in want_levels:
+                continue
             for field in sorted(level):
-                for blob in level[field]:
-                    out += blob
-        return bytes(out)
+                if want_fields is not None and field not in want_fields:
+                    continue
+                for p_idx, blob in enumerate(level[field]):
+                    if want_patches is not None and p_idx not in want_patches:
+                        continue
+                    chosen.append(((lev_idx, field, p_idx), blob))
+        arrays = parallel_map(
+            _decompress_task,
+            [(self.codec, blob) for _, blob in chosen],
+            mode=parallel,
+            workers=workers,
+        )
+        return {key: arr for (key, _), arr in zip(chosen, arrays)}
 
     @classmethod
     def frombytes(cls, raw: bytes) -> "CompressedHierarchy":
-        """Parse a container produced by :meth:`tobytes`."""
-        if raw[:4] != _MAGIC:
-            raise FormatError("not a compressed-hierarchy container")
-        (hlen,) = struct.unpack_from("<I", raw, 4)
-        index = json.loads(raw[8 : 8 + hlen].decode())
-        pos = 8 + hlen
-        streams: list[dict[str, list[bytes]]] = []
-        for level in index["levels"]:
-            ldict: dict[str, list[bytes]] = {}
-            for field in sorted(level):
-                blobs = []
-                for length in level[field]:
-                    blobs.append(raw[pos : pos + length])
-                    pos += length
-                ldict[field] = blobs
-            streams.append(ldict)
-        return cls(
-            codec=index["codec"],
-            error_bound=index["error_bound"],
-            mode=index["mode"],
-            fields=tuple(index["fields"]),
-            exclude_covered=index["exclude_covered"],
-            streams=streams,
-            original_bytes=index["original_bytes"],
+        """Parse a container produced by :meth:`tobytes`.
+
+        Accepts both the current indexed format (``RPH2``) and, as a
+        one-release compatibility shim, the legacy monolithic ``RPRH``
+        payload.
+        """
+        magic = bytes(raw[:4])
+        if magic == _LEGACY_MAGIC:
+            return cls._from_legacy(raw)
+        if magic == CONTAINER_MAGIC:
+            return cls.fromreader(ContainerReader(io.BytesIO(raw)))
+        raise FormatError(
+            f"not a compressed-hierarchy container (magic {magic!r}; "
+            f"expected {CONTAINER_MAGIC!r} or legacy {_LEGACY_MAGIC!r})"
         )
+
+    @classmethod
+    def fromreader(cls, reader: ContainerReader) -> "CompressedHierarchy":
+        """Materialize every stream of an open :class:`ContainerReader`."""
+        streams: list[dict[str, list[bytes]]] = [{} for _ in range(reader.n_levels)]
+        for entry in reader.entries:
+            plist = streams[entry.level].setdefault(entry.field, [])
+            if entry.patch != len(plist):
+                raise FormatError(
+                    f"container index out of order at patch {entry.describe()}"
+                )
+            plist.append(reader.read_stream(entry))
+        return cls(
+            codec=reader.codec,
+            error_bound=reader.error_bound,
+            mode=reader.mode,
+            fields=reader.fields,
+            exclude_covered=reader.exclude_covered,
+            streams=streams,
+            original_bytes=reader.original_bytes,
+        )
+
+    @classmethod
+    def _from_legacy(cls, raw: bytes) -> "CompressedHierarchy":
+        """Read-compatibility shim for the pre-index ``RPRH`` blob."""
+        if len(raw) < 8:
+            raise FormatError("legacy container truncated before header")
+        (hlen,) = struct.unpack_from("<I", raw, 4)
+        try:
+            index = json.loads(raw[8 : 8 + hlen].decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FormatError(f"corrupt legacy container header: {exc}") from exc
+        pos = 8 + hlen
+        try:
+            streams: list[dict[str, list[bytes]]] = []
+            for level in index["levels"]:
+                ldict: dict[str, list[bytes]] = {}
+                for field in sorted(level):
+                    blobs = []
+                    for length in level[field]:
+                        blobs.append(raw[pos : pos + length])
+                        pos += length
+                    ldict[field] = blobs
+                streams.append(ldict)
+            return cls(
+                codec=index["codec"],
+                error_bound=index["error_bound"],
+                mode=index["mode"],
+                fields=tuple(index["fields"]),
+                exclude_covered=index["exclude_covered"],
+                streams=streams,
+                original_bytes=index["original_bytes"],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FormatError(f"malformed legacy container header: {exc!r}") from exc
+
+
+def _compress_task(task: tuple[Compressor, np.ndarray, float, str]) -> bytes:
+    """Module-level compress task (picklable for process mode)."""
+    comp, data, error_bound, mode = task
+    return comp.compress(data, error_bound, mode)
+
+
+def _decompress_task(task: tuple[str, bytes]) -> np.ndarray:
+    """Module-level decompress task (picklable for process mode)."""
+    codec_name, blob = task
+    return make_codec(codec_name).decompress(blob)
 
 
 def compress_hierarchy(
@@ -153,6 +264,8 @@ def compress_hierarchy(
     mode: str = "rel",
     fields: Sequence[str] | None = None,
     exclude_covered: bool = False,
+    parallel: str = "serial",
+    workers: int = 2,
 ) -> CompressedHierarchy:
     """Compress selected fields of ``hierarchy`` patch by patch.
 
@@ -169,6 +282,9 @@ def compress_hierarchy(
         Fields to include (default: all).
     exclude_covered:
         Apply the §2.2 redundant-data optimization on coarse levels.
+    parallel, workers:
+        Execution mode for the per-patch map (``"serial"``, ``"thread"``,
+        or ``"process"``); the container bytes are identical across modes.
     """
     if isinstance(codec, str):
         # Per-patch arrays are sized by the regridder's blocking factor
@@ -181,13 +297,18 @@ def compress_hierarchy(
     for name in names:
         if name not in hierarchy.field_names:
             raise CompressionError(f"hierarchy has no field {name!r}")
-    streams: list[dict[str, list[bytes]]] = []
+    # Flatten the hierarchy into an ordered task list: the map over patches
+    # is pure (paper §3.3), so any executor that preserves order produces
+    # the same streams — and therefore the same container bytes.
+    tasks: list[tuple[Compressor, np.ndarray, float, str]] = []
+    layout: list[dict[str, int]] = []
     for lev_idx, lev in enumerate(hierarchy):
         masks = level_covered_masks(hierarchy, lev_idx) if exclude_covered else None
-        ldict: dict[str, list[bytes]] = {}
+        counts: dict[str, int] = {}
         for name in names:
-            blobs = []
-            for p_idx, patch in enumerate(lev.patches(name)):
+            patches = lev.patches(name)
+            counts[name] = len(patches)
+            for p_idx, patch in enumerate(patches):
                 data = patch.data
                 if masks is not None and masks[p_idx].any():
                     # Resolve the bound against the *original* values first:
@@ -195,10 +316,18 @@ def compress_hierarchy(
                     # the refined region) and must not tighten the bound.
                     eb_abs = comp.resolve_error_bound(data, error_bound, mode)
                     data = _fill_covered(data, masks[p_idx])
-                    blobs.append(comp.compress(data, eb_abs, "abs"))
+                    tasks.append((comp, data, eb_abs, "abs"))
                 else:
-                    blobs.append(comp.compress(data, error_bound, mode))
-            ldict[name] = blobs
+                    tasks.append((comp, data, error_bound, mode))
+        layout.append(counts)
+    blobs = parallel_map(_compress_task, tasks, mode=parallel, workers=workers)
+    streams: list[dict[str, list[bytes]]] = []
+    cursor = 0
+    for counts in layout:
+        ldict: dict[str, list[bytes]] = {}
+        for name in names:
+            ldict[name] = blobs[cursor : cursor + counts[name]]
+            cursor += counts[name]
         streams.append(ldict)
     original = sum(hierarchy.nbytes(name) for name in names)
     return CompressedHierarchy(
@@ -216,6 +345,8 @@ def decompress_hierarchy(
     container: CompressedHierarchy,
     template: AMRHierarchy,
     restore: str = "none",
+    parallel: str = "serial",
+    workers: int = 2,
 ) -> AMRHierarchy:
     """Rebuild a hierarchy from compressed streams.
 
@@ -231,20 +362,31 @@ def decompress_hierarchy(
         ``"none"`` — leave decompressed coarse values as stored;
         ``"average_down"`` — rebuild covered coarse cells from fine data
         (recommended with ``exclude_covered=True``).
+    parallel, workers:
+        Execution mode for the per-patch decode map; the rebuilt hierarchy
+        is identical across modes.
     """
     if restore not in ("none", "average_down"):
         raise CompressionError(f"unknown restore mode {restore!r}")
-    comp = make_codec(container.codec)
+    tasks: list[tuple[str, bytes]] = []
+    for lev_idx, lev in enumerate(template):
+        for name in template.field_names:
+            if name in container.fields:
+                for blob in container.streams[lev_idx][name]:
+                    tasks.append((container.codec, blob))
+    arrays = parallel_map(_decompress_task, tasks, mode=parallel, workers=workers)
+    cursor = 0
     new_levels = []
     for lev_idx, lev in enumerate(template):
         new = AMRLevel(lev.index, lev.boxes, lev.dx)
         for name in template.field_names:
             if name in container.fields:
-                blobs = container.streams[lev_idx][name]
+                n = len(container.streams[lev_idx][name])
                 patches = [
-                    Patch(box, comp.decompress(blob).reshape(box.shape))
-                    for box, blob in zip(lev.boxes, blobs)
+                    Patch(box, arr.reshape(box.shape))
+                    for box, arr in zip(lev.boxes, arrays[cursor : cursor + n])
                 ]
+                cursor += n
             else:
                 patches = [p.copy() for p in lev.patches(name)]
             new.add_field(name, patches)
@@ -254,3 +396,80 @@ def decompress_hierarchy(
         for name in container.fields:
             average_down(out, name)
     return out
+
+
+def decompress_selection(
+    source,
+    levels=None,
+    fields=None,
+    patches=None,
+    verify: bool = True,
+    parallel: str = "serial",
+    workers: int = 2,
+) -> dict[tuple[int, str, int], np.ndarray]:
+    """Random-access decompression of a subset of patches.
+
+    Parameters
+    ----------
+    source:
+        Where to read from: a :class:`ContainerReader`, an open seekable
+        binary file, a path, raw container ``bytes``, or an in-memory
+        :class:`CompressedHierarchy`. For ``RPH2`` file/path sources only
+        the footer, the index, and the selected streams are read —
+        O(selection) bytes; legacy ``RPRH`` sources have no index to seek
+        by, so the whole file is read and parsed first.
+    levels, fields, patches:
+        Scalar, iterable, or ``None`` (= all) selectors; a patch is decoded
+        when it matches all three.
+    verify:
+        Check each stream's crc32 against the index before decoding.
+    parallel, workers:
+        Execution mode for the decode map.
+
+    Returns
+    -------
+    dict
+        ``(level, field, patch) -> np.ndarray`` for every selected patch.
+    """
+    if isinstance(source, ContainerReader):
+        return source.select(
+            levels=levels, fields=fields, patches=patches, verify=verify,
+            parallel=parallel, workers=workers,
+        )
+    if isinstance(source, CompressedHierarchy):
+        return source.select(
+            levels=levels, fields=fields, patches=patches,
+            parallel=parallel, workers=workers,
+        )
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        raw = bytes(source)
+        if raw[:4] == _LEGACY_MAGIC:
+            return CompressedHierarchy.frombytes(raw).select(
+                levels=levels, fields=fields, patches=patches,
+                parallel=parallel, workers=workers,
+            )
+        return ContainerReader(io.BytesIO(raw)).select(
+            levels=levels, fields=fields, patches=patches, verify=verify,
+            parallel=parallel, workers=workers,
+        )
+    if isinstance(source, (str, Path)):
+        with Path(source).open("rb") as fileobj:
+            if fileobj.read(4) == _LEGACY_MAGIC:
+                fileobj.seek(0)
+                return CompressedHierarchy.frombytes(fileobj.read()).select(
+                    levels=levels, fields=fields, patches=patches,
+                    parallel=parallel, workers=workers,
+                )
+            return ContainerReader(fileobj).select(
+                levels=levels, fields=fields, patches=patches, verify=verify,
+                parallel=parallel, workers=workers,
+            )
+    if hasattr(source, "seek") and hasattr(source, "read"):
+        return ContainerReader(source).select(
+            levels=levels, fields=fields, patches=patches, verify=verify,
+            parallel=parallel, workers=workers,
+        )
+    raise CompressionError(
+        f"cannot read a container from {type(source).__name__}; pass bytes, a "
+        "path, a seekable file, a ContainerReader, or a CompressedHierarchy"
+    )

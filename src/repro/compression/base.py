@@ -19,9 +19,11 @@ import numpy as np
 
 from repro.errors import CompressionError, DecompressionError, FormatError
 
-__all__ = ["Compressor", "StreamWriter", "StreamReader", "CompressionStats"]
+__all__ = ["Compressor", "StreamWriter", "StreamReader", "CompressionStats", "STREAM_MAGIC"]
 
-_MAGIC = b"RPRC"
+#: Magic prefix of every framed codec stream.
+STREAM_MAGIC = b"RPRC"
+_MAGIC = STREAM_MAGIC
 _VERSION = 1
 
 

@@ -1,0 +1,425 @@
+"""Seekable patch-indexed container for compressed AMR hierarchies.
+
+The paper's central structural observation is that patches are independent:
+each (level, field, patch) triple compresses to its own self-describing
+codec stream, so a container that *indexes* those streams makes selective
+decompression a free by-product of the layout. This module implements that
+container (magic ``RPH2``):
+
+.. code-block:: text
+
+    offset 0   magic  b"RPH2"
+    offset 4   u8     container version (currently 1)
+    offset 5   patch streams, concatenated back to back; each stream is an
+               independent self-describing codec blob (``RPRC`` framing)
+    ...        index: JSON document (see below)
+    EOF-28     footer: u64 index_offset, u64 index_length,
+               u32 crc32(index bytes), followed at EOF-8 by the
+               footer magic b"RPH2-IDX"
+
+The index is *footer-located*: a reader seeks to the last 28 bytes, checks
+the footer magic, then reads exactly the index — so random access to one
+patch costs O(footer + index + that patch's stream) bytes, never O(file).
+
+Index schema (JSON)::
+
+    {
+      "format": "rph2", "version": 1,
+      "codec": str, "error_bound": float, "mode": str,
+      "fields": [str, ...], "exclude_covered": bool,
+      "original_bytes": int, "n_levels": int,
+      "entries": [[level, field, patch, offset, length, codec, crc32], ...]
+    }
+
+Every stream carries its own crc32 in the index; corruption is detected
+per patch and reported with the failing ``(level, field, patch)`` triple.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.compression.registry import available_codecs, make_codec
+from repro.errors import CompressionError, FormatError
+from repro.parallel.pool import parallel_map
+
+__all__ = [
+    "CONTAINER_MAGIC",
+    "FOOTER_MAGIC",
+    "PatchIndexEntry",
+    "ContainerReader",
+    "pack_container",
+]
+
+CONTAINER_MAGIC = b"RPH2"
+FOOTER_MAGIC = b"RPH2-IDX"
+_VERSION = 1
+_HEADER = struct.Struct("<4sB")
+_FOOTER = struct.Struct("<QQI8s")
+
+#: Meta keys serialized into the index besides the patch entries.
+_META_KEYS = (
+    "codec",
+    "error_bound",
+    "mode",
+    "fields",
+    "exclude_covered",
+    "original_bytes",
+    "n_levels",
+)
+
+
+@dataclass(frozen=True)
+class PatchIndexEntry:
+    """One row of the patch index: where a stream lives and how to check it."""
+
+    level: int
+    field: str
+    patch: int
+    offset: int
+    length: int
+    codec: str
+    crc32: int
+
+    @property
+    def key(self) -> tuple[int, str, int]:
+        """The ``(level, field, patch)`` triple identifying this stream."""
+        return (self.level, self.field, self.patch)
+
+    def describe(self) -> str:
+        """Human-readable patch identifier for error messages."""
+        return f"(level={self.level}, field={self.field!r}, patch={self.patch})"
+
+
+def _iter_streams(
+    streams: Sequence[Mapping[str, Sequence[bytes]]],
+) -> Iterable[tuple[int, str, int, bytes]]:
+    """Deterministic stream order: level ascending, field sorted, patch
+    ascending — the order the bytes are laid out on disk."""
+    for lev_idx, level in enumerate(streams):
+        for field in sorted(level):
+            for p_idx, blob in enumerate(level[field]):
+                yield lev_idx, field, p_idx, blob
+
+
+def pack_container(
+    meta: Mapping[str, Any],
+    streams: Sequence[Mapping[str, Sequence[bytes]]],
+    stream_codecs: Mapping[tuple[int, str, int], str] | None = None,
+) -> bytes:
+    """Serialize per-patch streams plus ``meta`` into an ``RPH2`` container.
+
+    Parameters
+    ----------
+    meta:
+        Container metadata; must provide every key in ``_META_KEYS`` except
+        ``n_levels`` (derived from ``streams``).
+    streams:
+        ``streams[level][field][patch] -> bytes`` layout.
+    stream_codecs:
+        Optional per-stream codec override; defaults to ``meta["codec"]``.
+    """
+    default_codec = str(meta["codec"])
+    out = bytearray(_HEADER.pack(CONTAINER_MAGIC, _VERSION))
+    entries: list[list] = []
+    for lev_idx, field, p_idx, blob in _iter_streams(streams):
+        codec = default_codec
+        if stream_codecs is not None:
+            codec = stream_codecs.get((lev_idx, field, p_idx), default_codec)
+        entries.append(
+            [lev_idx, field, p_idx, len(out), len(blob), codec, zlib.crc32(blob)]
+        )
+        out += blob
+    index = {
+        "format": "rph2",
+        "version": _VERSION,
+        "codec": default_codec,
+        "error_bound": float(meta["error_bound"]),
+        "mode": str(meta["mode"]),
+        "fields": list(meta["fields"]),
+        "exclude_covered": bool(meta["exclude_covered"]),
+        "original_bytes": int(meta["original_bytes"]),
+        "n_levels": len(streams),
+        "entries": entries,
+    }
+    index_bytes = json.dumps(index, separators=(",", ":")).encode()
+    index_offset = len(out)
+    out += index_bytes
+    out += _FOOTER.pack(index_offset, len(index_bytes), zlib.crc32(index_bytes), FOOTER_MAGIC)
+    return bytes(out)
+
+
+def _normalize_selector(value, kind: str) -> set | None:
+    """Turn a scalar-or-iterable selector into a set (``None`` = all).
+
+    ``field`` selectors hold strings; ``level``/``patch`` selectors hold
+    ints. Anything else is a caller error worth naming, not a downstream
+    TypeError.
+    """
+    if value is None:
+        return None
+    if kind == "field":
+        if isinstance(value, str):
+            return {value}
+        try:
+            items = set(value)
+        except TypeError:
+            items = None
+        if items is None or not all(isinstance(v, str) for v in items):
+            raise CompressionError(
+                f"invalid {kind} selector {value!r}: pass a field name, an "
+                "iterable of names, or None"
+            )
+        return items
+    if isinstance(value, (int, np.integer)):
+        return {int(value)}
+    if isinstance(value, str):
+        raise CompressionError(
+            f"invalid {kind} selector {value!r}: pass an int, an iterable of "
+            "ints, or None"
+        )
+    try:
+        return {int(v) for v in value}
+    except (TypeError, ValueError):
+        raise CompressionError(
+            f"invalid {kind} selector {value!r}: pass an int, an iterable of "
+            "ints, or None"
+        ) from None
+
+
+class ContainerReader:
+    """Random access over a seekable ``RPH2`` container.
+
+    Reads the footer and index eagerly (a few hundred bytes for typical
+    hierarchies) and individual patch streams lazily via seek + read, so a
+    single-patch fetch consumes O(patch) bytes of the payload.
+
+    Parameters
+    ----------
+    fileobj:
+        Seekable binary file-like object positioned anywhere. The reader
+        does not own it unless constructed through :meth:`open`.
+    """
+
+    def __init__(self, fileobj: BinaryIO):
+        self._file = fileobj
+        self._owns = False
+        fileobj.seek(0, io.SEEK_END)
+        total = fileobj.tell()
+        if total < _HEADER.size + _FOOTER.size:
+            raise FormatError(f"container too short ({total} bytes) for RPH2 framing")
+        fileobj.seek(0)
+        magic, version = _HEADER.unpack(fileobj.read(_HEADER.size))
+        if magic != CONTAINER_MAGIC:
+            raise FormatError(
+                f"not an RPH2 container (magic {magic!r}, expected {CONTAINER_MAGIC!r})"
+            )
+        if version != _VERSION:
+            raise FormatError(f"unsupported container version {version}")
+        fileobj.seek(total - _FOOTER.size)
+        index_offset, index_length, index_crc, footer_magic = _FOOTER.unpack(
+            fileobj.read(_FOOTER.size)
+        )
+        if footer_magic != FOOTER_MAGIC:
+            raise FormatError(
+                f"bad container footer magic {footer_magic!r} (truncated file?)"
+            )
+        if index_offset + index_length > total - _FOOTER.size:
+            raise FormatError("container index extends past end of file (truncated?)")
+        fileobj.seek(index_offset)
+        index_bytes = fileobj.read(index_length)
+        if len(index_bytes) != index_length or zlib.crc32(index_bytes) != index_crc:
+            raise FormatError("container index checksum mismatch (corrupt index)")
+        try:
+            index = json.loads(index_bytes.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FormatError(f"corrupt container index: {exc}") from exc
+        try:
+            self._meta = {k: index[k] for k in _META_KEYS}
+            self._payload_end = index_offset
+            self.entries: list[PatchIndexEntry] = [
+                PatchIndexEntry(int(l), str(f), int(p), int(off), int(ln), str(c), int(crc))
+                for l, f, p, off, ln, c, crc in index["entries"]
+            ]
+            n_levels = int(index["n_levels"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FormatError(f"malformed container index: {exc!r}") from exc
+        for e in self.entries:
+            if not 0 <= e.level < n_levels:
+                raise FormatError(
+                    f"index entry {e.describe()} has out-of-range level "
+                    f"(container has {n_levels} levels)"
+                )
+            if e.patch < 0 or e.length < 0:
+                raise FormatError(f"index entry {e.describe()} is malformed")
+            if e.offset < _HEADER.size or e.offset + e.length > self._payload_end:
+                raise FormatError(
+                    f"index entry {e.describe()} points outside the payload"
+                )
+        self._by_key = {e.key: e for e in self.entries}
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path) -> "ContainerReader":
+        """Open a container file for random access (reader owns the handle)."""
+        fileobj = Path(path).open("rb")
+        try:
+            reader = cls(fileobj)
+        except Exception:
+            fileobj.close()
+            raise
+        reader._owns = True
+        return reader
+
+    def close(self) -> None:
+        """Close the underlying file if this reader opened it."""
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "ContainerReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def codec(self) -> str:
+        """Default codec name recorded at compression time."""
+        return str(self._meta["codec"])
+
+    @property
+    def error_bound(self) -> float:
+        """Error bound the container was compressed under."""
+        return float(self._meta["error_bound"])
+
+    @property
+    def mode(self) -> str:
+        """Error-bound mode (``"abs"`` or ``"rel"``)."""
+        return str(self._meta["mode"])
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Compressed field names."""
+        return tuple(self._meta["fields"])
+
+    @property
+    def exclude_covered(self) -> bool:
+        """Whether the §2.2 covered-cell optimization was applied."""
+        return bool(self._meta["exclude_covered"])
+
+    @property
+    def original_bytes(self) -> int:
+        """Uncompressed size of the stored fields."""
+        return int(self._meta["original_bytes"])
+
+    @property
+    def n_levels(self) -> int:
+        """Number of AMR levels in the container."""
+        return int(self._meta["n_levels"])
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total payload size across all patch streams."""
+        return sum(e.length for e in self.entries)
+
+    def meta(self) -> dict[str, Any]:
+        """Copy of the container-level metadata."""
+        return dict(self._meta)
+
+    # ------------------------------------------------------------------
+    # Random access
+    # ------------------------------------------------------------------
+    def entry(self, level: int, field: str, patch: int) -> PatchIndexEntry:
+        """Look up the index entry for one patch."""
+        try:
+            return self._by_key[(int(level), str(field), int(patch))]
+        except KeyError:
+            raise FormatError(
+                f"container has no patch (level={level}, field={field!r}, patch={patch})"
+            ) from None
+
+    def read_stream(self, entry: PatchIndexEntry, verify: bool = True) -> bytes:
+        """Read one patch's raw compressed stream (seek + read + crc check)."""
+        self._file.seek(entry.offset)
+        blob = self._file.read(entry.length)
+        if len(blob) != entry.length:
+            raise FormatError(
+                f"container truncated in patch stream {entry.describe()}: "
+                f"wanted {entry.length} bytes, got {len(blob)}"
+            )
+        if verify and zlib.crc32(blob) != entry.crc32:
+            raise FormatError(f"checksum mismatch in patch stream {entry.describe()}")
+        return blob
+
+    def read_patch(self, level: int, field: str, patch: int, verify: bool = True) -> np.ndarray:
+        """Decompress a single patch identified by ``(level, field, patch)``."""
+        entry = self.entry(level, field, patch)
+        blob = self.read_stream(entry, verify=verify)
+        return _decode_entry_stream(entry, blob)
+
+    def select(
+        self,
+        levels=None,
+        fields=None,
+        patches=None,
+        verify: bool = True,
+        parallel: str = "serial",
+        workers: int = 2,
+    ) -> dict[tuple[int, str, int], np.ndarray]:
+        """Decompress the subset of patches matching the selectors.
+
+        ``levels`` / ``fields`` / ``patches`` accept a scalar, an iterable,
+        or ``None`` (no restriction); results are keyed by the entry's
+        ``(level, field, patch)`` triple. Stream reads are serial (one
+        seekable handle); decompression fans out through ``parallel_map``.
+        """
+        want_levels = _normalize_selector(levels, "level")
+        want_fields = _normalize_selector(fields, "field")
+        want_patches = _normalize_selector(patches, "patch")
+        chosen = [
+            e
+            for e in self.entries
+            if (want_levels is None or e.level in want_levels)
+            and (want_fields is None or e.field in want_fields)
+            and (want_patches is None or e.patch in want_patches)
+        ]
+        blobs = [self.read_stream(e, verify=verify) for e in chosen]
+        arrays = parallel_map(
+            _decode_task,
+            [(e, blob) for e, blob in zip(chosen, blobs)],
+            mode=parallel,
+            workers=workers,
+        )
+        return {e.key: arr for e, arr in zip(chosen, arrays)}
+
+
+def _decode_entry_stream(entry: PatchIndexEntry, blob: bytes) -> np.ndarray:
+    """Decode one stream, attributing any codec failure to its patch."""
+    if entry.codec not in available_codecs():
+        raise CompressionError(
+            f"patch stream {entry.describe()} uses unknown codec {entry.codec!r}; "
+            f"available: {available_codecs()}"
+        )
+    try:
+        return make_codec(entry.codec).decompress(blob)
+    except FormatError as exc:
+        raise FormatError(f"patch stream {entry.describe()}: {exc}") from exc
+
+
+def _decode_task(task: tuple[PatchIndexEntry, bytes]) -> np.ndarray:
+    """Module-level decode task (picklable for process-mode parallel_map)."""
+    entry, blob = task
+    return _decode_entry_stream(entry, blob)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.compression.base import Compressor, StreamReader
+from repro.compression.base import STREAM_MAGIC, Compressor, StreamReader
 from repro.compression.sz_interp import SZInterp
 from repro.compression.sz_lr import SZLR
 from repro.compression.zfp_like import ZFPLike
@@ -46,5 +46,12 @@ def make_codec(name: str, **kwargs) -> Compressor:
 
 def decompress_any(blob: bytes) -> np.ndarray:
     """Decompress a stream from any registered codec (routed by header)."""
+    magic = bytes(blob[:4])
+    if magic != STREAM_MAGIC:
+        raise CompressionError(
+            f"unknown stream magic {magic!r}; expected a {STREAM_MAGIC!r} codec "
+            "stream (hierarchy containers start with b'RPH2' — use "
+            "repro.compression.amr_codec to read those)"
+        )
     codec_name = StreamReader(blob).codec
     return make_codec(codec_name).decompress(blob)

@@ -19,6 +19,7 @@ from repro.experiments.figures import (
     run_visual_compare,
     METHODS,
 )
+from repro.experiments.throughput import ThroughputRow, run_throughput
 from repro.experiments.report import format_table, rows_to_csv, ascii_plot
 
 __all__ = [
@@ -47,6 +48,8 @@ __all__ = [
     "run_rd",
     "run_visual_compare",
     "METHODS",
+    "ThroughputRow",
+    "run_throughput",
     "format_table",
     "rows_to_csv",
     "ascii_plot",

@@ -20,6 +20,7 @@ from repro.experiments import figures as figs
 from repro.experiments.report import ascii_plot, format_table, rows_to_csv
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
+from repro.experiments.throughput import run_throughput
 from repro.viz.image_io import write_pgm
 
 __all__ = ["main"]
@@ -35,6 +36,7 @@ EXPERIMENTS = (
     "fig12",
     "fig13",
     "fig14",
+    "throughput",
 )
 
 
@@ -104,6 +106,9 @@ def run_one(name: str, scale: float, out: Path | None) -> None:
         rows = figs.run_fig13(scale)
         _emit(name, rows, out, title="Figure 13: RD on Nyx density")
         _rd_plots(rows, "nyx")
+    elif name == "throughput":
+        _emit(name, run_throughput(scale), out,
+              title="Container (de)compression throughput by execution mode")
     elif name == "fig14":
         demo = figs.run_fig14()
         print("Figure 14: 1-D interpolation-smoothing demo")

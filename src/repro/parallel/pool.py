@@ -12,18 +12,28 @@ parallelism on multi-core hosts.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ReproError
 
-__all__ = ["parallel_map", "EXECUTION_MODES"]
+__all__ = ["parallel_map", "resolve_workers", "EXECUTION_MODES"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Supported execution modes.
 EXECUTION_MODES = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Resolve a worker count: ``None`` or ``0`` means one per CPU core."""
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ReproError(f"workers must be >= 0 or None, got {workers}")
+    return workers
 
 
 def parallel_map(

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import io
+import json
+import struct
+
 import numpy as np
 import pytest
 
@@ -11,8 +15,46 @@ from repro.compression.amr_codec import (
     average_down,
     compress_hierarchy,
     decompress_hierarchy,
+    decompress_selection,
 )
+from repro.compression.container import ContainerReader
 from repro.errors import CompressionError
+
+
+def make_legacy_bytes(container: CompressedHierarchy) -> bytes:
+    """Serialize in the pre-index RPRH layout (what old releases wrote)."""
+    index = {
+        "codec": container.codec,
+        "error_bound": container.error_bound,
+        "mode": container.mode,
+        "fields": list(container.fields),
+        "exclude_covered": container.exclude_covered,
+        "original_bytes": container.original_bytes,
+        "levels": [
+            {field: [len(b) for b in plist] for field, plist in level.items()}
+            for level in container.streams
+        ],
+    }
+    head = json.dumps(index, separators=(",", ":")).encode()
+    out = bytearray(b"RPRH" + struct.pack("<I", len(head)) + head)
+    for level in container.streams:
+        for field in sorted(level):
+            for blob in level[field]:
+                out += blob
+    return bytes(out)
+
+
+class CountingBytesIO(io.BytesIO):
+    """BytesIO that tallies how many payload bytes are actually read."""
+
+    def __init__(self, raw: bytes):
+        super().__init__(raw)
+        self.bytes_read = 0
+
+    def read(self, size=-1):
+        out = super().read(size)
+        self.bytes_read += len(out)
+        return out
 
 
 class TestRoundtrip:
@@ -100,6 +142,112 @@ class TestContainer:
 
         with pytest.raises(FormatError):
             CompressedHierarchy.frombytes(b"XXXXjunk")
+
+    def test_index_locates_every_stream(self, multi_field_hierarchy):
+        container = compress_hierarchy(multi_field_hierarchy, "sz-lr", 1e-3)
+        raw = container.tobytes()
+        reader = ContainerReader(io.BytesIO(raw))
+        assert len(reader.entries) == 6  # 2 levels x 2 fields, 1+2 patches
+        for entry in reader.entries:
+            blob = raw[entry.offset : entry.offset + entry.length]
+            assert blob == container.streams[entry.level][entry.field][entry.patch]
+
+
+class TestSelectiveDecompression:
+    def test_single_patch_matches_full(self, multi_field_hierarchy):
+        container = compress_hierarchy(multi_field_hierarchy, "sz-lr", 1e-3)
+        full = decompress_hierarchy(container, multi_field_hierarchy)
+        sel = decompress_selection(container.tobytes(), levels=1, fields="a", patches=1)
+        assert list(sel) == [(1, "a", 1)]
+        assert np.array_equal(sel[(1, "a", 1)], full[1].patches("a")[1].data)
+
+    def test_field_and_level_selectors(self, multi_field_hierarchy):
+        raw = compress_hierarchy(multi_field_hierarchy, "sz-lr", 1e-3).tobytes()
+        by_field = decompress_selection(raw, fields="b")
+        assert sorted(by_field) == [(0, "b", 0), (1, "b", 0), (1, "b", 1)]
+        by_level = decompress_selection(raw, levels=[1])
+        assert all(key[0] == 1 for key in by_level) and len(by_level) == 4
+
+    def test_from_path_and_reader(self, sphere_hierarchy, tmp_path):
+        raw = compress_hierarchy(sphere_hierarchy, "sz-interp", 1e-3).tobytes()
+        path = tmp_path / "h.rprh"
+        path.write_bytes(raw)
+        from_path = decompress_selection(path, levels=0)
+        with ContainerReader.open(path) as reader:
+            from_reader = decompress_selection(reader, levels=0)
+        assert from_path.keys() == from_reader.keys()
+        for key in from_path:
+            assert np.array_equal(from_path[key], from_reader[key])
+
+    def test_read_patch_accessor(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
+        reader = ContainerReader(io.BytesIO(container.tobytes()))
+        patch = reader.read_patch(1, "f", 0)
+        full = decompress_hierarchy(container, sphere_hierarchy)
+        assert np.array_equal(patch, full[1].patches("f")[0].data)
+
+    def test_missing_patch_rejected(self, sphere_hierarchy):
+        from repro.errors import FormatError
+
+        raw = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3).tobytes()
+        with pytest.raises(FormatError, match="no patch"):
+            ContainerReader(io.BytesIO(raw)).read_patch(7, "f", 0)
+
+    def test_single_patch_reads_o_patch_bytes(self, sphere_hierarchy):
+        # Acceptance criterion: a one-patch selection must consume
+        # footer + index + that patch's stream — not the whole payload.
+        raw = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3).tobytes()
+        counting = CountingBytesIO(raw)
+        reader = ContainerReader(counting)
+        index_overhead = counting.bytes_read  # header + footer + index
+        target = reader.entry(0, "f", 0)
+        out = reader.select(levels=0, fields="f", patches=0)
+        assert list(out) == [(0, "f", 0)]
+        consumed = counting.bytes_read
+        assert consumed == index_overhead + target.length
+        skipped = sum(e.length for e in reader.entries) - target.length
+        assert skipped > 0 and consumed <= len(raw) - skipped
+
+    def test_bad_source_type_rejected(self):
+        with pytest.raises(CompressionError, match="cannot read"):
+            decompress_selection(12345)
+
+    def test_bad_selector_types_named(self, sphere_hierarchy):
+        raw = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3).tobytes()
+        with pytest.raises(CompressionError, match="field selector"):
+            decompress_selection(raw, fields=0)
+        with pytest.raises(CompressionError, match="level selector"):
+            decompress_selection(raw, levels="all")
+        with pytest.raises(CompressionError, match="patch selector"):
+            decompress_selection(raw, patches=object())
+
+
+class TestLegacyShim:
+    def test_legacy_blob_parses(self, sphere_hierarchy):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
+        legacy = make_legacy_bytes(container)
+        parsed = CompressedHierarchy.frombytes(legacy)
+        assert parsed.codec == container.codec
+        assert parsed.streams == container.streams
+        out = decompress_hierarchy(parsed, sphere_hierarchy)
+        assert out.n_levels == 2
+
+    def test_legacy_selection_supported(self, sphere_hierarchy, tmp_path):
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
+        legacy = make_legacy_bytes(container)
+        sel = decompress_selection(legacy, levels=1)
+        assert list(sel) == [(1, "f", 0)]
+        path = tmp_path / "old.rprh"
+        path.write_bytes(legacy)
+        from_path = decompress_selection(path, levels=1)
+        assert np.array_equal(sel[(1, "f", 0)], from_path[(1, "f", 0)])
+
+    def test_legacy_reserializes_as_indexed(self, sphere_hierarchy):
+        # Reading an old blob and writing it back upgrades the format.
+        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
+        parsed = CompressedHierarchy.frombytes(make_legacy_bytes(container))
+        assert parsed.tobytes()[:4] == b"RPH2"
+        assert parsed.tobytes() == container.tobytes()
 
 
 class TestAverageDown:

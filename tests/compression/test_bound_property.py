@@ -1,17 +1,26 @@
 """Property-based error-bound guarantees across all codecs.
 
 The single most important invariant of the library: for any finite float
-data and any positive bound, every codec reconstructs within the bound.
+data and any positive bound, every codec reconstructs within the bound —
+both for a bare codec stream and for a whole patch-indexed hierarchy
+container round-tripped through its serialized form.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.amr import AMRHierarchy, AMRLevel, Box, BoxArray, Patch
+from repro.compression.amr_codec import (
+    CompressedHierarchy,
+    compress_hierarchy,
+    decompress_hierarchy,
+)
 from repro.compression.registry import available_codecs, make_codec
+from repro.errors import CompressionError
 
 CODICS = sorted(available_codecs())
 
@@ -51,3 +60,89 @@ class TestBoundProperty:
     def test_deterministic(self, codec, data):
         comp = make_codec(codec)
         assert comp.compress(data, 1e-3) == comp.compress(data, 1e-3)
+
+
+# ----------------------------------------------------------------------
+# Container level: the same guarantee must survive per-patch packaging,
+# serialization to the indexed RPH2 format, and parsing back.
+# ----------------------------------------------------------------------
+def _hierarchy_from(arrays: dict[str, np.ndarray]) -> AMRHierarchy:
+    """Single-level hierarchy holding ``arrays`` as one patch each."""
+    shape = next(iter(arrays.values())).shape
+    dom = Box.from_shape(shape)
+    level = AMRLevel(0, BoxArray([dom]), (1.0,) * len(shape))
+    for name, data in arrays.items():
+        level.add_field(name, [Patch(dom, data)])
+    return AMRHierarchy(dom, [level], 2)
+
+
+def _try_compress(h, codec, eb, mode):
+    """Compress, rejecting examples a codec legitimately refuses (e.g. the
+    quantizer's value/bound dynamic-range limit) — that contract is covered
+    by the codec's own tests, not the container's."""
+    try:
+        return compress_hierarchy(h, codec, eb, mode=mode)
+    except CompressionError as exc:
+        assume("increase the error bound" not in str(exc))
+        raise
+
+
+def _container_fields():
+    """1-3 random fields of a shared random 3-D shape and random dtype."""
+    return st.tuples(
+        hnp.array_shapes(min_dims=3, max_dims=3, min_side=2, max_side=8),
+        st.sampled_from([np.float32, np.float64]),
+        st.integers(1, 3),
+        st.randoms(use_true_random=False),
+    ).map(
+        lambda t: {
+            f"f{i}": (
+                t[3].uniform(-1.0, 1.0)
+                * np.arange(int(np.prod(t[0])), dtype=t[1]).reshape(t[0])
+                + t[3].uniform(-100.0, 100.0)
+            )
+            for i in range(t[2])
+        }
+    )
+
+
+@pytest.mark.parametrize("codec", CODICS)
+class TestContainerBoundProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(fields=_container_fields(), eb=st.floats(1e-4, 1.0),
+           mode=st.sampled_from(["abs", "rel"]))
+    def test_container_roundtrip_bound(self, codec, fields, eb, mode):
+        h = _hierarchy_from(fields)
+        container = _try_compress(h, codec, eb, mode)
+        parsed = CompressedHierarchy.frombytes(container.tobytes())
+        out = decompress_hierarchy(parsed, h)
+        for name, data in fields.items():
+            ref = data.astype(np.float64)
+            if mode == "abs":
+                eb_abs = eb
+            else:
+                rng = float(ref.max() - ref.min())
+                eb_abs = eb * rng if rng > 0 else eb
+            recon = out[0].patches(name)[0].data
+            # ULP slack in the *input* dtype: float32 fields carry float32
+            # representational granularity through the codec arithmetic.
+            slack = 16 * float(
+                np.spacing(np.asarray(np.abs(ref).max() + eb_abs, dtype=data.dtype))
+            )
+            assert np.abs(recon - ref).max() <= eb_abs * (1 + 1e-9) + slack
+
+    @settings(max_examples=10, deadline=None)
+    @given(fields=_container_fields(), eb=st.sampled_from([1e-4, 1e-3, 1e-2]))
+    def test_metadata_exact_roundtrip(self, codec, fields, eb):
+        h = _hierarchy_from(fields)
+        container = _try_compress(h, codec, eb, "rel")
+        parsed = CompressedHierarchy.frombytes(container.tobytes())
+        assert parsed.codec == container.codec
+        assert parsed.error_bound == container.error_bound
+        assert parsed.mode == container.mode
+        assert parsed.fields == container.fields
+        assert parsed.exclude_covered == container.exclude_covered
+        assert parsed.original_bytes == container.original_bytes
+        assert parsed.streams == container.streams
+        # Serialization is a pure function of the parsed state.
+        assert parsed.tobytes() == container.tobytes()

@@ -65,3 +65,54 @@ class TestPlotfileCommands:
         assert main([
             "compress-plotfile", str(plt), "-o", str(out), "--exclude-covered"
         ]) == 0
+
+    def test_parallel_flag_same_bytes(self, sphere_hierarchy, tmp_path, capsys):
+        plt = write_plotfile(tmp_path / "plt", sphere_hierarchy)
+        serial, thread = tmp_path / "s.rprh", tmp_path / "t.rprh"
+        assert main(["compress-plotfile", str(plt), "-o", str(serial)]) == 0
+        assert main([
+            "compress-plotfile", str(plt), "-o", str(thread),
+            "--parallel", "thread", "--workers", "3",
+        ]) == 0
+        assert serial.read_bytes() == thread.read_bytes()
+
+
+class TestContainerCommands:
+    @pytest.fixture
+    def container_file(self, sphere_hierarchy, tmp_path):
+        plt = write_plotfile(tmp_path / "plt", sphere_hierarchy)
+        out = tmp_path / "plt.rprh"
+        assert main(["compress-plotfile", str(plt), "-o", str(out), "--fields", "f"]) == 0
+        return out
+
+    def test_inspect_lists_patch_index(self, container_file, capsys):
+        capsys.readouterr()
+        assert main(["inspect", str(container_file)]) == 0
+        out = capsys.readouterr().out
+        assert "patches:" in out
+        assert "offset" in out and "crc32" in out
+        assert "sz-lr" in out
+
+    def test_extract_single_patch(self, container_file, tmp_path, sphere_hierarchy, capsys):
+        out = tmp_path / "patch.npy"
+        assert main([
+            "extract", str(container_file), "-o", str(out),
+            "--level", "1", "--field", "f", "--patch", "0",
+        ]) == 0
+        data = np.load(out)
+        orig = sphere_hierarchy[1].patches("f")[0].data
+        eb = 1e-3 * (orig.max() - orig.min())
+        assert data.shape == orig.shape
+        assert np.abs(data - orig).max() <= eb * (1 + 1e-9)
+
+    def test_extract_level_to_npz(self, container_file, tmp_path, capsys):
+        out = tmp_path / "level0.npz"
+        assert main([
+            "extract", str(container_file), "-o", str(out), "--level", "0", "--npz"
+        ]) == 0
+        with np.load(out) as bundle:
+            assert any(name.startswith("level0_f_") for name in bundle.files)
+
+    def test_extract_empty_selection_fails(self, container_file, tmp_path, capsys):
+        assert main(["extract", str(container_file), "--level", "9"]) == 1
+        assert "no patches" in capsys.readouterr().err
