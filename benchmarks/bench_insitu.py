@@ -1,0 +1,174 @@
+"""In-situ streaming: bounded memory and indexed series random access.
+
+Acceptance gates for the RPH2S streaming path (ISSUE 2):
+
+* on a >= 16-step synthetic campaign, the streaming writer's peak traced
+  memory must stay below **0.5x** the batch-compress peak (the batch path
+  materializes every snapshot before compressing, the post-hoc workflow);
+* fetching one patch of one step through the timestep index must read
+  O(selection) bytes — strictly less than a single segment's share of the
+  file — plus a steady-state append-throughput measurement.
+
+Peak memory is the high-water mark of ``tracemalloc``-traced allocations;
+NumPy registers its buffers with tracemalloc, so generator temporaries and
+retained snapshots are both visible to it.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+from conftest import bench_scale, emit, once
+
+from repro.amr.io import write_series
+from repro.insitu import SeriesReader, StreamingWriter
+from repro.sims import NyxConfig, nyx_step_stream
+
+#: Campaign length: comfortably past the >= 16-step acceptance floor so the
+#: batch path's retained-snapshot cost dominates its transient cost.
+STEPS = 24
+FIELD = "baryon_density"
+
+
+@dataclass(frozen=True)
+class MemRow:
+    path: str
+    steps: int
+    peak_mb: float
+    wall_s: float
+    vs_batch: float
+
+
+@dataclass(frozen=True)
+class AccessRow:
+    path: str
+    bytes_read: int
+    file_bytes: int
+    share: float
+
+
+def _config() -> NyxConfig:
+    return NyxConfig(coarse_n=max(8, int(32 * bench_scale())))
+
+
+def _traced(fn):
+    gc.collect()
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - t0
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return wall, peak
+
+
+@pytest.fixture(scope="module")
+def series_path(tmp_path_factory) -> Path:
+    """A STEPS-step streamed series on disk (module-cached)."""
+    path = tmp_path_factory.mktemp("insitu") / "campaign.rph2s"
+    write_series(path, nyx_step_stream(STEPS, _config()), codec="sz-lr",
+                 error_bound=1e-3, fields=[FIELD])
+    return path
+
+
+def test_streaming_peak_memory_under_half_of_batch(benchmark, tmp_path):
+    """Streaming peak RSS-proxy < 0.5x batch peak on a >= 16-step campaign."""
+    cfg = _config()
+    stream_target = tmp_path / "stream.rph2s"
+    batch_target = tmp_path / "batch.rph2s"
+
+    def streaming():
+        write_series(stream_target, nyx_step_stream(STEPS, cfg), codec="sz-lr",
+                     error_bound=1e-3, fields=[FIELD], overwrite=True)
+
+    def batch():
+        campaign = [s for s in nyx_step_stream(STEPS, cfg)]  # post-hoc workflow
+        write_series(batch_target, campaign, codec="sz-lr", error_bound=1e-3,
+                     fields=[FIELD], overwrite=True)
+
+    batch_s, batch_peak = _traced(batch)
+    stream_s, stream_peak = once(benchmark, _traced, streaming)
+    frac = stream_peak / batch_peak
+    emit(
+        f"Streaming vs batch peak memory ({STEPS}-step Nyx campaign)",
+        [
+            MemRow("batch", STEPS, batch_peak / 1e6, batch_s, 1.0),
+            MemRow("streaming", STEPS, stream_peak / 1e6, stream_s, frac),
+        ],
+    )
+    assert stream_target.read_bytes() == batch_target.read_bytes(), (
+        "streaming and batch must produce identical series bytes"
+    )
+    assert frac < 0.5, (
+        f"streaming peak memory is {frac:.2f}x batch (need < 0.5x)"
+    )
+
+
+class _CountingFile:
+    """Binary file wrapper tallying how many bytes are actually read."""
+
+    def __init__(self, path: Path):
+        self._file = path.open("rb")
+        self.bytes_read = 0
+
+    def read(self, size=-1):
+        out = self._file.read(size)
+        self.bytes_read += len(out)
+        return out
+
+    def seek(self, *args):
+        return self._file.seek(*args)
+
+    def tell(self):
+        return self._file.tell()
+
+    def close(self):
+        self._file.close()
+
+
+def test_series_random_access_reads_o_selection_bytes(series_path):
+    """One (step, level, field, patch) fetch reads less than one segment's
+    share of the file: series index + segment index + one stream."""
+    file_bytes = series_path.stat().st_size
+    counting = _CountingFile(series_path)
+    try:
+        reader = SeriesReader(counting)
+        step = reader.steps[STEPS // 2]
+        arr = reader.read_patch(step, 1, FIELD, 0)
+        consumed = counting.bytes_read
+    finally:
+        counting.close()
+    emit(
+        "Series random access byte footprint",
+        [AccessRow("one patch of one step", consumed, file_bytes,
+                   consumed / file_bytes)],
+    )
+    assert arr.ndim == 3
+    assert consumed < file_bytes / STEPS, (
+        f"selection read {consumed} of {file_bytes} bytes — more than one "
+        f"segment's share; the timestep index is not being used"
+    )
+
+
+def test_streaming_append_throughput(benchmark, tmp_path):
+    """Steady-state append rate with a fixed, pre-generated snapshot."""
+    snapshot = next(iter(nyx_step_stream(1, _config()))).hierarchy
+    mb = snapshot.nbytes(FIELD) / 1e6
+
+    def append_campaign() -> float:
+        t0 = time.perf_counter()
+        with StreamingWriter.create(tmp_path / "tp.rph2s", "sz-lr", 1e-3,
+                                    fields=[FIELD], overwrite=True) as writer:
+            for _ in range(STEPS):
+                writer.append_step(snapshot)
+        return time.perf_counter() - t0
+
+    wall = once(benchmark, append_campaign)
+    print(f"\nsteady-state append: {STEPS} steps, {STEPS * mb / wall:.1f} MB/s")

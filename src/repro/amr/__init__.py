@@ -15,6 +15,9 @@ from repro.amr.io import (
     write_container,
     read_container,
     open_container,
+    write_series,
+    append_step,
+    open_series,
 )
 from repro.amr.ghost import fill_ghosts
 from repro.amr.iostats import CampaignCost, snapshot_bytes, campaign_cost
@@ -42,6 +45,9 @@ __all__ = [
     "write_container",
     "read_container",
     "open_container",
+    "write_series",
+    "append_step",
+    "open_series",
     "fill_ghosts",
     "CampaignCost",
     "snapshot_bytes",

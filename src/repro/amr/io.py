@@ -36,6 +36,9 @@ __all__ = [
     "write_container",
     "read_container",
     "open_container",
+    "write_series",
+    "append_step",
+    "open_series",
 ]
 
 _FORMAT_NAME = "repro-amr-plotfile"
@@ -148,7 +151,7 @@ def write_container(path: str | Path, container, overwrite: bool = False) -> Pat
 
 def read_container(path: str | Path):
     """Load a full :class:`~repro.compression.amr_codec.CompressedHierarchy`
-    from ``path`` (accepts both ``RPH2`` and legacy ``RPRH`` containers)."""
+    from an ``RPH2`` container at ``path``."""
     from repro.compression.amr_codec import CompressedHierarchy
 
     return CompressedHierarchy.frombytes(Path(path).read_bytes())
@@ -166,3 +169,73 @@ def open_container(path: str | Path):
     from repro.compression.container import ContainerReader
 
     return ContainerReader.open(path)
+
+
+# ----------------------------------------------------------------------
+# Time-series containers (.rph2s): streaming in-situ campaigns.
+# ----------------------------------------------------------------------
+def write_series(
+    path: str | Path,
+    steps,
+    codec: str = "sz-lr",
+    error_bound: float = 1e-3,
+    mode: str = "rel",
+    fields=None,
+    exclude_covered: bool = False,
+    overwrite: bool = False,
+    parallel: str = "serial",
+    workers: int | None = 2,
+) -> Path:
+    """Stream an iterable of timesteps into an ``RPH2S`` series at ``path``.
+
+    ``steps`` yields either bare hierarchies (step number = position, time =
+    step number) or objects with ``hierarchy`` / ``index`` / ``time``
+    attributes (e.g. :class:`repro.sims.streams.SimStep`). The iterable is
+    consumed lazily — pass a generator and peak memory stays O(snapshot).
+    """
+    from repro.insitu.writer import StreamingWriter
+
+    with StreamingWriter.create(
+        path, codec, error_bound, mode=mode, fields=fields,
+        exclude_covered=exclude_covered, parallel=parallel, workers=workers,
+        overwrite=overwrite,
+    ) as writer:
+        for item in steps:
+            if hasattr(item, "hierarchy"):
+                writer.append_step(
+                    item.hierarchy,
+                    time=getattr(item, "time", None),
+                    step=getattr(item, "index", None),
+                )
+            else:
+                writer.append_step(item)
+    return Path(path)
+
+
+def append_step(path: str | Path, hierarchy, time: float | None = None,
+                step: int | None = None, parallel: str = "serial",
+                workers: int | None = 2):
+    """Append one timestep to an existing ``RPH2S`` series file.
+
+    Reopens the series (its recorded codec/bound/fields are authoritative),
+    appends the hierarchy as the next step, rewrites the timestep index,
+    and returns the new :class:`~repro.insitu.series.SeriesStepEntry`.
+    """
+    from repro.insitu.writer import StreamingWriter
+
+    with StreamingWriter.append_to(path, parallel=parallel, workers=workers) as writer:
+        return writer.append_step(hierarchy, time=time, step=step)
+
+
+def open_series(path: str | Path):
+    """Open an ``RPH2S`` series for random access and return a
+    :class:`~repro.insitu.series.SeriesReader`.
+
+    Only the series footer and timestep index are read eagerly; use the
+    reader's :meth:`~repro.insitu.series.SeriesReader.select` /
+    :meth:`~repro.insitu.series.SeriesReader.read_patch` for
+    O(selection)-byte access to ``(step, level, field, patch)``.
+    """
+    from repro.insitu.series import SeriesReader
+
+    return SeriesReader.open(path)

@@ -22,12 +22,20 @@ from repro.compression.sz_interp import SZInterp
 from repro.compression.zfp_like import ZFPLike
 from repro.compression.registry import available_codecs, make_codec, register_codec, decompress_any
 from repro.compression.zmesh_like import ZMeshLike, morton_order, serialize_hierarchy_1d
-from repro.compression.container import ContainerReader, PatchIndexEntry, pack_container
+from repro.compression.container import (
+    ContainerReader,
+    PatchIndexEntry,
+    pack_container,
+    pack_header,
+    pack_footer,
+    build_index_bytes,
+)
 from repro.compression.amr_codec import (
     CompressedHierarchy,
     compress_hierarchy,
     decompress_hierarchy,
     decompress_selection,
+    resolve_patch_codec,
     average_down,
 )
 
@@ -47,9 +55,13 @@ __all__ = [
     "ContainerReader",
     "PatchIndexEntry",
     "pack_container",
+    "pack_header",
+    "pack_footer",
+    "build_index_bytes",
     "compress_hierarchy",
     "decompress_hierarchy",
     "decompress_selection",
+    "resolve_patch_codec",
     "average_down",
     "ZMeshLike",
     "morton_order",

@@ -11,11 +11,20 @@ Usage::
     python -m repro.compression inspect myplt.rprh
     python -m repro.compression extract myplt.rprh -o patch.npy \\
         --level 1 --field density --patch 0
+    python -m repro.compression stream plt_0000/ plt_0001/ -o run.rph2s \\
+        --codec sz-lr --eb 1e-3 --parallel thread --workers 0
+    python -m repro.compression stream --sim nyx --steps 16 -o run.rph2s
+    python -m repro.compression inspect run.rph2s
+    python -m repro.compression extract run.rph2s --step 7 --level 1 \\
+        --field baryon_density --patch 0 -o patch.npy
 
 ``info`` prints the self-describing header (codec, shape, parameters,
-section sizes) without decompressing. ``inspect`` walks the seekable
-container's patch index without touching the payload; ``extract`` decodes
-a selection of patches via random access (O(selection) bytes read).
+section sizes) without decompressing. ``inspect`` walks a seekable
+container's patch index — or a series' timestep index — without touching
+the payload; ``extract`` decodes a selection of patches via random access
+(O(selection) bytes read). ``stream`` compresses timesteps *as they are
+produced* (plotfile directories read one at a time, or a built-in synthetic
+campaign) into an appendable RPH2S series.
 """
 
 from __future__ import annotations
@@ -111,16 +120,9 @@ def _cmd_info_plotfile(args) -> int:
 
 def _cmd_inspect(args) -> int:
     with Path(args.input).open("rb") as probe:
-        magic = probe.read(4)
-    if magic == b"RPRH":
-        # Legacy blob: no index to walk; summarize via the full parse.
-        container = CompressedHierarchy.frombytes(Path(args.input).read_bytes())
-        print("legacy RPRH container (no patch index; re-compress to upgrade)")
-        print(f"codec:   {container.codec}")
-        print(f"fields:  {list(container.fields)}")
-        print(f"levels:  {len(container.streams)}")
-        print(f"ratio:   {container.ratio:.2f}x")
-        return 0
+        magic = probe.read(5)
+    if magic == b"RPH2S":
+        return _inspect_series(args.input)
     with open_container(args.input) as reader:
         print(f"codec:    {reader.codec}")
         print(f"eb:       {reader.error_bound:g} ({reader.mode})")
@@ -137,12 +139,36 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _inspect_series(path: Path) -> int:
+    from repro.amr.io import open_series
+
+    with open_series(path) as reader:
+        print("RPH2S time series")
+        print(f"codec:    {reader.codec}")
+        print(f"eb:       {reader.error_bound:g} ({reader.mode})")
+        print(f"fields:   {list(reader.fields)}")
+        print(f"steps:    {reader.n_steps}")
+        total_ratio = (
+            reader.original_bytes / reader.compressed_bytes
+            if reader.compressed_bytes
+            else float("nan")
+        )
+        print(f"payload:  {reader.compressed_bytes} bytes (ratio {total_ratio:.2f}x)")
+        print(f"{'step':>5} {'time':>10} {'levels':>6} {'patches':>7} "
+              f"{'offset':>10} {'length':>10} {'ratio':>7}")
+        for e in reader.step_entries:
+            ratio = e.original_bytes / e.length if e.length else float("nan")
+            print(f"{e.step:>5} {e.time:>10.4g} {e.n_levels:>6} {e.n_patches:>7} "
+                  f"{e.offset:>10} {e.length:>10} {ratio:>6.2f}x")
+    return 0
+
+
 def _parse_int_list(spec: str | None) -> list[int] | None:
     return None if spec is None else [int(s) for s in spec.split(",")]
 
 
 def _cmd_extract(args) -> int:
-    # decompress_selection handles both RPH2 (seek-based) and legacy RPRH.
+    # decompress_selection routes on magic: RPH2 snapshots and RPH2S series.
     selected = decompress_selection(
         args.input,
         levels=_parse_int_list(args.level),
@@ -150,24 +176,62 @@ def _cmd_extract(args) -> int:
         patches=_parse_int_list(args.patch),
         parallel=args.parallel,
         workers=resolve_workers(args.workers),
+        steps=_parse_int_list(args.step),
     )
     if not selected:
         print("selection matched no patches", file=sys.stderr)
         return 1
+
+    def tag(key) -> str:
+        if len(key) == 4:  # series: (step, level, field, patch)
+            s, l, field, p = key
+            return f"step{s:05d}_level{l}_{field}_patch{p:05d}"
+        l, field, p = key
+        return f"level{l}_{field}_patch{p:05d}"
+
     if len(selected) == 1 and not args.npz:
         ((key, data),) = selected.items()
         out = args.output if args.output else Path(args.input).with_suffix(".npy")
         np.save(out, data, allow_pickle=False)
-        print(f"{args.input} -> {out}: patch (level={key[0]}, field={key[1]!r}, "
-              f"patch={key[2]}), shape {data.shape}")
+        print(f"{args.input} -> {out}: {tag(key)}, shape {data.shape}")
     else:
         out = args.output if args.output else Path(args.input).with_suffix(".npz")
-        arrays = {
-            f"level{l}_{field}_patch{p:05d}": data
-            for (l, field, p), data in selected.items()
-        }
+        arrays = {tag(key): data for key, data in selected.items()}
         np.savez(out, **arrays)
         print(f"{args.input} -> {out}: {len(arrays)} patches")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.insitu.writer import StreamingWriter
+
+    if bool(args.inputs) == bool(args.sim):
+        print("stream: pass plotfile directories OR --sim, not both/neither",
+              file=sys.stderr)
+        return 2
+    fields = args.fields.split(",") if args.fields else None
+    out = Path(args.output)
+    with StreamingWriter.create(
+        out, args.codec, args.eb, mode=args.mode, fields=fields,
+        exclude_covered=args.exclude_covered, parallel=args.parallel,
+        workers=resolve_workers(args.workers), overwrite=args.overwrite,
+    ) as writer:
+        if args.inputs:
+            # One plotfile in memory at a time: the streaming contract.
+            for i, plt_dir in enumerate(args.inputs):
+                entry = writer.append_step(read_plotfile(plt_dir), time=float(i))
+                print(f"  step {entry.step}: {plt_dir} -> {entry.length} bytes "
+                      f"(ratio {entry.original_bytes / entry.length:.2f}x)")
+        else:
+            from repro.sims.streams import nyx_step_stream, warpx_step_stream
+
+            stream_fn = {"nyx": nyx_step_stream, "warpx": warpx_step_stream}[args.sim]
+            for s in stream_fn(args.steps):
+                entry = writer.append_step(s.hierarchy, time=s.time, step=s.index)
+                print(f"  step {entry.step}: t={entry.time:g} -> {entry.length} bytes "
+                      f"(ratio {entry.original_bytes / entry.length:.2f}x)")
+        n_steps = writer.n_steps
+    print(f"{out}: {n_steps} steps written")
     return 0
 
 
@@ -212,13 +276,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("input", type=Path)
     p.set_defaults(fn=_cmd_info_plotfile)
 
-    p = sub.add_parser("inspect", help="walk a .rprh container's patch index")
+    p = sub.add_parser(
+        "inspect", help="walk a .rprh container's patch index or a .rph2s timestep index"
+    )
     p.add_argument("input", type=Path)
     p.set_defaults(fn=_cmd_inspect)
 
-    p = sub.add_parser("extract", help="selectively decode patches from a .rprh container")
+    p = sub.add_parser(
+        "extract", help="selectively decode patches from a .rprh container or .rph2s series"
+    )
     p.add_argument("input", type=Path)
     p.add_argument("-o", "--output", type=Path, default=None)
+    p.add_argument("--step", default=None, help="comma-separated timesteps (series only)")
     p.add_argument("--level", default=None, help="comma-separated level indices")
     p.add_argument("--field", default=None, help="comma-separated field names")
     p.add_argument("--patch", default=None, help="comma-separated patch indices")
@@ -226,6 +295,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--parallel", choices=EXECUTION_MODES, default="serial")
     p.add_argument("--workers", type=int, default=0, help="0 = one per CPU core")
     p.set_defaults(fn=_cmd_extract)
+
+    p = sub.add_parser(
+        "stream",
+        help="compress timesteps as produced (plotfile dirs or a synthetic sim) "
+             "into an .rph2s series",
+    )
+    p.add_argument("inputs", type=Path, nargs="*", help="plotfile dirs, one per step")
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.add_argument("--sim", choices=("nyx", "warpx"), default=None,
+                   help="stream a synthetic campaign instead of plotfiles")
+    p.add_argument("--steps", type=int, default=8, help="synthetic campaign length")
+    p.add_argument("--codec", choices=available_codecs(), default="sz-lr")
+    p.add_argument("--eb", type=float, default=1e-3)
+    p.add_argument("--mode", choices=("abs", "rel"), default="rel")
+    p.add_argument("--fields", default=None, help="comma-separated subset")
+    p.add_argument("--exclude-covered", action="store_true")
+    p.add_argument("--overwrite", action="store_true")
+    p.add_argument("--parallel", choices=EXECUTION_MODES, default="serial")
+    p.add_argument("--workers", type=int, default=0, help="0 = one per CPU core")
+    p.set_defaults(fn=_cmd_stream)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -17,18 +17,18 @@ result into a seekable, patch-indexed container (see
   modes.
 * **Selective decompression**: the container's footer-located index lets
   :func:`decompress_selection` pull one patch, one level, or one field
-  while reading O(selection) payload bytes.
+  while reading O(selection) payload bytes — and, for ``RPH2S`` time-series
+  sources (:mod:`repro.insitu`), one timestep via ``steps=`` selectors.
 
-Containers written before the indexed format (magic ``RPRH``) remain
-readable for one release through a compatibility shim in
-:meth:`CompressedHierarchy.frombytes`.
+Containers written before the indexed format (magic ``RPRH``) are no
+longer readable: the one-release compatibility shim was removed, and
+:meth:`CompressedHierarchy.frombytes` now raises a clear "unsupported
+legacy magic" error instead.
 """
 
 from __future__ import annotations
 
 import io
-import json
-import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -55,11 +55,16 @@ __all__ = [
     "compress_hierarchy",
     "decompress_hierarchy",
     "decompress_selection",
+    "resolve_patch_codec",
     "average_down",
 ]
 
-#: Magic of the pre-index monolithic container (read-only compatibility).
+#: Magic of the pre-index monolithic container. Writing it stopped with the
+#: RPH2 container and the one-release read shim has been removed; the magic
+#: is kept only to name the format in the rejection error.
 _LEGACY_MAGIC = b"RPRH"
+#: Magic of the RPH2S time-series container (see :mod:`repro.insitu.series`).
+_SERIES_MAGIC = b"RPH2S"
 
 
 def _fill_covered(data: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -175,18 +180,23 @@ class CompressedHierarchy:
     def frombytes(cls, raw: bytes) -> "CompressedHierarchy":
         """Parse a container produced by :meth:`tobytes`.
 
-        Accepts both the current indexed format (``RPH2``) and, as a
-        one-release compatibility shim, the legacy monolithic ``RPRH``
-        payload.
+        Accepts the indexed ``RPH2`` format only. The legacy monolithic
+        ``RPRH`` shim was removed one release after the indexed container
+        landed; old blobs must be re-compressed with the current writer.
         """
         magic = bytes(raw[:4])
         if magic == _LEGACY_MAGIC:
-            return cls._from_legacy(raw)
+            raise FormatError(
+                f"unsupported legacy magic {_LEGACY_MAGIC!r}: the pre-index "
+                "monolithic container is no longer readable (the one-release "
+                "read shim was removed); re-compress the source data into an "
+                f"{CONTAINER_MAGIC!r} container with the current writer"
+            )
         if magic == CONTAINER_MAGIC:
             return cls.fromreader(ContainerReader(io.BytesIO(raw)))
         raise FormatError(
             f"not a compressed-hierarchy container (magic {magic!r}; "
-            f"expected {CONTAINER_MAGIC!r} or legacy {_LEGACY_MAGIC!r})"
+            f"expected {CONTAINER_MAGIC!r})"
         )
 
     @classmethod
@@ -210,41 +220,6 @@ class CompressedHierarchy:
             original_bytes=reader.original_bytes,
         )
 
-    @classmethod
-    def _from_legacy(cls, raw: bytes) -> "CompressedHierarchy":
-        """Read-compatibility shim for the pre-index ``RPRH`` blob."""
-        if len(raw) < 8:
-            raise FormatError("legacy container truncated before header")
-        (hlen,) = struct.unpack_from("<I", raw, 4)
-        try:
-            index = json.loads(raw[8 : 8 + hlen].decode())
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise FormatError(f"corrupt legacy container header: {exc}") from exc
-        pos = 8 + hlen
-        try:
-            streams: list[dict[str, list[bytes]]] = []
-            for level in index["levels"]:
-                ldict: dict[str, list[bytes]] = {}
-                for field in sorted(level):
-                    blobs = []
-                    for length in level[field]:
-                        blobs.append(raw[pos : pos + length])
-                        pos += length
-                    ldict[field] = blobs
-                streams.append(ldict)
-            return cls(
-                codec=index["codec"],
-                error_bound=index["error_bound"],
-                mode=index["mode"],
-                fields=tuple(index["fields"]),
-                exclude_covered=index["exclude_covered"],
-                streams=streams,
-                original_bytes=index["original_bytes"],
-            )
-        except (KeyError, ValueError, TypeError) as exc:
-            raise FormatError(f"malformed legacy container header: {exc!r}") from exc
-
-
 def _compress_task(task: tuple[Compressor, np.ndarray, float, str]) -> bytes:
     """Module-level compress task (picklable for process mode)."""
     comp, data, error_bound, mode = task
@@ -255,6 +230,21 @@ def _decompress_task(task: tuple[str, bytes]) -> np.ndarray:
     """Module-level decompress task (picklable for process mode)."""
     codec_name, blob = task
     return make_codec(codec_name).decompress(blob)
+
+
+def resolve_patch_codec(codec: str | Compressor) -> Compressor:
+    """Resolve a registry name or instance into a patch-ready codec.
+
+    Per-patch arrays are sized by the regridder's blocking factor (multiples
+    of 4/8), so ``sz-lr`` gets automatic block selection to avoid the
+    edge-padding waste a fixed 6-cube would pay on them. Both the batch
+    :func:`compress_hierarchy` path and the streaming
+    :class:`repro.insitu.StreamingWriter` resolve codecs through here, which
+    is what keeps their output streams byte-identical.
+    """
+    if isinstance(codec, str):
+        return make_codec(codec, block_size="auto") if codec == "sz-lr" else make_codec(codec)
+    return codec
 
 
 def compress_hierarchy(
@@ -286,13 +276,7 @@ def compress_hierarchy(
         Execution mode for the per-patch map (``"serial"``, ``"thread"``,
         or ``"process"``); the container bytes are identical across modes.
     """
-    if isinstance(codec, str):
-        # Per-patch arrays are sized by the regridder's blocking factor
-        # (multiples of 4/8); auto block selection avoids the edge-padding
-        # waste a fixed 6-cube would pay on them.
-        comp = make_codec(codec, block_size="auto") if codec == "sz-lr" else make_codec(codec)
-    else:
-        comp = codec
+    comp = resolve_patch_codec(codec)
     names = tuple(fields) if fields is not None else hierarchy.field_names
     for name in names:
         if name not in hierarchy.field_names:
@@ -398,6 +382,23 @@ def decompress_hierarchy(
     return out
 
 
+def _sniff_magic(fileobj) -> bytes:
+    """Read the first 5 bytes of a seekable file and restore its position."""
+    pos = fileobj.tell()
+    fileobj.seek(0)
+    magic = fileobj.read(len(_SERIES_MAGIC))
+    fileobj.seek(pos)
+    return magic
+
+
+def _reject_steps_on_snapshot(steps) -> None:
+    if steps is not None:
+        raise CompressionError(
+            "steps= selector given but the source is a single-snapshot "
+            "container; only RPH2S time-series sources carry timesteps"
+        )
+
+
 def decompress_selection(
     source,
     levels=None,
@@ -406,18 +407,20 @@ def decompress_selection(
     verify: bool = True,
     parallel: str = "serial",
     workers: int = 2,
-) -> dict[tuple[int, str, int], np.ndarray]:
+    *,
+    steps=None,
+):
     """Random-access decompression of a subset of patches.
 
     Parameters
     ----------
     source:
         Where to read from: a :class:`ContainerReader`, an open seekable
-        binary file, a path, raw container ``bytes``, or an in-memory
-        :class:`CompressedHierarchy`. For ``RPH2`` file/path sources only
-        the footer, the index, and the selected streams are read —
-        O(selection) bytes; legacy ``RPRH`` sources have no index to seek
-        by, so the whole file is read and parsed first.
+        binary file, a path, raw container ``bytes``, an in-memory
+        :class:`CompressedHierarchy`, or an ``RPH2S`` time-series source
+        (a :class:`repro.insitu.SeriesReader`, series bytes, or a series
+        path). For indexed sources only the footer(s), the index(es), and
+        the selected streams are read — O(selection) bytes.
     levels, fields, patches:
         Scalar, iterable, or ``None`` (= all) selectors; a patch is decoded
         when it matches all three.
@@ -425,51 +428,74 @@ def decompress_selection(
         Check each stream's crc32 against the index before decoding.
     parallel, workers:
         Execution mode for the decode map.
+    steps:
+        Timestep selector (scalar, iterable, or ``None`` = all). Only valid
+        for time-series sources; a snapshot source rejects it.
 
     Returns
     -------
     dict
-        ``(level, field, patch) -> np.ndarray`` for every selected patch.
+        ``(level, field, patch) -> np.ndarray`` for snapshot sources, or
+        ``(step, level, field, patch) -> np.ndarray`` for series sources.
     """
+    # The series reader lives in repro.insitu, which imports this module —
+    # resolve it lazily to keep the import graph acyclic.
+    from repro.insitu.series import SERIES_MAGIC, SeriesReader
+
+    if isinstance(source, SeriesReader):
+        return source.select(
+            steps=steps, levels=levels, fields=fields, patches=patches,
+            verify=verify, parallel=parallel, workers=workers,
+        )
     if isinstance(source, ContainerReader):
+        _reject_steps_on_snapshot(steps)
         return source.select(
             levels=levels, fields=fields, patches=patches, verify=verify,
             parallel=parallel, workers=workers,
         )
     if isinstance(source, CompressedHierarchy):
+        _reject_steps_on_snapshot(steps)
         return source.select(
             levels=levels, fields=fields, patches=patches,
             parallel=parallel, workers=workers,
         )
     if isinstance(source, (bytes, bytearray, memoryview)):
         raw = bytes(source)
-        if raw[:4] == _LEGACY_MAGIC:
-            return CompressedHierarchy.frombytes(raw).select(
-                levels=levels, fields=fields, patches=patches,
-                parallel=parallel, workers=workers,
+        if raw[: len(SERIES_MAGIC)] == SERIES_MAGIC:
+            return SeriesReader(io.BytesIO(raw)).select(
+                steps=steps, levels=levels, fields=fields, patches=patches,
+                verify=verify, parallel=parallel, workers=workers,
             )
+        _reject_steps_on_snapshot(steps)
         return ContainerReader(io.BytesIO(raw)).select(
             levels=levels, fields=fields, patches=patches, verify=verify,
             parallel=parallel, workers=workers,
         )
     if isinstance(source, (str, Path)):
         with Path(source).open("rb") as fileobj:
-            if fileobj.read(4) == _LEGACY_MAGIC:
-                fileobj.seek(0)
-                return CompressedHierarchy.frombytes(fileobj.read()).select(
-                    levels=levels, fields=fields, patches=patches,
-                    parallel=parallel, workers=workers,
+            if _sniff_magic(fileobj) == SERIES_MAGIC:
+                return SeriesReader(fileobj).select(
+                    steps=steps, levels=levels, fields=fields, patches=patches,
+                    verify=verify, parallel=parallel, workers=workers,
                 )
+            _reject_steps_on_snapshot(steps)
             return ContainerReader(fileobj).select(
                 levels=levels, fields=fields, patches=patches, verify=verify,
                 parallel=parallel, workers=workers,
             )
     if hasattr(source, "seek") and hasattr(source, "read"):
+        if _sniff_magic(source) == SERIES_MAGIC:
+            return SeriesReader(source).select(
+                steps=steps, levels=levels, fields=fields, patches=patches,
+                verify=verify, parallel=parallel, workers=workers,
+            )
+        _reject_steps_on_snapshot(steps)
         return ContainerReader(source).select(
             levels=levels, fields=fields, patches=patches, verify=verify,
             parallel=parallel, workers=workers,
         )
     raise CompressionError(
         f"cannot read a container from {type(source).__name__}; pass bytes, a "
-        "path, a seekable file, a ContainerReader, or a CompressedHierarchy"
+        "path, a seekable file, a ContainerReader, a SeriesReader, or a "
+        "CompressedHierarchy"
     )

@@ -53,17 +53,27 @@ from repro.parallel.pool import parallel_map
 
 __all__ = [
     "CONTAINER_MAGIC",
+    "CONTAINER_VERSION",
     "FOOTER_MAGIC",
     "PatchIndexEntry",
     "ContainerReader",
     "pack_container",
+    "pack_header",
+    "pack_footer",
+    "build_index_bytes",
 ]
 
 CONTAINER_MAGIC = b"RPH2"
 FOOTER_MAGIC = b"RPH2-IDX"
-_VERSION = 1
+#: Current container format version (the u8 after the magic).
+CONTAINER_VERSION = 1
+_VERSION = CONTAINER_VERSION
 _HEADER = struct.Struct("<4sB")
 _FOOTER = struct.Struct("<QQI8s")
+#: Version byte a reader sees when handed an RPH2S *series* file: the series
+#: magic b"RPH2S" shares the 4-byte RPH2 prefix on purpose, so the byte at
+#: offset 4 is ord("S") and snapshot readers can point at the series API.
+_SERIES_VERSION_BYTE = 0x53
 
 #: Meta keys serialized into the index besides the patch entries.
 _META_KEYS = (
@@ -110,6 +120,38 @@ def _iter_streams(
                 yield lev_idx, field, p_idx, blob
 
 
+def pack_header() -> bytes:
+    """The 5-byte ``RPH2`` container header (magic + version)."""
+    return _HEADER.pack(CONTAINER_MAGIC, _VERSION)
+
+
+def pack_footer(index_offset: int, index_length: int, index_crc32: int) -> bytes:
+    """The 28-byte container footer locating (and checksumming) the index."""
+    return _FOOTER.pack(index_offset, index_length, index_crc32, FOOTER_MAGIC)
+
+
+def build_index_bytes(meta: Mapping[str, Any], n_levels: int, entries: Sequence[Sequence]) -> bytes:
+    """Serialize the container index JSON (canonical key order).
+
+    Shared by :func:`pack_container` and the streaming series writer so a
+    segment written incrementally is byte-identical to a batch-packed
+    container given the same streams and layout order.
+    """
+    index = {
+        "format": "rph2",
+        "version": _VERSION,
+        "codec": str(meta["codec"]),
+        "error_bound": float(meta["error_bound"]),
+        "mode": str(meta["mode"]),
+        "fields": list(meta["fields"]),
+        "exclude_covered": bool(meta["exclude_covered"]),
+        "original_bytes": int(meta["original_bytes"]),
+        "n_levels": int(n_levels),
+        "entries": [list(e) for e in entries],
+    }
+    return json.dumps(index, separators=(",", ":")).encode()
+
+
 def pack_container(
     meta: Mapping[str, Any],
     streams: Sequence[Mapping[str, Sequence[bytes]]],
@@ -128,7 +170,7 @@ def pack_container(
         Optional per-stream codec override; defaults to ``meta["codec"]``.
     """
     default_codec = str(meta["codec"])
-    out = bytearray(_HEADER.pack(CONTAINER_MAGIC, _VERSION))
+    out = bytearray(pack_header())
     entries: list[list] = []
     for lev_idx, field, p_idx, blob in _iter_streams(streams):
         codec = default_codec
@@ -138,22 +180,10 @@ def pack_container(
             [lev_idx, field, p_idx, len(out), len(blob), codec, zlib.crc32(blob)]
         )
         out += blob
-    index = {
-        "format": "rph2",
-        "version": _VERSION,
-        "codec": default_codec,
-        "error_bound": float(meta["error_bound"]),
-        "mode": str(meta["mode"]),
-        "fields": list(meta["fields"]),
-        "exclude_covered": bool(meta["exclude_covered"]),
-        "original_bytes": int(meta["original_bytes"]),
-        "n_levels": len(streams),
-        "entries": entries,
-    }
-    index_bytes = json.dumps(index, separators=(",", ":")).encode()
+    index_bytes = build_index_bytes(meta, len(streams), entries)
     index_offset = len(out)
     out += index_bytes
-    out += _FOOTER.pack(index_offset, len(index_bytes), zlib.crc32(index_bytes), FOOTER_MAGIC)
+    out += pack_footer(index_offset, len(index_bytes), zlib.crc32(index_bytes))
     return bytes(out)
 
 
@@ -218,9 +248,20 @@ class ContainerReader:
             raise FormatError(f"container too short ({total} bytes) for RPH2 framing")
         fileobj.seek(0)
         magic, version = _HEADER.unpack(fileobj.read(_HEADER.size))
+        if magic == b"RPRH":
+            raise FormatError(
+                "unsupported legacy magic b'RPRH': the pre-index monolithic "
+                "container is no longer readable; re-compress the source data "
+                "with the current writer"
+            )
         if magic != CONTAINER_MAGIC:
             raise FormatError(
                 f"not an RPH2 container (magic {magic!r}, expected {CONTAINER_MAGIC!r})"
+            )
+        if version == _SERIES_VERSION_BYTE:
+            raise FormatError(
+                "this is an RPH2S time-series container; open it with "
+                "repro.insitu.SeriesReader / repro.amr.io.open_series"
             )
         if version != _VERSION:
             raise FormatError(f"unsupported container version {version}")

@@ -20,6 +20,7 @@ from repro.experiments.figures import (
     METHODS,
 )
 from repro.experiments.throughput import ThroughputRow, run_throughput
+from repro.experiments.insitu import InsituRow, run_insitu
 from repro.experiments.report import format_table, rows_to_csv, ascii_plot
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "METHODS",
     "ThroughputRow",
     "run_throughput",
+    "InsituRow",
+    "run_insitu",
     "format_table",
     "rows_to_csv",
     "ascii_plot",

@@ -20,6 +20,7 @@ from repro.experiments import figures as figs
 from repro.experiments.report import ascii_plot, format_table, rows_to_csv
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
+from repro.experiments.insitu import run_insitu
 from repro.experiments.throughput import run_throughput
 from repro.viz.image_io import write_pgm
 
@@ -37,6 +38,7 @@ EXPERIMENTS = (
     "fig13",
     "fig14",
     "throughput",
+    "insitu",
 )
 
 
@@ -109,6 +111,9 @@ def run_one(name: str, scale: float, out: Path | None) -> None:
     elif name == "throughput":
         _emit(name, run_throughput(scale), out,
               title="Container (de)compression throughput by execution mode")
+    elif name == "insitu":
+        _emit(name, run_insitu(scale), out,
+              title="In-situ streaming campaign: throughput and peak memory vs batch")
     elif name == "fig14":
         demo = figs.run_fig14()
         print("Figure 14: 1-D interpolation-smoothing demo")

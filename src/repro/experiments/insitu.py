@@ -1,0 +1,140 @@
+"""In-situ streaming campaign: throughput and peak memory vs the batch path.
+
+The streaming writer exists for one reason: a solver cannot afford to hold
+a campaign (or sometimes even one materialized snapshot set) in memory
+while a post-hoc compressor catches up. This experiment runs the same
+synthetic Nyx campaign twice —
+
+* **streaming**: timesteps generated lazily and appended to an RPH2S
+  series one at a time (peak memory ~ one snapshot + the in-flight
+  compression window),
+* **batch**: every timestep materialized first, then compressed
+  snapshot-by-snapshot (peak memory ~ the whole campaign),
+
+— and reports wall-clock throughput plus the peak of Python-traced
+allocations (``tracemalloc``; NumPy registers its buffers with it), the
+apples-to-apples number the ``benchmarks/bench_insitu.py`` acceptance
+gate also uses.
+"""
+
+from __future__ import annotations
+
+import gc
+import tempfile
+import time
+import tracemalloc
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sims.nyx import NyxConfig
+from repro.sims.streams import nyx_step_stream
+
+__all__ = ["InsituRow", "run_insitu"]
+
+
+@dataclass(frozen=True)
+class InsituRow:
+    """One (path, campaign) measurement."""
+
+    path: str
+    steps: int
+    raw_mb: float
+    wall_s: float
+    mb_s: float
+    #: peak of tracemalloc-traced allocations during the run, in MB.
+    peak_mb: float
+    out_mb: float
+    ratio: float
+
+
+def _traced(fn):
+    """Run ``fn`` with a fresh tracemalloc window; return (result, wall_s, peak_bytes)."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        out = fn()
+        wall = time.perf_counter() - t0
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return out, wall, peak
+
+
+def run_insitu(
+    scale: float = 0.5,
+    steps: int = 8,
+    codec: str = "sz-lr",
+    error_bound: float = 1e-3,
+    field: str = "baryon_density",
+    parallel: str = "serial",
+    workers: int | None = 2,
+) -> list[InsituRow]:
+    """Measure streaming vs batch campaign compression on a Nyx-like run.
+
+    Parameters
+    ----------
+    scale:
+        Grid-size multiplier on the default 64^3 coarse grid.
+    steps:
+        Campaign length (timesteps).
+    codec, error_bound:
+        Compression spec, shared by both paths.
+    field:
+        Field to compress (the generators still synthesize all six Nyx
+        fields per step — faithful to what a solver would hand over).
+    parallel, workers:
+        Execution mode for the per-patch compression map.
+    """
+    cfg = NyxConfig(coarse_n=max(8, int(round(64 * scale))))
+    rows: list[InsituRow] = []
+    with tempfile.TemporaryDirectory(prefix="repro-insitu-") as tmp:
+        stream_path = Path(tmp) / "stream.rph2s"
+        batch_path = Path(tmp) / "batch.rph2s"
+
+        def streaming() -> int:
+            from repro.amr.io import write_series
+
+            write_series(
+                stream_path, nyx_step_stream(steps, cfg), codec=codec,
+                error_bound=error_bound, fields=[field], parallel=parallel,
+                workers=workers,
+            )
+            return stream_path.stat().st_size
+
+        def batch() -> int:
+            from repro.amr.io import write_series
+
+            # Materialize the whole campaign first (the post-hoc workflow),
+            # then run the identical compression pass — so the two rows
+            # differ only in *when* each snapshot exists.
+            campaign = [s for s in nyx_step_stream(steps, cfg)]
+            write_series(
+                batch_path, campaign, codec=codec, error_bound=error_bound,
+                fields=[field], parallel=parallel, workers=workers,
+            )
+            return batch_path.stat().st_size
+
+        for name, fn, path in (
+            ("streaming", streaming, stream_path),
+            ("batch", batch, batch_path),
+        ):
+            out_bytes, wall, peak = _traced(fn)
+            from repro.amr.io import open_series
+
+            with open_series(path) as reader:
+                raw = reader.original_bytes
+                ratio = raw / reader.compressed_bytes
+            rows.append(
+                InsituRow(
+                    path=name,
+                    steps=steps,
+                    raw_mb=raw / 1e6,
+                    wall_s=wall,
+                    mb_s=raw / 1e6 / wall,
+                    peak_mb=peak / 1e6,
+                    out_mb=out_bytes / 1e6,
+                    ratio=ratio,
+                )
+            )
+    return rows

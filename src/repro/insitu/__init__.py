@@ -1,0 +1,35 @@
+"""In-situ streaming compression: the RPH2S time-series container.
+
+The batch path (:mod:`repro.compression.amr_codec`) compresses one fully
+materialized hierarchy; this subsystem compresses a *campaign* as the
+solver produces it, timestep after timestep, with bounded memory:
+
+* :class:`~repro.insitu.writer.StreamingWriter` — accepts patches/levels
+  incrementally, pipelines compression through the :mod:`repro.parallel`
+  pool, and appends each finished step as a self-contained RPH2 segment;
+* :class:`~repro.insitu.series.SeriesReader` — footer-located timestep
+  index giving ``(step, level, field, patch)`` random access that reads
+  O(selection) bytes.
+
+High-level helpers live in :mod:`repro.amr.io` (``write_series`` /
+``append_step`` / ``open_series``); the format spec is in
+``docs/container_format.md``.
+"""
+
+from repro.insitu.series import (
+    SERIES_FOOTER_MAGIC,
+    SERIES_MAGIC,
+    SERIES_VERSION,
+    SeriesReader,
+    SeriesStepEntry,
+)
+from repro.insitu.writer import StreamingWriter
+
+__all__ = [
+    "SERIES_MAGIC",
+    "SERIES_FOOTER_MAGIC",
+    "SERIES_VERSION",
+    "SeriesReader",
+    "SeriesStepEntry",
+    "StreamingWriter",
+]

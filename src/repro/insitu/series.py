@@ -1,0 +1,395 @@
+"""RPH2S: a seekable time-series container of RPH2 snapshot segments.
+
+The paper compresses patch-based AMR data *in situ* — timestep after
+timestep as the solver emits it. A campaign therefore needs a container
+that (a) can be appended to while the simulation runs and (b) still gives
+random access to ``(step, level, field, patch)`` afterwards. RPH2S does
+both by reusing the RPH2 snapshot container as its segment type:
+
+.. code-block:: text
+
+    offset 0   magic    b"RPH2S"                                (5 bytes)
+    offset 5   u8       series version (currently 1)
+    offset 6   segments, back to back; each segment is a complete,
+               self-contained RPH2 container (internal offsets relative
+               to the segment start)
+    ...        series index: JSON document (see below)
+    EOF-28     footer: u64 index_offset, u64 index_length,
+               u32 crc32(index bytes), footer magic b"RPH2SIDX"
+
+The 4-byte prefix of the magic is deliberately ``b"RPH2"``: a snapshot
+reader handed a series file sees "version" ``0x53`` (``"S"``) and raises a
+pointer to this module instead of a cryptic failure.
+
+Series index schema (JSON)::
+
+    {
+      "format": "rph2s", "version": 1,
+      "codec": str, "error_bound": float, "mode": str,
+      "fields": [str, ...], "exclude_covered": bool,
+      "steps": [[step, offset, length, crc32, container_version,
+                 time, n_levels, n_patches, original_bytes], ...]
+    }
+
+Each row maps a timestep number to its segment's absolute byte ``offset``
+and ``length``, the crc32 of the whole segment, the segment's own RPH2
+format version (all rows must agree — mixed-version series are rejected at
+open), the simulation ``time``, and size accounting. Random access to one
+patch of one step costs O(series footer + series index + segment footer +
+segment index + that stream) bytes, never O(file).
+
+Written by :class:`repro.insitu.writer.StreamingWriter`; the format spec
+lives in ``docs/container_format.md``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from repro.compression.container import (
+    CONTAINER_VERSION,
+    ContainerReader,
+    _normalize_selector,
+)
+from repro.errors import FormatError
+
+__all__ = [
+    "SERIES_MAGIC",
+    "SERIES_FOOTER_MAGIC",
+    "SERIES_VERSION",
+    "SeriesStepEntry",
+    "SeriesReader",
+]
+
+SERIES_MAGIC = b"RPH2S"
+SERIES_FOOTER_MAGIC = b"RPH2SIDX"
+SERIES_VERSION = 1
+_SERIES_HEADER = struct.Struct("<5sB")
+_SERIES_FOOTER = struct.Struct("<QQI8s")
+
+#: Series-level meta keys serialized into the index besides the step rows.
+_SERIES_META_KEYS = ("codec", "error_bound", "mode", "fields", "exclude_covered")
+
+
+@dataclass(frozen=True)
+class SeriesStepEntry:
+    """One row of the timestep index: where a segment lives, how to check
+    it, and what it holds."""
+
+    step: int
+    offset: int
+    length: int
+    crc32: int
+    container_version: int
+    time: float
+    n_levels: int
+    n_patches: int
+    original_bytes: int
+
+    def describe(self) -> str:
+        """Human-readable step identifier for error messages."""
+        return f"(step={self.step}, time={self.time:g})"
+
+    def row(self) -> list:
+        """The JSON-index row representation of this entry."""
+        return [
+            self.step, self.offset, self.length, self.crc32,
+            self.container_version, self.time, self.n_levels,
+            self.n_patches, self.original_bytes,
+        ]
+
+
+class _SegmentWindow:
+    """Seekable read-only view of ``[start, start + length)`` of a base file.
+
+    Lets :class:`~repro.compression.container.ContainerReader` operate on an
+    embedded segment unchanged: the segment's internal offsets are relative
+    to the segment start, and this window translates them to absolute seeks
+    on the shared handle.
+    """
+
+    def __init__(self, base: BinaryIO, start: int, length: int):
+        self._base = base
+        self._start = start
+        self._length = length
+        self._pos = 0
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            pos = offset
+        elif whence == io.SEEK_CUR:
+            pos = self._pos + offset
+        elif whence == io.SEEK_END:
+            pos = self._length + offset
+        else:  # pragma: no cover - mirrors io semantics
+            raise ValueError(f"invalid whence {whence}")
+        if pos < 0:
+            raise ValueError("negative seek position")
+        self._pos = pos
+        return pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, size: int = -1) -> bytes:
+        if self._pos >= self._length:
+            return b""
+        budget = self._length - self._pos
+        n = budget if size is None or size < 0 else min(size, budget)
+        self._base.seek(self._start + self._pos)
+        out = self._base.read(n)
+        self._pos += len(out)
+        return out
+
+
+class SeriesReader:
+    """Random access over a seekable ``RPH2S`` time-series container.
+
+    Reads the series footer and timestep index eagerly (a few hundred bytes
+    for typical campaigns); individual segments are opened lazily through
+    windowed :class:`~repro.compression.container.ContainerReader` views, so
+    a single-patch fetch consumes O(selection) bytes of the payload.
+
+    Parameters
+    ----------
+    fileobj:
+        Seekable binary file-like object positioned anywhere. The reader
+        does not own it unless constructed through :meth:`open`.
+    """
+
+    def __init__(self, fileobj: BinaryIO):
+        self._file = fileobj
+        self._owns = False
+        fileobj.seek(0, io.SEEK_END)
+        total = fileobj.tell()
+        if total < _SERIES_HEADER.size + _SERIES_FOOTER.size:
+            raise FormatError(f"series too short ({total} bytes) for RPH2S framing")
+        fileobj.seek(0)
+        magic, version = _SERIES_HEADER.unpack(fileobj.read(_SERIES_HEADER.size))
+        if magic != SERIES_MAGIC:
+            raise FormatError(
+                f"not an RPH2S series (magic {magic!r}, expected {SERIES_MAGIC!r})"
+            )
+        if version != SERIES_VERSION:
+            raise FormatError(f"unsupported series version {version}")
+        fileobj.seek(total - _SERIES_FOOTER.size)
+        index_offset, index_length, index_crc, footer_magic = _SERIES_FOOTER.unpack(
+            fileobj.read(_SERIES_FOOTER.size)
+        )
+        if footer_magic != SERIES_FOOTER_MAGIC:
+            raise FormatError(
+                f"bad series footer magic {footer_magic!r} (truncated file?)"
+            )
+        if index_offset + index_length > total - _SERIES_FOOTER.size:
+            raise FormatError("series index extends past end of file (truncated?)")
+        fileobj.seek(index_offset)
+        index_bytes = fileobj.read(index_length)
+        if len(index_bytes) != index_length or zlib.crc32(index_bytes) != index_crc:
+            raise FormatError("series index checksum mismatch (corrupt timestep index)")
+        try:
+            index = json.loads(index_bytes.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FormatError(f"corrupt series index: {exc}") from exc
+        try:
+            if index["format"] != "rph2s":
+                raise FormatError(f"unexpected index format {index['format']!r}")
+            self._meta = {k: index[k] for k in _SERIES_META_KEYS}
+            self._index_offset = index_offset
+            self.step_entries: list[SeriesStepEntry] = [
+                SeriesStepEntry(
+                    int(s), int(off), int(ln), int(crc), int(cver),
+                    float(t), int(nl), int(np_), int(ob),
+                )
+                for s, off, ln, crc, cver, t, nl, np_, ob in index["steps"]
+            ]
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FormatError(f"malformed series index: {exc!r}") from exc
+        versions = {e.container_version for e in self.step_entries}
+        if len(versions) > 1:
+            raise FormatError(
+                f"mixed segment container versions {sorted(versions)}: an RPH2S "
+                "series must carry one container version end to end"
+            )
+        if versions and versions != {CONTAINER_VERSION}:
+            raise FormatError(
+                f"unsupported segment container version {versions.pop()}"
+            )
+        last = None
+        for e in self.step_entries:
+            if e.step < 0 or last is not None and e.step <= last:
+                raise FormatError(
+                    f"series index steps must be strictly increasing; entry "
+                    f"{e.describe()} follows step {last}"
+                )
+            last = e.step
+            if e.offset < _SERIES_HEADER.size or e.offset + e.length > index_offset:
+                raise FormatError(
+                    f"series segment {e.describe()} points outside the payload "
+                    "(truncated segment?)"
+                )
+        self._by_step = {e.step: e for e in self.step_entries}
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path) -> "SeriesReader":
+        """Open a series file for random access (reader owns the handle)."""
+        fileobj = Path(path).open("rb")
+        try:
+            reader = cls(fileobj)
+        except Exception:
+            fileobj.close()
+            raise
+        reader._owns = True
+        return reader
+
+    def close(self) -> None:
+        """Close the underlying file if this reader opened it."""
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "SeriesReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def codec(self) -> str:
+        """Default codec name recorded at write time."""
+        return str(self._meta["codec"])
+
+    @property
+    def error_bound(self) -> float:
+        """Error bound the series was compressed under."""
+        return float(self._meta["error_bound"])
+
+    @property
+    def mode(self) -> str:
+        """Error-bound mode (``"abs"`` or ``"rel"``)."""
+        return str(self._meta["mode"])
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Compressed field names (identical across steps)."""
+        return tuple(self._meta["fields"])
+
+    @property
+    def exclude_covered(self) -> bool:
+        """Whether the §2.2 covered-cell optimization was applied."""
+        return bool(self._meta["exclude_covered"])
+
+    @property
+    def n_steps(self) -> int:
+        """Number of timesteps in the series."""
+        return len(self.step_entries)
+
+    @property
+    def steps(self) -> tuple[int, ...]:
+        """Stored timestep numbers, ascending."""
+        return tuple(e.step for e in self.step_entries)
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """Simulation times, one per stored step."""
+        return tuple(e.time for e in self.step_entries)
+
+    @property
+    def original_bytes(self) -> int:
+        """Uncompressed size of the stored fields across all steps."""
+        return sum(e.original_bytes for e in self.step_entries)
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total segment size across all steps (payload + per-step indexes)."""
+        return sum(e.length for e in self.step_entries)
+
+    def meta(self) -> dict[str, Any]:
+        """Copy of the series-level metadata."""
+        return dict(self._meta)
+
+    # ------------------------------------------------------------------
+    # Random access
+    # ------------------------------------------------------------------
+    def entry(self, step: int) -> SeriesStepEntry:
+        """Look up the timestep-index entry for one step."""
+        try:
+            return self._by_step[int(step)]
+        except KeyError:
+            raise FormatError(
+                f"series has no step {step} (have {list(self.steps)})"
+            ) from None
+
+    def open_step(self, step: int) -> ContainerReader:
+        """Open one timestep's embedded RPH2 segment for random access.
+
+        Only the segment's footer and index are read eagerly; streams are
+        fetched lazily through the shared file handle.
+        """
+        e = self.entry(step)
+        try:
+            return ContainerReader(_SegmentWindow(self._file, e.offset, e.length))
+        except FormatError as exc:
+            raise FormatError(f"series step {e.describe()}: {exc}") from exc
+
+    def verify_step(self, step: int) -> None:
+        """Check a whole segment's crc32 against the timestep index.
+
+        Reads the full segment — O(segment) bytes — so it is an explicit
+        integrity sweep, not part of the random-access path (stream-level
+        crcs already guard individual reads).
+        """
+        e = self.entry(step)
+        self._file.seek(e.offset)
+        blob = self._file.read(e.length)
+        if len(blob) != e.length or zlib.crc32(blob) != e.crc32:
+            raise FormatError(f"segment checksum mismatch at step {e.describe()}")
+
+    def read_patch(
+        self, step: int, level: int, field: str, patch: int, verify: bool = True
+    ) -> np.ndarray:
+        """Decompress a single patch identified by ``(step, level, field,
+        patch)`` — the series-extended random-access primitive."""
+        return self.open_step(step).read_patch(level, field, patch, verify=verify)
+
+    def select(
+        self,
+        steps=None,
+        levels=None,
+        fields=None,
+        patches=None,
+        verify: bool = True,
+        parallel: str = "serial",
+        workers: int = 2,
+    ) -> dict[tuple[int, int, str, int], np.ndarray]:
+        """Decompress the subset of patches matching the selectors.
+
+        ``steps`` / ``levels`` / ``fields`` / ``patches`` accept a scalar,
+        an iterable, or ``None`` (no restriction); results are keyed by
+        ``(step, level, field, patch)``. Only the selected steps' segment
+        indexes are ever read — unselected segments cost zero payload bytes.
+        """
+        want_steps = _normalize_selector(steps, "step")
+        out: dict[tuple[int, int, str, int], np.ndarray] = {}
+        for e in self.step_entries:
+            if want_steps is not None and e.step not in want_steps:
+                continue
+            sub = self.open_step(e.step).select(
+                levels=levels, fields=fields, patches=patches, verify=verify,
+                parallel=parallel, workers=workers,
+            )
+            for (lev, field, p_idx), arr in sub.items():
+                out[(e.step, lev, field, p_idx)] = arr
+        return out

@@ -1,0 +1,485 @@
+"""In-situ streaming writer for RPH2S time-series containers.
+
+:class:`StreamingWriter` accepts patches incrementally — in the order a
+(simulated) solver produces them — and compresses them *while the step is
+still accumulating*: each ``add_patch`` submits the array to the
+:mod:`repro.parallel` pool and the writer drains finished blobs straight to
+disk in submission order. Memory stays bounded by the in-flight window
+(``max_pending`` raw patches plus their compressed blobs), never by the
+hierarchy or the campaign:
+
+.. code-block:: python
+
+    from repro.insitu import StreamingWriter
+    from repro.sims import nyx_step_stream
+
+    with StreamingWriter.create("run.rph2s", codec="sz-lr",
+                                error_bound=1e-3, parallel="thread") as w:
+        for s in nyx_step_stream(16):                 # lazy generator
+            w.append_step(s.hierarchy, time=s.time, step=s.index)
+
+Each finished step becomes a complete, self-contained RPH2 segment; the
+timestep index and series footer are written at :meth:`StreamingWriter.close`.
+When patches are fed in the canonical layout order (level ascending, field
+sorted, patch ascending — what :meth:`append_step` does), a segment is
+byte-identical to the batch :func:`repro.compression.amr_codec.compress_hierarchy`
+output for the same data.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import BinaryIO, Sequence
+
+import numpy as np
+
+from repro.amr.coverage import level_covered_masks
+from repro.amr.hierarchy import AMRHierarchy
+from repro.compression.amr_codec import (
+    _compress_task,
+    _fill_covered,
+    resolve_patch_codec,
+)
+from repro.compression.base import Compressor
+from repro.compression.container import (
+    CONTAINER_VERSION,
+    build_index_bytes,
+    pack_footer,
+    pack_header,
+)
+from repro.errors import CompressionError, FormatError
+from repro.insitu.series import (
+    SERIES_FOOTER_MAGIC,
+    SERIES_MAGIC,
+    SERIES_VERSION,
+    _SERIES_FOOTER,
+    _SERIES_HEADER,
+    SeriesReader,
+    SeriesStepEntry,
+)
+from repro.parallel.pool import EXECUTION_MODES, resolve_workers
+
+__all__ = ["StreamingWriter"]
+
+
+class StreamingWriter:
+    """Append-only RPH2S writer with pipelined, bounded-memory compression.
+
+    Parameters
+    ----------
+    fileobj:
+        Writable binary file positioned at the start of a fresh file (or at
+        the resume point when reopened through :meth:`append_to`). Prefer
+        the :meth:`create` / :meth:`append_to` constructors, which own the
+        handle.
+    codec:
+        Registry name or codec instance; resolved through
+        :func:`repro.compression.amr_codec.resolve_patch_codec` so streams
+        match the batch compressor byte for byte.
+    error_bound, mode:
+        Series-wide error-bound spec (individual patches may override via
+        :meth:`add_patch`, e.g. for the covered-cell optimization).
+    fields:
+        Field names the series carries. ``None`` infers them from the first
+        finished step; every later step must carry the same fields.
+    exclude_covered:
+        Recorded in the metadata; :meth:`append_step` applies the §2.2
+        covered-cell fill when set.
+    parallel, workers:
+        Execution mode for the per-patch compression pipeline
+        (``"serial"``, ``"thread"``, or ``"process"``).
+    max_pending:
+        In-flight patch limit for the parallel modes (default
+        ``2 * workers``): the hard bound on buffered raw arrays.
+    """
+
+    def __init__(
+        self,
+        fileobj: BinaryIO,
+        codec: str | Compressor,
+        error_bound: float,
+        mode: str = "rel",
+        fields: Sequence[str] | None = None,
+        exclude_covered: bool = False,
+        parallel: str = "serial",
+        workers: int | None = 2,
+        max_pending: int | None = None,
+        _resume: tuple[int, list[SeriesStepEntry]] | None = None,
+    ):
+        if mode not in ("abs", "rel"):
+            raise CompressionError(f"unknown error-bound mode {mode!r}")
+        if parallel not in EXECUTION_MODES:
+            raise CompressionError(
+                f"unknown execution mode {parallel!r} (have {EXECUTION_MODES})"
+            )
+        self._comp = resolve_patch_codec(codec)
+        self._eb = float(error_bound)
+        self._mode = mode
+        self._fields: tuple[str, ...] | None = tuple(fields) if fields is not None else None
+        self._exclude_covered = bool(exclude_covered)
+        self._file = fileobj
+        self._owns = False
+        self._closed = False
+        self._in_step = False
+        self._pool: Executor | None = None
+        if parallel != "serial":
+            n = resolve_workers(workers)
+            pool_cls = ThreadPoolExecutor if parallel == "thread" else ProcessPoolExecutor
+            self._pool = pool_cls(max_workers=n)
+            self._max_pending = int(max_pending) if max_pending else 2 * n
+            if self._max_pending < 1:
+                raise CompressionError(f"max_pending must be >= 1, got {max_pending}")
+        else:
+            self._max_pending = 1
+        if _resume is None:
+            self._steps: list[SeriesStepEntry] = []
+            self._pos = 0
+            self._write(_SERIES_HEADER.pack(SERIES_MAGIC, SERIES_VERSION))
+        else:
+            self._pos, self._steps = _resume
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        codec: str | Compressor,
+        error_bound: float,
+        mode: str = "rel",
+        fields: Sequence[str] | None = None,
+        exclude_covered: bool = False,
+        parallel: str = "serial",
+        workers: int | None = 2,
+        max_pending: int | None = None,
+        overwrite: bool = False,
+    ) -> "StreamingWriter":
+        """Create a fresh series file (writer owns the handle)."""
+        target = Path(path)
+        if target.exists() and not overwrite:
+            raise FormatError(f"series path {target} already exists (pass overwrite=True)")
+        fileobj = target.open("wb")
+        try:
+            writer = cls(
+                fileobj, codec, error_bound, mode=mode, fields=fields,
+                exclude_covered=exclude_covered, parallel=parallel,
+                workers=workers, max_pending=max_pending,
+            )
+        except Exception:
+            fileobj.close()
+            raise
+        writer._owns = True
+        return writer
+
+    @classmethod
+    def append_to(
+        cls,
+        path: str | Path,
+        parallel: str = "serial",
+        workers: int | None = 2,
+        max_pending: int | None = None,
+    ) -> "StreamingWriter":
+        """Reopen an existing series for appending more timesteps.
+
+        The file's own metadata (codec, bound, fields) is authoritative;
+        existing segments are left untouched and the timestep index is
+        rewritten on :meth:`close`. This is the in-situ restart path: a
+        resumed simulation keeps extending the same container.
+        """
+        with SeriesReader.open(path) as reader:
+            meta = reader.meta()
+            rows = list(reader.step_entries)
+            resume_pos = reader._index_offset
+        fileobj = Path(path).open("r+b")
+        try:
+            # Construct (and validate every argument) BEFORE truncating: a
+            # bad parallel/workers value must not destroy a valid series.
+            writer = cls(
+                fileobj,
+                str(meta["codec"]),
+                float(meta["error_bound"]),
+                mode=str(meta["mode"]),
+                fields=tuple(meta["fields"]) or None,
+                exclude_covered=bool(meta["exclude_covered"]),
+                parallel=parallel,
+                workers=workers,
+                max_pending=max_pending,
+                _resume=(resume_pos, rows),
+            )
+            fileobj.seek(resume_pos)
+            fileobj.truncate()
+        except Exception:
+            fileobj.close()
+            raise
+        writer._owns = True
+        return writer
+
+    def __enter__(self) -> "StreamingWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            try:
+                self.close()
+            except BaseException:
+                self.abort()
+                raise
+        else:
+            self.abort()
+
+    # ------------------------------------------------------------------
+    # Low-level byte accounting
+    # ------------------------------------------------------------------
+    def _write(self, blob: bytes) -> None:
+        self._file.write(blob)
+        self._pos += len(blob)
+        if self._in_step:
+            self._seg_crc = zlib.crc32(blob, self._seg_crc)
+
+    def _write_stream(self, level: int, field: str, p_idx: int, blob: bytes) -> None:
+        rel = self._pos - self._seg_start
+        self._entries.append(
+            [level, field, p_idx, rel, len(blob), self._comp.name, zlib.crc32(blob)]
+        )
+        self._write(blob)
+
+    def _drain(self, down_to: int) -> None:
+        """Retire finished compression futures (FIFO keeps disk order
+        deterministic) until at most ``down_to`` remain in flight."""
+        while len(self._pending) > down_to:
+            level, field, p_idx, fut = self._pending.popleft()
+            self._write_stream(level, field, p_idx, fut.result())
+
+    # ------------------------------------------------------------------
+    # Step protocol
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        """Timesteps recorded so far (including any resumed from disk)."""
+        return len(self._steps)
+
+    @property
+    def next_step(self) -> int:
+        """Step number :meth:`begin_step` will assign by default."""
+        return self._steps[-1].step + 1 if self._steps else 0
+
+    def begin_step(self, step: int | None = None, time: float | None = None) -> int:
+        """Open a new timestep segment and return its step number.
+
+        Step numbers must be strictly increasing but need not be contiguous
+        (a solver may emit every Nth snapshot).
+        """
+        if self._closed:
+            raise CompressionError("writer is closed")
+        if self._in_step:
+            raise CompressionError("previous step still open; call end_step() first")
+        n = self.next_step if step is None else int(step)
+        if self._steps and n <= self._steps[-1].step:
+            raise CompressionError(
+                f"step numbers must be strictly increasing: got {n} after "
+                f"{self._steps[-1].step}"
+            )
+        self._in_step = True
+        self._cur_step = n
+        self._step_time = float(n) if time is None else float(time)
+        self._seg_start = self._pos
+        self._seg_crc = 0
+        self._entries: list[list] = []
+        self._counts: dict[tuple[int, str], int] = {}
+        self._orig_bytes = 0
+        self._pending: deque = deque()
+        self._write(pack_header())
+        return n
+
+    def add_patch(
+        self,
+        level: int,
+        field: str,
+        data: np.ndarray,
+        error_bound: float | None = None,
+        mode: str | None = None,
+    ) -> None:
+        """Feed one patch of the open step into the compression pipeline.
+
+        Patch indices are assigned per ``(level, field)`` in arrival order.
+        ``error_bound`` / ``mode`` override the series-wide bound for this
+        patch only (used by the covered-cell optimization, which fixes an
+        absolute bound before filling).
+        """
+        if not self._in_step:
+            raise CompressionError("no open step; call begin_step() first")
+        level = int(level)
+        if level < 0:
+            raise CompressionError(f"level must be >= 0, got {level}")
+        if self._fields is not None and field not in self._fields:
+            raise CompressionError(
+                f"field {field!r} is not part of this series (have {list(self._fields)})"
+            )
+        arr = np.asarray(data)
+        self._orig_bytes += arr.nbytes
+        p_idx = self._counts.get((level, field), 0)
+        self._counts[(level, field)] = p_idx + 1
+        eb = self._eb if error_bound is None else float(error_bound)
+        md = self._mode if mode is None else mode
+        task = (self._comp, arr, eb, md)
+        if self._pool is None:
+            self._write_stream(level, field, p_idx, _compress_task(task))
+        else:
+            self._pending.append((level, field, p_idx, self._pool.submit(_compress_task, task)))
+            self._drain(self._max_pending - 1)
+
+    def end_step(self) -> SeriesStepEntry:
+        """Finish the open step: flush the pipeline, write the segment's
+        index and footer, and record the step in the timestep index."""
+        if not self._in_step:
+            raise CompressionError("no open step to end")
+        self._drain(0)
+        if not self._entries:
+            self._in_step = False
+            raise CompressionError("empty timestep: add at least one patch before end_step()")
+        step_fields = []
+        for _, field, *_ in self._entries:
+            if field not in step_fields:
+                step_fields.append(field)
+        if self._fields is None:
+            self._fields = tuple(step_fields)
+        elif set(step_fields) != set(self._fields):
+            self._in_step = False
+            raise CompressionError(
+                f"step {self._cur_step} carries fields {step_fields}, but the "
+                f"series carries {list(self._fields)}"
+            )
+        self._entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        n_levels = self._entries[-1][0] + 1
+        meta = {
+            "codec": self._comp.name,
+            "error_bound": self._eb,
+            "mode": self._mode,
+            "fields": list(self._fields),
+            "exclude_covered": self._exclude_covered,
+            "original_bytes": self._orig_bytes,
+        }
+        index_bytes = build_index_bytes(meta, n_levels, self._entries)
+        rel_index_offset = self._pos - self._seg_start
+        self._write(index_bytes)
+        self._write(pack_footer(rel_index_offset, len(index_bytes), zlib.crc32(index_bytes)))
+        entry = SeriesStepEntry(
+            step=self._cur_step,
+            offset=self._seg_start,
+            length=self._pos - self._seg_start,
+            crc32=self._seg_crc,
+            container_version=CONTAINER_VERSION,
+            time=self._step_time,
+            n_levels=n_levels,
+            n_patches=len(self._entries),
+            original_bytes=self._orig_bytes,
+        )
+        self._steps.append(entry)
+        self._in_step = False
+        return entry
+
+    def append_step(
+        self,
+        hierarchy: AMRHierarchy,
+        time: float | None = None,
+        step: int | None = None,
+        fields: Sequence[str] | None = None,
+    ) -> SeriesStepEntry:
+        """Append one whole hierarchy as the next timestep.
+
+        Convenience wrapper over the ``begin_step`` / ``add_patch`` /
+        ``end_step`` protocol that feeds patches in the canonical layout
+        order (level ascending, field sorted, patch ascending), so the
+        resulting segment is byte-identical to
+        :func:`~repro.compression.amr_codec.compress_hierarchy` +
+        ``tobytes()`` on the same data. Applies the covered-cell fill when
+        the writer was created with ``exclude_covered=True``.
+        """
+        if fields is not None:
+            names = tuple(fields)
+        elif self._fields is not None:
+            names = self._fields
+        else:
+            names = hierarchy.field_names
+        for name in names:
+            if name not in hierarchy.field_names:
+                raise CompressionError(f"hierarchy has no field {name!r}")
+        # Reject a field-set mismatch BEFORE compressing anything: end_step
+        # would catch it too, but only after the whole rejected segment's
+        # bytes had been written (and permanently orphaned) in the file.
+        if self._fields is not None and set(names) != set(self._fields):
+            raise CompressionError(
+                f"step carries fields {sorted(names)}, but the series "
+                f"carries {sorted(self._fields)}"
+            )
+        if self._fields is None:
+            self._fields = names
+        self.begin_step(step=step, time=time)
+        try:
+            for lev_idx, lev in enumerate(hierarchy):
+                masks = (
+                    level_covered_masks(hierarchy, lev_idx)
+                    if self._exclude_covered
+                    else None
+                )
+                for name in sorted(names):
+                    for p_idx, patch in enumerate(lev.patches(name)):
+                        data = patch.data
+                        if masks is not None and masks[p_idx].any():
+                            # Mirror the batch path: resolve the bound
+                            # against the original values, then fill.
+                            eb_abs = self._comp.resolve_error_bound(data, self._eb, self._mode)
+                            data = _fill_covered(data, masks[p_idx])
+                            self.add_patch(lev_idx, name, data, error_bound=eb_abs, mode="abs")
+                        else:
+                            self.add_patch(lev_idx, name, data)
+        except Exception:
+            self._in_step = False
+            raise
+        return self.end_step()
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Write the timestep index and series footer, then release
+        resources. The file is not a valid RPH2S container until this runs."""
+        if self._closed:
+            return
+        if self._in_step:
+            raise CompressionError("cannot close with an open step; call end_step() first")
+        index = {
+            "format": "rph2s",
+            "version": SERIES_VERSION,
+            "codec": self._comp.name,
+            "error_bound": self._eb,
+            "mode": self._mode,
+            "fields": list(self._fields) if self._fields is not None else [],
+            "exclude_covered": self._exclude_covered,
+            "steps": [e.row() for e in self._steps],
+        }
+        index_bytes = json.dumps(index, separators=(",", ":")).encode()
+        index_offset = self._pos
+        self._write(index_bytes)
+        self._write(
+            _SERIES_FOOTER.pack(
+                index_offset, len(index_bytes), zlib.crc32(index_bytes), SERIES_FOOTER_MAGIC
+            )
+        )
+        self._file.flush()
+        self.abort()
+
+    def abort(self) -> None:
+        """Release the pool and file handle without finalizing the index."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._owns:
+            self._file.close()

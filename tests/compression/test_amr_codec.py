@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import io
-import json
-import struct
 
 import numpy as np
 import pytest
@@ -19,29 +17,6 @@ from repro.compression.amr_codec import (
 )
 from repro.compression.container import ContainerReader
 from repro.errors import CompressionError
-
-
-def make_legacy_bytes(container: CompressedHierarchy) -> bytes:
-    """Serialize in the pre-index RPRH layout (what old releases wrote)."""
-    index = {
-        "codec": container.codec,
-        "error_bound": container.error_bound,
-        "mode": container.mode,
-        "fields": list(container.fields),
-        "exclude_covered": container.exclude_covered,
-        "original_bytes": container.original_bytes,
-        "levels": [
-            {field: [len(b) for b in plist] for field, plist in level.items()}
-            for level in container.streams
-        ],
-    }
-    head = json.dumps(index, separators=(",", ":")).encode()
-    out = bytearray(b"RPRH" + struct.pack("<I", len(head)) + head)
-    for level in container.streams:
-        for field in sorted(level):
-            for blob in level[field]:
-                out += blob
-    return bytes(out)
 
 
 class CountingBytesIO(io.BytesIO):
@@ -222,32 +197,26 @@ class TestSelectiveDecompression:
             decompress_selection(raw, patches=object())
 
 
-class TestLegacyShim:
-    def test_legacy_blob_parses(self, sphere_hierarchy):
-        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
-        legacy = make_legacy_bytes(container)
-        parsed = CompressedHierarchy.frombytes(legacy)
-        assert parsed.codec == container.codec
-        assert parsed.streams == container.streams
-        out = decompress_hierarchy(parsed, sphere_hierarchy)
-        assert out.n_levels == 2
+class TestLegacyRemoval:
+    """The pre-index RPRH read shim is gone; the magic must be *named* in
+    the rejection so users know what they are holding."""
 
-    def test_legacy_selection_supported(self, sphere_hierarchy, tmp_path):
-        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
-        legacy = make_legacy_bytes(container)
-        sel = decompress_selection(legacy, levels=1)
-        assert list(sel) == [(1, "f", 0)]
-        path = tmp_path / "old.rprh"
-        path.write_bytes(legacy)
-        from_path = decompress_selection(path, levels=1)
-        assert np.array_equal(sel[(1, "f", 0)], from_path[(1, "f", 0)])
+    def test_legacy_magic_rejected_with_clear_error(self):
+        from repro.errors import FormatError
 
-    def test_legacy_reserializes_as_indexed(self, sphere_hierarchy):
-        # Reading an old blob and writing it back upgrades the format.
-        container = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3)
-        parsed = CompressedHierarchy.frombytes(make_legacy_bytes(container))
-        assert parsed.tobytes()[:4] == b"RPH2"
-        assert parsed.tobytes() == container.tobytes()
+        with pytest.raises(FormatError, match="unsupported legacy magic"):
+            CompressedHierarchy.frombytes(b"RPRH" + b"\x00" * 64)
+
+    def test_legacy_error_names_remedy(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError, match="re-compress"):
+            CompressedHierarchy.frombytes(b"RPRH\x10\x00\x00\x00")
+
+    def test_steps_selector_rejected_on_snapshot(self, sphere_hierarchy):
+        raw = compress_hierarchy(sphere_hierarchy, "sz-lr", 1e-3).tobytes()
+        with pytest.raises(CompressionError, match="single-snapshot"):
+            decompress_selection(raw, steps=0)
 
 
 class TestAverageDown:

@@ -116,3 +116,70 @@ class TestContainerCommands:
     def test_extract_empty_selection_fails(self, container_file, tmp_path, capsys):
         assert main(["extract", str(container_file), "--level", "9"]) == 1
         assert "no patches" in capsys.readouterr().err
+
+
+class TestSeriesCommands:
+    @pytest.fixture
+    def plotfile_steps(self, sphere_hierarchy, tmp_path):
+        """Three plotfile directories, one per timestep."""
+        dirs = []
+        for i in range(3):
+            h = sphere_hierarchy.map_fields(lambda lev, name, d, i=i: d * (1 + 0.5 * i))
+            dirs.append(str(write_plotfile(tmp_path / f"plt_{i:04d}", h)))
+        return dirs
+
+    @pytest.fixture
+    def series_file(self, plotfile_steps, tmp_path):
+        out = tmp_path / "run.rph2s"
+        assert main(["stream", *plotfile_steps, "-o", str(out), "--fields", "f"]) == 0
+        return out
+
+    def test_stream_reports_steps(self, plotfile_steps, tmp_path, capsys):
+        out = tmp_path / "r.rph2s"
+        assert main(["stream", *plotfile_steps, "-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "step 0" in text and "step 2" in text and "3 steps written" in text
+
+    def test_stream_rejects_ambiguous_source(self, plotfile_steps, tmp_path, capsys):
+        out = tmp_path / "r.rph2s"
+        assert main(["stream", "-o", str(out)]) == 2
+        assert main(["stream", *plotfile_steps, "--sim", "nyx", "-o", str(out)]) == 2
+
+    def test_inspect_series_walks_timestep_index(self, series_file, capsys):
+        capsys.readouterr()
+        assert main(["inspect", str(series_file)]) == 0
+        out = capsys.readouterr().out
+        assert "RPH2S time series" in out
+        assert "steps:    3" in out
+        assert "ratio" in out
+
+    def test_extract_step_patch(self, series_file, tmp_path, sphere_hierarchy, capsys):
+        out = tmp_path / "p.npy"
+        assert main([
+            "extract", str(series_file), "-o", str(out),
+            "--step", "2", "--level", "1", "--field", "f", "--patch", "0",
+        ]) == 0
+        data = np.load(out)
+        orig = 2.0 * sphere_hierarchy[1].patches("f")[0].data
+        eb = 1e-3 * (orig.max() - orig.min())
+        assert np.abs(data - orig).max() <= eb * (1 + 1e-9)
+
+    def test_extract_steps_to_npz(self, series_file, tmp_path, capsys):
+        out = tmp_path / "sel.npz"
+        assert main([
+            "extract", str(series_file), "-o", str(out), "--step", "0,1", "--level", "0"
+        ]) == 0
+        with np.load(out) as bundle:
+            assert sorted(bundle.files) == [
+                "step00000_level0_f_patch00000",
+                "step00001_level0_f_patch00000",
+            ]
+
+    def test_inspect_empty_series(self, tmp_path, capsys):
+        from repro.insitu import StreamingWriter
+
+        out = tmp_path / "empty.rph2s"
+        StreamingWriter.create(out, "sz-lr", 1e-3, fields=["f"]).close()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "steps:    0" in text and "nan" in text

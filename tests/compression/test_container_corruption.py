@@ -187,19 +187,20 @@ class TestUnknownCodec:
         assert len(reader.entries) == 1
 
 
-class TestLegacyCorruption:
-    def test_legacy_garbage_header(self):
-        with pytest.raises(FormatError):
-            CompressedHierarchy.frombytes(b"RPRH" + b"\xff" * 40)
+class TestLegacyRejection:
+    """RPRH is no longer parsed at all: whatever follows the magic —
+    garbage, truncation, or a perfectly valid legacy header — the answer
+    is the same clear unsupported-legacy-magic error."""
 
-    def test_legacy_truncated(self):
-        with pytest.raises(FormatError):
-            CompressedHierarchy.frombytes(b"RPRH\x10")
-
-    def test_legacy_valid_json_missing_keys(self):
-        import json as _json
-
-        head = _json.dumps({"codec": "sz-lr"}).encode()
-        raw = b"RPRH" + struct.pack("<I", len(head)) + head
-        with pytest.raises(FormatError, match="malformed legacy"):
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"RPRH" + b"\xff" * 40,
+            b"RPRH\x10",
+            b"RPRH" + struct.pack("<I", 18) + json.dumps({"codec": "sz-lr"}).encode(),
+        ],
+        ids=["garbage", "truncated", "valid-legacy-header"],
+    )
+    def test_legacy_magic_always_rejected(self, raw):
+        with pytest.raises(FormatError, match="unsupported legacy magic"):
             CompressedHierarchy.frombytes(raw)

@@ -1,0 +1,19 @@
+"""Tests for the in-situ streaming-vs-batch campaign experiment."""
+
+from __future__ import annotations
+
+from repro.experiments.insitu import run_insitu
+
+
+def test_streaming_beats_batch_memory():
+    rows = run_insitu(scale=0.2, steps=4)
+    by_path = {r.path: r for r in rows}
+    assert set(by_path) == {"streaming", "batch"}
+    stream, batch = by_path["streaming"], by_path["batch"]
+    # Identical work, identical artifact size, same campaign.
+    assert stream.steps == batch.steps == 4
+    assert stream.out_mb == batch.out_mb
+    assert stream.ratio == batch.ratio > 1.0
+    # The whole point: streaming never holds the campaign.
+    assert stream.peak_mb < batch.peak_mb
+    assert stream.mb_s > 0 and batch.mb_s > 0

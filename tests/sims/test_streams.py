@@ -1,0 +1,57 @@
+"""Tests for the lazy step generators feeding the in-situ writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sims import NyxConfig, WarpXConfig, nyx_step_stream, warpx_step_stream
+
+
+class TestNyxStream:
+    def test_lazy_and_indexed(self):
+        stream = nyx_step_stream(4, NyxConfig(coarse_n=8))
+        first = next(stream)
+        assert first.index == 0 and first.time == pytest.approx(0.3)
+        rest = list(stream)
+        assert [s.index for s in rest] == [1, 2, 3]
+        assert rest[-1].time == pytest.approx(1.0)
+
+    def test_growth_sharpens_structure(self):
+        steps = list(nyx_step_stream(3, NyxConfig(coarse_n=8)))
+        # Lognormal collapse: later steps are spikier (higher max density).
+        peaks = [
+            s.hierarchy[1].patches("baryon_density")[0].data.max() for s in steps
+        ]
+        assert peaks[0] < peaks[-1]
+
+    def test_same_phases_across_steps(self):
+        a, b = list(nyx_step_stream(2, NyxConfig(coarse_n=8)))
+        da = a.hierarchy[0].patches("baryon_density")[0].data
+        db = b.hierarchy[0].patches("baryon_density")[0].data
+        # Same realization, different growth: strongly correlated fields.
+        corr = np.corrcoef(np.log(da).ravel(), np.log(db).ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_single_step(self):
+        (only,) = list(nyx_step_stream(1, NyxConfig(coarse_n=8)))
+        assert only.index == 0 and only.time == pytest.approx(1.0)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ReproError):
+            list(nyx_step_stream(0))
+
+
+class TestWarpXStream:
+    def test_noise_accumulates(self):
+        cfg = WarpXConfig(nx=8, nz=32)
+        steps = list(warpx_step_stream(3, cfg))
+        assert [s.index for s in steps] == [0, 1, 2]
+        # Different seeds + rising noise level: steps differ but share the
+        # analytic wakefield backbone.
+        e0 = steps[0].hierarchy[1].patches("Ez")[0].data
+        e2 = steps[2].hierarchy[1].patches("Ez")[0].data
+        assert e0.shape == e2.shape
+        assert not np.array_equal(e0, e2)
+        assert np.corrcoef(e0.ravel(), e2.ravel())[0, 1] > 0.8

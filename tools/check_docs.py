@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Documentation checker: intra-repo Markdown links and Python snippets.
+
+Run from anywhere::
+
+    python tools/check_docs.py [repo_root]
+
+Two checks, both zero-dependency:
+
+1. **Link resolution** — every relative link/image target in every
+   tracked ``*.md`` file must exist on disk (external ``http(s)``/
+   ``mailto`` links and pure ``#anchors`` are skipped; a ``#fragment``
+   on a relative link is stripped before the existence check).
+2. **Python snippets** — every ```` ```python ```` fence in the Markdown
+   files must at least *compile* (syntax check; nothing is executed), so
+   README/docs examples cannot silently rot into syntax errors.
+
+Exit status 0 when clean; 1 with one line per problem otherwise. Wired
+into CI as the ``docs`` job and exercised by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["iter_markdown_files", "check_links", "check_python_snippets", "main"]
+
+#: Directories never scanned for Markdown.
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules", ".venv"}
+
+#: Inline links/images: [text](target) / ![alt](target). Targets with
+#: spaces or nested parens are not used in this repo and are ignored.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced python code blocks (``` or ~~~, optional info-string suffix).
+_FENCE_RE = re.compile(
+    r"^(?P<fence>```+|~~~+)python\s*$(?P<body>.*?)^(?P=fence)\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """All Markdown files under ``root``, skipping vendored/cache dirs."""
+    out = []
+    for path in sorted(root.rglob("*.md")):
+        if not _SKIP_DIRS.intersection(p.name for p in path.parents):
+            out.append(path)
+    return out
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def check_links(root: Path) -> list[str]:
+    """Return one error string per unresolved intra-repo link."""
+    errors = []
+    for md in iter_markdown_files(root):
+        for match in _LINK_RE.finditer(md.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if _is_external(target) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}: broken link -> {target}"
+                )
+    return errors
+
+
+def check_python_snippets(root: Path) -> list[str]:
+    """Return one error string per non-compiling ```python fence."""
+    errors = []
+    for md in iter_markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for i, match in enumerate(_FENCE_RE.finditer(text)):
+            snippet = match.group("body")
+            try:
+                compile(snippet, f"{md.name}:snippet-{i}", "exec")
+            except SyntaxError as exc:
+                errors.append(
+                    f"{md.relative_to(root)}: python snippet {i} does not "
+                    f"compile: {exc.msg} (line {exc.lineno})"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: check the repo rooted at ``argv[0]`` (default: the
+    parent of this script's directory)."""
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parents[1]
+    problems = check_links(root) + check_python_snippets(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    files = iter_markdown_files(root)
+    print(f"checked {len(files)} Markdown files under {root}: "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
