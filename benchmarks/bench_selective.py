@@ -16,6 +16,8 @@ import numpy as np
 import pytest
 from conftest import bench_scale, emit
 
+import perf_harness
+
 from repro.compression.amr_codec import (
     CompressedHierarchy,
     compress_hierarchy,
@@ -68,6 +70,16 @@ def test_selective_vs_full_decode(benchmark, three_level, container_bytes):
     selective = benchmark(lambda: decompress_selection(raw, levels=2, patches=0))
     sel_s = _best_of(lambda: decompress_selection(raw, levels=2, patches=0))
     speedup = full_s / sel_s
+    perf_harness.record(
+        "bench_selective", "selective_speedup", speedup, "x", higher_is_better=True
+    )
+    perf_harness.record(
+        "bench_selective",
+        "full_decode_s",
+        full_s,
+        "s",
+        higher_is_better=False,
+    )
     emit(
         "Selective vs full decode (3-level Nyx)",
         [

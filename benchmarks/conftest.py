@@ -4,6 +4,11 @@ Benchmarks regenerate the paper's tables/figures while timing the dominant
 computation. Grid scale comes from ``REPRO_BENCH_SCALE`` (default 0.5 — a
 quarter of the default reproduction size per dimension) so the suite runs
 in minutes on one core; raise it to approach paper-sized grids.
+
+Setting ``REPRO_BENCH_JSON=<dir>`` makes any benchmark that records
+metrics through ``perf_harness`` emit a ``BENCH_<module>.json`` artifact
+at session end (see ``benchmarks/perf_harness.py`` and
+``tools/bench_compare.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +18,14 @@ import os
 import numpy as np
 import pytest
 
+import perf_harness
 from repro.experiments.datasets import load_app
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush recorded perf metrics to ``BENCH_<name>.json`` artifacts."""
+    for path in perf_harness.flush():
+        print(f"\nwrote {path}")
 
 
 def bench_scale() -> float:

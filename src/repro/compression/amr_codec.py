@@ -28,7 +28,6 @@ legacy magic" error instead.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -46,7 +45,7 @@ from repro.compression.container import (
     _normalize_selector,
     pack_container,
 )
-from repro.compression.registry import make_codec
+from repro.compression.registry import codec_accepts, make_codec
 from repro.errors import CompressionError, FormatError
 from repro.parallel.pool import parallel_map
 
@@ -193,7 +192,7 @@ class CompressedHierarchy:
                 f"{CONTAINER_MAGIC!r} container with the current writer"
             )
         if magic == CONTAINER_MAGIC:
-            return cls.fromreader(ContainerReader(io.BytesIO(raw)))
+            return cls.fromreader(ContainerReader(raw))
         raise FormatError(
             f"not a compressed-hierarchy container (magic {magic!r}; "
             f"expected {CONTAINER_MAGIC!r})"
@@ -201,7 +200,13 @@ class CompressedHierarchy:
 
     @classmethod
     def fromreader(cls, reader: ContainerReader) -> "CompressedHierarchy":
-        """Materialize every stream of an open :class:`ContainerReader`."""
+        """Materialize every stream of an open :class:`ContainerReader`.
+
+        Streams are owned ``bytes`` regardless of the reader's mode: an
+        in-memory hierarchy outlives the reader (and pickles under
+        process-mode selection), so zero-copy views are copied out here —
+        the one place materialization is the point.
+        """
         streams: list[dict[str, list[bytes]]] = [{} for _ in range(reader.n_levels)]
         for entry in reader.entries:
             plist = streams[entry.level].setdefault(entry.field, [])
@@ -209,7 +214,7 @@ class CompressedHierarchy:
                 raise FormatError(
                     f"container index out of order at patch {entry.describe()}"
                 )
-            plist.append(reader.read_stream(entry))
+            plist.append(bytes(reader.read_stream(entry)))
         return cls(
             codec=reader.codec,
             error_bound=reader.error_bound,
@@ -232,18 +237,28 @@ def _decompress_task(task: tuple[str, bytes]) -> np.ndarray:
     return make_codec(codec_name).decompress(blob)
 
 
-def resolve_patch_codec(codec: str | Compressor) -> Compressor:
+def resolve_patch_codec(codec: str | Compressor, k_streams: int | str = "auto") -> Compressor:
     """Resolve a registry name or instance into a patch-ready codec.
 
     Per-patch arrays are sized by the regridder's blocking factor (multiples
     of 4/8), so ``sz-lr`` gets automatic block selection to avoid the
-    edge-padding waste a fixed 6-cube would pay on them. Both the batch
-    :func:`compress_hierarchy` path and the streaming
+    edge-padding waste a fixed 6-cube would pay on them; ``k_streams``
+    (the Huffman interleave width, threaded from
+    :func:`compress_hierarchy`) is forwarded to named codecs the same way.
+    Both the batch :func:`compress_hierarchy` path and the streaming
     :class:`repro.insitu.StreamingWriter` resolve codecs through here, which
-    is what keeps their output streams byte-identical.
+    is what keeps their output streams byte-identical. Codec *instances*
+    pass through unchanged — they already carry their configuration.
+    Custom codecs registered through ``register_codec`` whose factories
+    never grew a ``k_streams`` parameter are constructed without it.
     """
     if isinstance(codec, str):
-        return make_codec(codec, block_size="auto") if codec == "sz-lr" else make_codec(codec)
+        kwargs: dict = {}
+        if codec_accepts(codec, "k_streams"):
+            kwargs["k_streams"] = k_streams
+        if codec == "sz-lr":
+            kwargs["block_size"] = "auto"
+        return make_codec(codec, **kwargs)
     return codec
 
 
@@ -256,6 +271,7 @@ def compress_hierarchy(
     exclude_covered: bool = False,
     parallel: str = "serial",
     workers: int = 2,
+    k_streams: int | str = "auto",
 ) -> CompressedHierarchy:
     """Compress selected fields of ``hierarchy`` patch by patch.
 
@@ -275,8 +291,12 @@ def compress_hierarchy(
     parallel, workers:
         Execution mode for the per-patch map (``"serial"``, ``"thread"``,
         or ``"process"``); the container bytes are identical across modes.
+    k_streams:
+        Huffman interleave width forwarded to named codecs (``"auto"``
+        scales with each patch for the vectorized decode); ignored when
+        ``codec`` is an instance, which already carries its configuration.
     """
-    comp = resolve_patch_codec(codec)
+    comp = resolve_patch_codec(codec, k_streams=k_streams)
     names = tuple(fields) if fields is not None else hierarchy.field_names
     for name in names:
         if name not in hierarchy.field_names:
@@ -460,14 +480,16 @@ def decompress_selection(
             parallel=parallel, workers=workers,
         )
     if isinstance(source, (bytes, bytearray, memoryview)):
-        raw = bytes(source)
-        if raw[: len(SERIES_MAGIC)] == SERIES_MAGIC:
-            return SeriesReader(io.BytesIO(raw)).select(
+        # Buffer (zero-copy) mode: the readers slice memoryviews straight
+        # off the caller's buffer — no BytesIO staging copy, no per-stream
+        # bytes copy (select() still copies once for process-mode pickling).
+        if bytes(source[: len(SERIES_MAGIC)]) == SERIES_MAGIC:
+            return SeriesReader(source).select(
                 steps=steps, levels=levels, fields=fields, patches=patches,
                 verify=verify, parallel=parallel, workers=workers,
             )
         _reject_steps_on_snapshot(steps)
-        return ContainerReader(io.BytesIO(raw)).select(
+        return ContainerReader(source).select(
             levels=levels, fields=fields, patches=patches, verify=verify,
             parallel=parallel, workers=workers,
         )

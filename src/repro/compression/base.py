@@ -5,6 +5,18 @@ framed header (magic, codec name, dtype, shape, parameter JSON) followed by
 named binary sections. The container is what makes streams self-describing:
 :func:`repro.compression.registry.decompress` can route any blob to the
 right codec without out-of-band metadata.
+
+This module also hosts the **shared entropy stage** every SZ-style codec
+threads its quantization codes through: canonical Huffman in the K-way
+interleaved ``HUF2`` layout (see :mod:`repro.compression.huffman`), with
+the DEFLATE fallback for oversized alphabets. Codecs expose the interleave
+width as their ``k_streams`` constructor parameter and record it in the
+stream params; blobs self-describe their K, so any stream decodes
+regardless of the reader's configuration.
+
+Streams are plain buffers end to end: :class:`StreamReader` accepts
+``bytes`` *or* a ``memoryview`` (the zero-copy mmap container path) and
+hands out section views without copying.
 """
 
 from __future__ import annotations
@@ -17,9 +29,79 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.compression import huffman
+from repro.compression.lossless import (
+    compress_bytes,
+    decompress_bytes,
+    pack_ints,
+    unpack_ints,
+)
 from repro.errors import CompressionError, DecompressionError, FormatError
 
-__all__ = ["Compressor", "StreamWriter", "StreamReader", "CompressionStats", "STREAM_MAGIC"]
+__all__ = [
+    "Compressor",
+    "StreamWriter",
+    "StreamReader",
+    "CompressionStats",
+    "STREAM_MAGIC",
+    "ENTROPY_STAGES",
+    "check_entropy_params",
+    "encode_codes",
+    "decode_codes",
+]
+
+#: Entropy stages a codec may select for its quantization codes.
+ENTROPY_STAGES = ("huffman", "deflate")
+
+
+def check_entropy_params(entropy: str, k_streams: int | str = "auto") -> None:
+    """Validate codec constructor entropy parameters.
+
+    Construction-time misuse is a :class:`CompressionError` (nothing is
+    being decoded yet), shared here so every codec rejects bad ``entropy``
+    / ``k_streams`` arguments identically.
+    """
+    if entropy not in ENTROPY_STAGES:
+        raise CompressionError(
+            f"entropy must be one of {ENTROPY_STAGES}, got {entropy!r}"
+        )
+    if k_streams != "auto":
+        # Delegate range checking (raises CompressionError on misuse).
+        huffman.resolve_k_streams(k_streams, 1)
+
+
+def encode_codes(
+    codes: np.ndarray,
+    entropy: str,
+    backend: str,
+    k_streams: int | str = "auto",
+) -> tuple[bytes, str]:
+    """Entropy-encode a quantization-code array into a section blob.
+
+    ``"huffman"`` runs the K-way interleaved canonical Huffman stage then
+    the lossless backend (the SZ pipeline); alphabets too large to
+    Huffman-code fall back to ``"deflate"``. Returns ``(blob, stage)``
+    where ``stage`` names the encoding actually used — codecs record it in
+    their stream params so :func:`decode_codes` can invert it.
+    """
+    if entropy == "huffman":
+        try:
+            return (
+                compress_bytes(huffman.encode(codes, k_streams=k_streams), backend),
+                "huffman",
+            )
+        except huffman.HuffmanAlphabetError:
+            pass
+    return pack_ints(np.ascontiguousarray(codes), backend), "deflate"
+
+
+def decode_codes(section, entropy: str) -> np.ndarray:
+    """Invert :func:`encode_codes` given the recorded stage name."""
+    if entropy == "huffman":
+        return huffman.decode(decompress_bytes(section))
+    if entropy == "deflate":
+        return unpack_ints(section)
+    raise DecompressionError(f"stream records unknown entropy stage {entropy!r}")
 
 #: Magic prefix of every framed codec stream.
 STREAM_MAGIC = b"RPRC"
@@ -82,20 +164,26 @@ class StreamWriter:
 
 
 class StreamReader:
-    """Parses a framed codec stream produced by :class:`StreamWriter`."""
+    """Parses a framed codec stream produced by :class:`StreamWriter`.
 
-    def __init__(self, blob: bytes):
-        if len(blob) < 9 or blob[:4] != _MAGIC:
+    Accepts any byte buffer — ``bytes`` or a ``memoryview`` (e.g. a
+    zero-copy patch-stream slice from an mmap-opened container). Sections
+    are sliced, not copied, so a ``memoryview`` input stays zero-copy all
+    the way into the codec.
+    """
+
+    def __init__(self, blob):
+        if len(blob) < 9 or bytes(blob[:4]) != _MAGIC:
             raise FormatError("not a repro compressed stream (bad magic)")
         version, header_len = struct.unpack_from("<BI", blob, 4)
         if version != _VERSION:
             raise FormatError(f"unsupported stream version {version}")
         start = 9
         try:
-            self._meta = json.loads(blob[start : start + header_len].decode())
+            self._meta = json.loads(bytes(blob[start : start + header_len]).decode())
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise FormatError(f"corrupt stream header: {exc}") from exc
-        self._sections: dict[str, bytes] = {}
+        self._sections: dict[str, Any] = {}
         offset = start + header_len
         for sec in self._meta["sections"]:
             end = offset + sec["length"]
@@ -124,8 +212,9 @@ class StreamReader:
         """Codec parameters recorded at compression time."""
         return dict(self._meta["params"])
 
-    def section(self, name: str) -> bytes:
-        """Fetch a named binary section."""
+    def section(self, name: str):
+        """Fetch a named binary section (``bytes`` or a zero-copy view,
+        matching the buffer the reader was constructed over)."""
         try:
             return self._sections[name]
         except KeyError:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import io
 import json
+import mmap as _mmap
 import struct
 import zlib
 from dataclasses import dataclass
@@ -229,25 +230,63 @@ class ContainerReader:
     """Random access over a seekable ``RPH2`` container.
 
     Reads the footer and index eagerly (a few hundred bytes for typical
-    hierarchies) and individual patch streams lazily via seek + read, so a
-    single-patch fetch consumes O(patch) bytes of the payload.
+    hierarchies) and individual patch streams lazily, so a single-patch
+    fetch consumes O(patch) bytes of the payload.
 
     Parameters
     ----------
-    fileobj:
-        Seekable binary file-like object positioned anywhere. The reader
-        does not own it unless constructed through :meth:`open`.
+    source:
+        Either a seekable binary file-like object positioned anywhere
+        (streams are fetched via seek + read and returned as ``bytes``),
+        or any byte buffer — ``bytes``, ``bytearray``, ``memoryview``, or
+        an ``mmap`` (the **zero-copy mode**: :meth:`read_stream` returns
+        ``memoryview`` slices of the buffer, crc-verified against the
+        view, and the codecs decode them without an intermediate ``bytes``
+        copy). :meth:`open` with ``mmap=True`` builds the zero-copy mode
+        over a memory-mapped file. The reader does not own a file-like
+        source unless constructed through :meth:`open`.
     """
 
-    def __init__(self, fileobj: BinaryIO):
-        self._file = fileobj
+    def __init__(self, source):
         self._owns = False
-        fileobj.seek(0, io.SEEK_END)
-        total = fileobj.tell()
+        self._mmap: _mmap.mmap | None = None
+        # mmap objects are file-likes too (they grow seek/read), so the
+        # buffer check must come first or zero-copy mode silently degrades
+        # to the copying file path.
+        if not isinstance(source, _mmap.mmap) and (
+            hasattr(source, "seek") and hasattr(source, "read")
+        ):
+            self._file: BinaryIO | None = source
+            self._view: memoryview | None = None
+            source.seek(0, io.SEEK_END)
+            total = source.tell()
+        else:
+            self._file = None
+            try:
+                self._view = memoryview(source).cast("B")
+            except TypeError:
+                raise CompressionError(
+                    f"cannot read a container from {type(source).__name__}; "
+                    "pass a seekable file or a byte buffer"
+                ) from None
+            total = self._view.nbytes
+        self._total = total
+        # Release the view if parsing fails: a failing constructor must not
+        # leave an exported buffer alive, or ``open(mmap=True)``'s cleanup
+        # ``mapping.close()`` raises BufferError and masks the real error
+        # (the in-flight traceback pins this frame's ``self``).
+        try:
+            self._parse_index(total)
+        except BaseException:
+            if self._view is not None:
+                self._view.release()
+                self._view = None
+            raise
+
+    def _parse_index(self, total: int) -> None:
         if total < _HEADER.size + _FOOTER.size:
             raise FormatError(f"container too short ({total} bytes) for RPH2 framing")
-        fileobj.seek(0)
-        magic, version = _HEADER.unpack(fileobj.read(_HEADER.size))
+        magic, version = _HEADER.unpack(self._read_at(0, _HEADER.size))
         if magic == b"RPRH":
             raise FormatError(
                 "unsupported legacy magic b'RPRH': the pre-index monolithic "
@@ -265,9 +304,8 @@ class ContainerReader:
             )
         if version != _VERSION:
             raise FormatError(f"unsupported container version {version}")
-        fileobj.seek(total - _FOOTER.size)
         index_offset, index_length, index_crc, footer_magic = _FOOTER.unpack(
-            fileobj.read(_FOOTER.size)
+            self._read_at(total - _FOOTER.size, _FOOTER.size)
         )
         if footer_magic != FOOTER_MAGIC:
             raise FormatError(
@@ -275,8 +313,7 @@ class ContainerReader:
             )
         if index_offset + index_length > total - _FOOTER.size:
             raise FormatError("container index extends past end of file (truncated?)")
-        fileobj.seek(index_offset)
-        index_bytes = fileobj.read(index_length)
+        index_bytes = self._read_at(index_offset, index_length)
         if len(index_bytes) != index_length or zlib.crc32(index_bytes) != index_crc:
             raise FormatError("container index checksum mismatch (corrupt index)")
         try:
@@ -310,12 +347,43 @@ class ContainerReader:
     # ------------------------------------------------------------------
     # Construction / lifecycle
     # ------------------------------------------------------------------
+    def _read_at(self, offset: int, length: int) -> bytes:
+        """Read exactly one span (used for header/footer/index parsing)."""
+        if self._view is not None:
+            return bytes(self._view[offset : offset + length])
+        self._file.seek(offset)
+        return self._file.read(length)
+
+    @property
+    def mapped(self) -> bool:
+        """True when the reader serves zero-copy views of a byte buffer."""
+        return self._view is not None
+
     @classmethod
-    def open(cls, path: str | Path) -> "ContainerReader":
-        """Open a container file for random access (reader owns the handle)."""
+    def open(cls, path: str | Path, *, mmap: bool = False) -> "ContainerReader":
+        """Open a container file for random access (reader owns the handle).
+
+        With ``mmap=True`` the file is memory-mapped and the reader runs in
+        zero-copy mode: :meth:`read_stream` (and therefore :meth:`select` /
+        ``decompress_selection``) hands the codecs ``memoryview`` slices of
+        the mapping instead of copied ``bytes``.
+        """
         fileobj = Path(path).open("rb")
         try:
-            reader = cls(fileobj)
+            if mmap:
+                try:
+                    mapping = _mmap.mmap(fileobj.fileno(), 0, access=_mmap.ACCESS_READ)
+                except (ValueError, OSError) as exc:
+                    raise FormatError(f"cannot memory-map {path}: {exc}") from exc
+                try:
+                    reader = cls(mapping)
+                except Exception:
+                    mapping.close()
+                    raise
+                reader._mmap = mapping
+                reader._file = fileobj
+            else:
+                reader = cls(fileobj)
         except Exception:
             fileobj.close()
             raise
@@ -323,8 +391,20 @@ class ContainerReader:
         return reader
 
     def close(self) -> None:
-        """Close the underlying file if this reader opened it."""
-        if self._owns:
+        """Close the underlying file/mapping if this reader opened it.
+
+        In zero-copy mode, any ``memoryview`` handed out by
+        :meth:`read_stream` must be released before closing — a live view
+        pins the mapping and makes this raise ``BufferError``. Decoded
+        arrays are fresh allocations and never pin it.
+        """
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._owns and self._file is not None:
             self._file.close()
 
     def __enter__(self) -> "ContainerReader":
@@ -392,10 +472,19 @@ class ContainerReader:
                 f"container has no patch (level={level}, field={field!r}, patch={patch})"
             ) from None
 
-    def read_stream(self, entry: PatchIndexEntry, verify: bool = True) -> bytes:
-        """Read one patch's raw compressed stream (seek + read + crc check)."""
-        self._file.seek(entry.offset)
-        blob = self._file.read(entry.length)
+    def read_stream(self, entry: PatchIndexEntry, verify: bool = True):
+        """Read one patch's raw compressed stream, crc-checked.
+
+        File mode seeks + reads and returns ``bytes``; zero-copy mode
+        returns a ``memoryview`` slice of the underlying buffer (the crc
+        is computed against the view — no intermediate copy is made, and
+        the codecs decode the view directly).
+        """
+        if self._view is not None:
+            blob = self._view[entry.offset : entry.offset + entry.length]
+        else:
+            self._file.seek(entry.offset)
+            blob = self._file.read(entry.length)
         if len(blob) != entry.length:
             raise FormatError(
                 f"container truncated in patch stream {entry.describe()}: "
@@ -426,6 +515,9 @@ class ContainerReader:
         or ``None`` (no restriction); results are keyed by the entry's
         ``(level, field, patch)`` triple. Stream reads are serial (one
         seekable handle); decompression fans out through ``parallel_map``.
+        In zero-copy (mmap/buffer) mode the streams reach the codecs as
+        ``memoryview`` slices — except under ``parallel="process"``, where
+        they are copied to ``bytes`` once for pickling.
         """
         want_levels = _normalize_selector(levels, "level")
         want_fields = _normalize_selector(fields, "field")
@@ -438,6 +530,8 @@ class ContainerReader:
             and (want_patches is None or e.patch in want_patches)
         ]
         blobs = [self.read_stream(e, verify=verify) for e in chosen]
+        if parallel == "process":
+            blobs = [bytes(b) for b in blobs]
         arrays = parallel_map(
             _decode_task,
             [(e, blob) for e, blob in zip(chosen, blobs)],

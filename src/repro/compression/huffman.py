@@ -9,11 +9,38 @@ implements that stage:
   heuristic) so decoding can use a single flat lookup table,
 * canonical code assignment (sorted by length, then symbol) so only the
   lengths need to be stored,
-* vectorized bit packing on encode (one scatter pass per bit position),
-* flat-table decoding (one table lookup per symbol).
+* **K-way interleaved streams** (``HUF2`` layout): the symbol array is
+  split round-robin into K independent bitstreams sharing one canonical
+  codebook, so the decoder can run all K in lockstep — each vectorized
+  round gathers K windows against the flat table and emits K symbols,
+  replacing the per-symbol Python loop,
+* vectorized bit packing on encode (one scatter pass per bit position,
+  for all K streams at once).
 
 The alphabet is the set of distinct int64 code values; streams record the
 alphabet explicitly, so arbitrary (sparse, negative) code values work.
+
+Stream interleave (``k_streams``)
+---------------------------------
+Entropy decode is inherently bit-serial *within* a stream: symbol ``i+1``
+starts where symbol ``i`` ended. Interleaving breaks the dependency chain
+into K independent chains that advance together, one NumPy gather round
+per symbol rank. NumPy's fixed per-op dispatch cost (~0.5 µs) means a
+round over K lanes costs nearly the same for K=8 as for K=512, so wide
+interleaves are what buy throughput: on a 64³ grid the lockstep decoder
+is >=10x faster than the scalar loop at K≈512 but *slower* than it at
+K=8 (measured in ``benchmarks/bench_entropy.py``). ``k_streams="auto"``
+therefore scales K with the input so each lockstep round stays wide
+(~:data:`_AUTO_TARGET_ROUNDS` rounds total), clamped to
+[:data:`_AUTO_MIN_STREAMS`, :data:`_AUTO_MAX_STREAMS`]; tiny inputs and
+narrow interleaves fall back to the scalar loop, which wins there.
+
+Blob compatibility
+------------------
+:func:`encode` emits the ``HUF2`` layout. :func:`decode` reads both
+``HUF2`` and the previous headerless single-stream layout (``HUF1``);
+HUF1 read support is kept for one release after HUF2 landed, mirroring
+the container policy in ``docs/container_format.md``.
 """
 
 from __future__ import annotations
@@ -25,14 +52,70 @@ import numpy as np
 
 from repro.errors import CompressionError, DecompressionError
 
-__all__ = ["MAX_CODE_LENGTH", "HuffmanAlphabetError", "encode", "decode", "code_lengths"]
+__all__ = [
+    "MAX_CODE_LENGTH",
+    "MAX_STREAMS",
+    "HUF2_MAGIC",
+    "HuffmanAlphabetError",
+    "encode",
+    "decode",
+    "code_lengths",
+    "resolve_k_streams",
+]
 
 #: Longest permitted code, bounding the decode table at 2**16 entries.
 MAX_CODE_LENGTH = 16
 
+#: Most interleaved streams a HUF2 blob may carry.
+MAX_STREAMS = 4096
+
+#: Magic prefix of the K-way interleaved blob layout.
+HUF2_MAGIC = b"HUF2"
+
+#: ``HUF2`` fixed header: magic, n_symbols (u64), k_streams (u32),
+#: alphabet_size (u32).
+_HUF2_HEAD = struct.Struct("<4sQII")
+
+#: ``k_streams="auto"`` sizes K so the lockstep decode runs about this
+#: many rounds — wide rounds amortize NumPy's per-op dispatch cost.
+_AUTO_TARGET_ROUNDS = 256
+_AUTO_MIN_STREAMS = 8
+_AUTO_MAX_STREAMS = 1024
+
+#: Below this symbol count the scalar loop beats the vectorized decoder's
+#: setup cost; narrower interleaves than ``_VECTOR_MIN_STREAMS`` make the
+#: lockstep rounds too thin to amortize NumPy dispatch (see module notes).
+_SCALAR_CUTOFF = 4096
+_VECTOR_MIN_STREAMS = 32
+
 
 class HuffmanAlphabetError(CompressionError):
     """Raised when the alphabet cannot be Huffman-coded (too many symbols)."""
+
+
+def resolve_k_streams(k_streams: int | str, n_symbols: int) -> int:
+    """Concrete stream count for ``n_symbols`` symbols.
+
+    ``"auto"`` widens the interleave with the input (see module notes);
+    an explicit int is validated against [1, :data:`MAX_STREAMS`] and
+    clamped to the symbol count so no stream is empty.
+    """
+    if k_streams == "auto":
+        k = _AUTO_MIN_STREAMS
+        while k < _AUTO_MAX_STREAMS and k * _AUTO_TARGET_ROUNDS < n_symbols:
+            k *= 2
+    else:
+        if (
+            isinstance(k_streams, bool)
+            or not isinstance(k_streams, (int, np.integer))
+            or not 1 <= int(k_streams) <= MAX_STREAMS
+        ):
+            raise CompressionError(
+                f"k_streams must be 'auto' or an int in [1, {MAX_STREAMS}], "
+                f"got {k_streams!r}"
+            )
+        k = int(k_streams)
+    return max(1, min(k, n_symbols))
 
 
 def code_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -113,11 +196,94 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
-def encode(symbols: np.ndarray) -> bytes:
+def _flat_tables(
+    alphabet: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Flat decode tables: every ``max_len``-bit window starting with a
+    code maps to (symbol value, code length).
+
+    Built without a per-entry Python loop: canonical codes sorted by
+    (length, symbol) have strictly increasing, space-tiling prefixes, so
+    the table is one :func:`numpy.repeat` per array. A corrupt lengths
+    section that does not tile the window space exactly is rejected here.
+    """
+    lens = np.asarray(lengths, dtype=np.int64)
+    if lens.size == 0 or (lens <= 0).any() or lens.max() > MAX_CODE_LENGTH:
+        raise DecompressionError("invalid Huffman code lengths")
+    max_len = int(lens.max())
+    order = np.lexsort((np.arange(lens.size), lens))
+    spans = np.int64(1) << (max_len - lens[order])
+    if int(spans.sum()) != (1 << max_len):
+        raise DecompressionError("invalid Huffman code table (not full)")
+    table_sym = np.repeat(alphabet[order], spans)
+    table_len = np.repeat(lens[order], spans)
+    return table_sym, table_len, max_len
+
+
+# ----------------------------------------------------------------------
+# Encode
+# ----------------------------------------------------------------------
+def encode(symbols: np.ndarray, k_streams: int | str = "auto") -> bytes:
     """Huffman-encode an int64 symbol array into a self-contained blob.
 
-    Layout: ``n_symbols (u64) | alphabet_size (u32) | alphabet (i64[]) |
-    lengths (u8[]) | n_bits (u64) | packed bits``.
+    The symbols are split round-robin into ``k_streams`` independent
+    bitstreams (symbol ``i`` goes to stream ``i % K``) that share one
+    canonical codebook, enabling the lockstep vectorized decode.
+
+    ``HUF2`` layout: ``magic b"HUF2" | n_symbols (u64) | k_streams (u32) |
+    alphabet_size (u32) | alphabet (i64[]) | lengths (u8[]) |
+    stream_bits (u64[K]) | per-stream packed bits, each byte-aligned``.
+    """
+    syms = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
+    if syms.size == 0:
+        return _HUF2_HEAD.pack(HUF2_MAGIC, 0, 0, 0)
+    n = syms.size
+    K = resolve_k_streams(k_streams, n)
+    alphabet, inverse = np.unique(syms, return_inverse=True)
+    if alphabet.size > (1 << MAX_CODE_LENGTH):
+        raise HuffmanAlphabetError(
+            f"alphabet of {alphabet.size} symbols exceeds {1 << MAX_CODE_LENGTH}"
+        )
+    freqs = np.bincount(inverse)
+    lengths = code_lengths(freqs)
+    codes = _canonical_codes(lengths)
+    sym_codes = codes[inverse]
+    sym_lens = lengths[inverse].astype(np.int64)
+    # Per-symbol destination bit offsets, all K streams in one pass:
+    # symbol i = (round i // K, stream i % K), so a (rounds, K) reshape
+    # turns per-stream prefix sums into one column-wise cumsum.
+    n_rounds = -(-n // K)
+    lens_mat = np.zeros(n_rounds * K, dtype=np.int64)
+    lens_mat[:n] = sym_lens
+    lens_mat = lens_mat.reshape(n_rounds, K)
+    csum = np.cumsum(lens_mat, axis=0)
+    stream_bits = csum[-1]
+    stream_bytes = (stream_bits + 7) // 8
+    base_bits = 8 * np.concatenate(([0], np.cumsum(stream_bytes)[:-1]))
+    offsets = ((csum - lens_mat) + base_bits[None, :]).ravel()[:n]
+    bits = np.zeros(int(8 * stream_bytes.sum()), dtype=np.uint8)
+    # One vectorized scatter per bit position (<= MAX_CODE_LENGTH passes).
+    for b in range(int(lengths.max())):
+        active = sym_lens > b
+        if not active.any():
+            break
+        shift = (sym_lens[active] - 1 - b).astype(np.uint32)
+        bits[offsets[active] + b] = (sym_codes[active] >> shift) & 1
+    packed = np.packbits(bits)
+    out = bytearray()
+    out += _HUF2_HEAD.pack(HUF2_MAGIC, n, K, alphabet.size)
+    out += alphabet.tobytes()
+    out += lengths.tobytes()
+    out += stream_bits.astype(np.uint64).tobytes()
+    out += packed.tobytes()
+    return bytes(out)
+
+
+def _encode_huf1(symbols: np.ndarray) -> bytes:
+    """Legacy single-stream ``HUF1`` encoder (headerless layout).
+
+    Kept only so tests and benchmarks can produce HUF1 blobs and exercise
+    the one-release read-compat path; production encoding is :func:`encode`.
     """
     syms = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
     if syms.size == 0:
@@ -135,7 +301,6 @@ def encode(symbols: np.ndarray) -> bytes:
     offsets = np.concatenate(([0], np.cumsum(sym_lens)[:-1]))
     total_bits = int(sym_lens.sum())
     bits = np.zeros(total_bits, dtype=np.uint8)
-    # One vectorized scatter per bit position (<= MAX_CODE_LENGTH passes).
     for b in range(int(lengths.max())):
         active = sym_lens > b
         if not active.any():
@@ -152,14 +317,31 @@ def encode(symbols: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def decode(blob: bytes) -> np.ndarray:
-    """Inverse of :func:`encode`; returns the int64 symbol array."""
+# ----------------------------------------------------------------------
+# Decode
+# ----------------------------------------------------------------------
+def decode(blob) -> np.ndarray:
+    """Inverse of :func:`encode`; returns the int64 symbol array.
+
+    Accepts any buffer (``bytes`` or a zero-copy ``memoryview`` from the
+    mmap container path). Reads both the current ``HUF2`` layout and the
+    legacy single-stream ``HUF1`` layout (kept for one release).
+    """
+    if len(blob) >= 4 and bytes(blob[:4]) == HUF2_MAGIC:
+        return _decode_huf2(blob)
+    return _decode_huf1(blob)
+
+
+def _decode_huf1(blob) -> np.ndarray:
+    """Legacy headerless single-stream layout."""
     if len(blob) < 12:
         raise DecompressionError("truncated Huffman blob")
     n_symbols, alpha_size = struct.unpack_from("<QI", blob, 0)
     pos = 12
     if n_symbols == 0:
         return np.empty(0, dtype=np.int64)
+    if len(blob) < pos + 9 * alpha_size + 8:
+        raise DecompressionError("truncated Huffman blob header")
     alphabet = np.frombuffer(blob, dtype=np.int64, count=alpha_size, offset=pos)
     pos += 8 * alpha_size
     lengths = np.frombuffer(blob, dtype=np.uint8, count=alpha_size, offset=pos)
@@ -173,31 +355,172 @@ def decode(blob: bytes) -> np.ndarray:
         # Degenerate single-symbol alphabet: nothing was written per symbol
         # beyond its 1-bit placeholder; reconstruct directly.
         return np.full(n_symbols, alphabet[0], dtype=np.int64)
-    codes = _canonical_codes(lengths)
-    max_len = int(lengths.max())
-    # Flat decode table: every max_len-bit window starting with a code maps
-    # to (symbol index, code length).
-    table_sym = np.zeros(1 << max_len, dtype=np.int64)
-    table_len = np.zeros(1 << max_len, dtype=np.uint8)
-    for sym in range(alpha_size):
-        length = int(lengths[sym])
-        prefix = int(codes[sym]) << (max_len - length)
-        span = 1 << (max_len - length)
-        table_sym[prefix : prefix + span] = alphabet[sym]
-        table_len[prefix : prefix + span] = length
-    if (table_len == 0).any():
-        raise DecompressionError("invalid Huffman code table (not full)")
-    return _decode_stream(packed.tobytes(), int(n_symbols), table_sym.tolist(), table_len.tolist(), max_len)
+    table_sym, table_len, max_len = _flat_tables(alphabet, lengths)
+    tsym, tlen = _scalar_tables(table_sym, table_len, int(n_symbols))
+    out, _ = _decode_stream(packed.tobytes(), int(n_symbols), tsym, tlen, max_len)
+    return out
+
+
+def _parse_huf2(blob):
+    """Split a ``HUF2`` blob into (n, K, alphabet, lengths, stream_bits,
+    payload bytes-like), validating sizes before any large allocation."""
+    if len(blob) < _HUF2_HEAD.size:
+        raise DecompressionError("truncated Huffman blob")
+    _, n_symbols, K, alpha_size = _HUF2_HEAD.unpack_from(blob, 0)
+    if n_symbols == 0:
+        return 0, 0, None, None, None, b""
+    if not 1 <= K <= MAX_STREAMS:
+        raise DecompressionError(f"HUF2 stream count {K} outside [1, {MAX_STREAMS}]")
+    if not 1 <= alpha_size <= (1 << MAX_CODE_LENGTH):
+        raise DecompressionError(f"HUF2 alphabet size {alpha_size} invalid")
+    pos = _HUF2_HEAD.size
+    need = 9 * alpha_size + 8 * K
+    if len(blob) < pos + need:
+        raise DecompressionError("truncated Huffman blob header")
+    alphabet = np.frombuffer(blob, dtype=np.int64, count=alpha_size, offset=pos)
+    pos += 8 * alpha_size
+    lengths = np.frombuffer(blob, dtype=np.uint8, count=alpha_size, offset=pos)
+    pos += alpha_size
+    stream_bits = np.frombuffer(blob, dtype=np.uint64, count=K, offset=pos).astype(
+        np.int64
+    )
+    pos += 8 * K
+    if (stream_bits < 0).any():
+        raise DecompressionError("HUF2 per-stream bit length overflow")
+    payload_len = len(blob) - pos
+    if int(((stream_bits + 7) // 8).sum()) > payload_len:
+        raise DecompressionError("Huffman bitstream truncated")
+    payload = np.frombuffer(blob, dtype=np.uint8, offset=pos)
+    return int(n_symbols), int(K), alphabet, lengths, stream_bits, payload
+
+
+def _decode_huf2(blob) -> np.ndarray:
+    n, K, alphabet, lengths, stream_bits, payload = _parse_huf2(blob)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if alphabet.size == 1:
+        return np.full(n, alphabet[0], dtype=np.int64)
+    if K >= _VECTOR_MIN_STREAMS and n >= _SCALAR_CUTOFF:
+        return _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload)
+    return _decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload)
+
+
+def _decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload) -> np.ndarray:
+    """Per-stream scalar decode + interleave (tiny inputs, narrow K)."""
+    table_sym, table_len, max_len = _flat_tables(alphabet, lengths)
+    tsym, tlen = _scalar_tables(table_sym, table_len, n)
+    stream_bytes = (stream_bits + 7) // 8
+    starts = np.concatenate(([0], np.cumsum(stream_bytes)[:-1]))
+    out = np.empty(n, dtype=np.int64)
+    q, rmod = divmod(n, K)
+    for k in range(K):
+        count = q + (1 if k < rmod else 0)
+        data = payload[int(starts[k]) : int(starts[k] + stream_bytes[k])].tobytes()
+        out[k::K], consumed = _decode_stream(data, count, tsym, tlen, max_len)
+        if consumed != int(stream_bits[k]):
+            raise DecompressionError(
+                f"HUF2 stream {k} decoded {consumed} bits, expected "
+                f"{int(stream_bits[k])} (corrupt bitstream or per-stream "
+                "bit lengths)"
+            )
+    return out
+
+
+def _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload) -> np.ndarray:
+    """Lockstep vectorized decode: one NumPy gather round per symbol rank.
+
+    Each of the K interleaved streams keeps a bit cursor into the shared
+    payload; a round gathers a 32-bit big-endian window per lane, looks
+    all K windows up in the flat table at once, emits K symbols, and
+    advances the cursors by the decoded code lengths. A window only *uses*
+    its top ``7 + max_len <= 23`` bits, so reading a few bytes past a
+    stream's end (into the next stream, or the zero tail padding) never
+    corrupts a symbol whose code bits lie inside the stream. The output
+    lands in a ``(rounds, K)`` matrix whose row-major ravel *is* the
+    round-robin interleave order.
+
+    Corrupt input cannot escape: gathers are clamped to the padded payload
+    (an overrunning lane reads zeros), and after the final round every
+    lane's cursor must sit exactly at its recorded stream_bits.
+    """
+    table_sym, table_len, max_len = _flat_tables(alphabet, lengths)
+    stream_bytes = (stream_bits + 7) // 8
+    starts = np.concatenate(([0], np.cumsum(stream_bytes)[:-1]))
+    # 32-bit big-endian window at every byte offset (zero tail so the last
+    # stream's final windows — and corrupt-input overruns — stay in range).
+    needed = int(stream_bytes.sum())
+    b = np.empty(needed + 8, dtype=np.uint32)
+    b[:needed] = payload[:needed]
+    b[needed:] = 0
+    windows = (b[:-3] << 24) | (b[1:-2] << 16) | (b[2:-1] << 8) | b[3:]
+    cap = np.int64(windows.size - 1)
+    lane_base = 8 * starts
+    cursor = lane_base.copy()
+    # Fuse (symbol, length) into one gather when symbols fit 58 bits
+    # (quantization codes always do; arbitrary alphabets get two gathers).
+    # Compare min/max directly: np.abs(INT64_MIN) overflows negative, so an
+    # abs()-based guard would wrongly fuse and corrupt extreme alphabets.
+    # (min/max, not alphabet[0]/[-1]: a doctored blob may be unsorted.)
+    fused = bool(alphabet.min() > -(1 << 57) and alphabet.max() < (1 << 57))
+    if fused:
+        table = (table_sym << 5) | table_len
+    q, rmod = divmod(n, K)
+    n_rounds = q + (1 if rmod else 0)
+    out = np.empty((n_rounds, K), dtype=np.int64)
+    shift_base = np.int64(32 - max_len)
+    mask = np.int64((1 << max_len) - 1)
+    cursor_q = cursor
+    for r in range(n_rounds):
+        if r == q:
+            cursor_q = cursor.copy()
+        word = windows.take(np.minimum(cursor >> 3, cap))
+        win = (word >> (shift_base - (cursor & 7))) & mask
+        if fused:
+            entry = table.take(win)
+            out[r] = entry >> 5
+            cursor = cursor + (entry & 31)
+        else:
+            out[r] = table_sym.take(win)
+            cursor = cursor + table_len.take(win)
+    # Lanes k < rmod decode n_rounds symbols, the rest stop one earlier.
+    if rmod:
+        final = np.where(np.arange(K) < rmod, cursor, cursor_q)
+    else:
+        final = cursor
+    if not np.array_equal(final - lane_base, stream_bits):
+        raise DecompressionError(
+            "HUF2 stream lengths inconsistent with decoded symbols "
+            "(corrupt bitstream or per-stream bit lengths)"
+        )
+    return out.ravel()[:n]
+
+
+def _scalar_tables(table_sym: np.ndarray, table_len: np.ndarray, n_symbols: int):
+    """Pick list or ndarray tables for the scalar loop.
+
+    Measured trade-off (see the micro-benchmark note in
+    ``benchmarks/bench_entropy.py``): indexing a Python list inside the
+    loop costs ~60 ns vs ~250 ns for an ndarray element (NumPy scalar
+    boxing), but ``.tolist()`` of a full 2**16-entry table pair costs
+    ~0.8 ms. Lists win once the symbol count is a non-trivial fraction of
+    the table size; below that, index the NumPy tables directly.
+    """
+    if n_symbols * 8 >= table_sym.size:
+        return table_sym.tolist(), table_len.tolist()
+    return table_sym, table_len
 
 
 def _decode_stream(
-    data: bytes, n_symbols: int, table_sym: list, table_len: list, max_len: int
-) -> np.ndarray:
-    """Tight decode loop: one table lookup per symbol.
+    data: bytes, n_symbols: int, table_sym, table_len, max_len: int
+) -> tuple[np.ndarray, int]:
+    """Tight scalar decode loop: one table lookup per symbol.
 
-    Plain-Python loop on purpose: per-symbol dependencies make this stage
-    inherently sequential; locals + flat lists keep it at a few hundred ns
-    per symbol, fast enough for the grid sizes used in the experiments.
+    Plain-Python loop on purpose: per-symbol dependencies make a single
+    stream inherently sequential. It remains the fast path for tiny
+    inputs, where the vectorized decoder's setup cost dominates; the
+    tables are lists or ndarrays per :func:`_scalar_tables`. Returns the
+    symbols and the exact number of bits consumed (for per-stream
+    validation in the HUF2 layout).
     """
     out = np.empty(n_symbols, dtype=np.int64)
     mask = (1 << max_len) - 1
@@ -205,7 +528,6 @@ def _decode_stream(
     nbits = 0
     byte_pos = 0
     n_bytes = len(data)
-    out_list = out  # local alias
     for i in range(n_symbols):
         while nbits < max_len and byte_pos < n_bytes:
             bitbuf = (bitbuf << 8) | data[byte_pos]
@@ -218,7 +540,7 @@ def _decode_stream(
         length = table_len[window]
         if length > nbits:
             raise DecompressionError("Huffman bitstream exhausted mid-symbol")
-        out_list[i] = table_sym[window]
+        out[i] = table_sym[window]
         nbits -= length
         bitbuf &= (1 << nbits) - 1
-    return out
+    return out, 8 * byte_pos - nbits

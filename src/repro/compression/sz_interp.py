@@ -12,10 +12,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression import huffman
-from repro.compression.base import Compressor, StreamReader, StreamWriter
+from repro.compression.base import (
+    Compressor,
+    StreamReader,
+    StreamWriter,
+    check_entropy_params,
+    decode_codes,
+    encode_codes,
+)
 from repro.compression.interpolation import InterpPlan, predict_axis
-from repro.compression.lossless import compress_bytes, decompress_bytes, pack_ints, unpack_ints
+from repro.compression.lossless import compress_bytes, decompress_bytes
 from repro.compression.quantizer import quantize_residuals, reconstruct_from_codes
 from repro.errors import DecompressionError
 from repro.util.timer import StageTimes
@@ -32,15 +38,25 @@ class SZInterp(Compressor):
         ``"huffman"`` (default SZ pipeline) or ``"deflate"``.
     backend:
         Lossless byte backend for all sections.
+    k_streams:
+        Huffman interleave width: ``"auto"`` (scales with the input; the
+        vectorized-decode default) or an explicit stream count.
     """
 
     name = "sz-interp"
 
-    def __init__(self, entropy: str = "huffman", backend: str = "deflate"):
-        if entropy not in ("huffman", "deflate"):
-            raise DecompressionError(f"entropy must be 'huffman' or 'deflate', got {entropy!r}")
+    def __init__(
+        self,
+        entropy: str = "huffman",
+        backend: str = "deflate",
+        k_streams: int | str = "auto",
+    ):
+        # Constructor misuse is a CompressionError (nothing is being
+        # decoded here); this used to raise DecompressionError.
+        check_entropy_params(entropy, k_streams)
         self.entropy = entropy
         self.backend = backend
+        self.k_streams = k_streams if k_streams == "auto" else int(k_streams)
         self.last_stage_times: StageTimes = StageTimes()
 
     # ------------------------------------------------------------------
@@ -84,21 +100,20 @@ class SZInterp(Compressor):
             np.concatenate(code_chunks) if code_chunks else np.empty(0, dtype=np.int64)
         )
         with times.measure("entropy"):
-            entropy_used = self.entropy
-            if self.entropy == "huffman":
-                try:
-                    code_blob = compress_bytes(huffman.encode(all_codes), self.backend)
-                except huffman.HuffmanAlphabetError:
-                    entropy_used = "deflate"
-                    code_blob = pack_ints(all_codes, self.backend)
-            else:
-                code_blob = pack_ints(all_codes, self.backend)
+            code_blob, entropy_used = encode_codes(
+                all_codes, self.entropy, self.backend, self.k_streams
+            )
         with times.measure("pack"):
             writer = StreamWriter(
                 self.name,
                 arr.shape,
                 orig_dtype,
-                {"eb": eb, "stride": plan.stride, "entropy": entropy_used},
+                {
+                    "eb": eb,
+                    "stride": plan.stride,
+                    "entropy": entropy_used,
+                    "k_streams": self.k_streams,
+                },
             )
             writer.add_section(
                 "anchors", compress_bytes(np.ascontiguousarray(anchors).tobytes(), self.backend)
@@ -119,10 +134,7 @@ class SZInterp(Compressor):
         anchor_view = recon[plan.anchor_slices()]
         anchors = np.frombuffer(anchor_raw, dtype=np.float64).reshape(anchor_view.shape)
         recon[plan.anchor_slices()] = anchors
-        if reader.params["entropy"] == "huffman":
-            all_codes = huffman.decode(decompress_bytes(reader.section("codes")))
-        else:
-            all_codes = unpack_ints(reader.section("codes"))
+        all_codes = decode_codes(reader.section("codes"), reader.params["entropy"])
         pos = 0
         for stride, half in plan.levels():
             for axis in range(len(shape)):

@@ -17,8 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression import huffman
-from repro.compression.base import Compressor, StreamReader, StreamWriter
+from repro.compression.base import (
+    Compressor,
+    StreamReader,
+    StreamWriter,
+    check_entropy_params,
+    decode_codes,
+    encode_codes,
+)
 from repro.compression.lorenzo import lorenzo_forward, lorenzo_inverse
 from repro.compression.lossless import compress_bytes, decompress_bytes, pack_ints, unpack_ints
 from repro.compression.quantizer import prequantize, quantize_residuals
@@ -47,6 +53,9 @@ class SZLR(Compressor):
     predictor:
         ``"auto"`` (per-block selection), ``"lorenzo"`` or ``"regression"``
         to force one path (ablation).
+    k_streams:
+        Huffman interleave width: ``"auto"`` (scales with the input; the
+        vectorized-decode default) or an explicit stream count.
     """
 
     name = "sz-lr"
@@ -57,19 +66,20 @@ class SZLR(Compressor):
         entropy: str = "huffman",
         backend: str = "deflate",
         predictor: str = "auto",
+        k_streams: int | str = "auto",
     ):
         if block_size == "auto":
             pass  # resolved per array at compression time
         elif not isinstance(block_size, int) or block_size < 2:
             raise CompressionError(f"block_size must be >= 2 or 'auto', got {block_size}")
-        if entropy not in ("huffman", "deflate"):
-            raise CompressionError(f"entropy must be 'huffman' or 'deflate', got {entropy!r}")
+        check_entropy_params(entropy, k_streams)
         if predictor not in ("auto", "lorenzo", "regression"):
             raise CompressionError(f"unknown predictor {predictor!r}")
         self.block_size = block_size if block_size == "auto" else int(block_size)
         self.entropy = entropy
         self.backend = backend
         self.predictor = predictor
+        self.k_streams = k_streams if k_streams == "auto" else int(k_streams)
         self.last_stage_times: StageTimes = StageTimes()
 
     # ------------------------------------------------------------------
@@ -107,15 +117,9 @@ class SZLR(Compressor):
             codes = np.where((modes == MODE_LORENZO)[:, None], lor, res)
 
         with times.measure("entropy"):
-            entropy_used = self.entropy
-            if self.entropy == "huffman":
-                try:
-                    code_blob = compress_bytes(huffman.encode(codes.ravel()), self.backend)
-                except huffman.HuffmanAlphabetError:
-                    entropy_used = "deflate"
-                    code_blob = pack_ints(codes.ravel(), self.backend)
-            else:
-                code_blob = pack_ints(codes.ravel(), self.backend)
+            code_blob, entropy_used = encode_codes(
+                codes.ravel(), self.entropy, self.backend, self.k_streams
+            )
 
         with times.measure("pack"):
             writer = StreamWriter(
@@ -127,6 +131,7 @@ class SZLR(Compressor):
                     "block_size": bs,
                     "padded_shape": list(padded_shape),
                     "entropy": entropy_used,
+                    "k_streams": self.k_streams,
                     "predictor": self.predictor,
                 },
             )
@@ -192,10 +197,7 @@ class SZLR(Compressor):
         n_blocks = modes.size
         dc = unpack_ints(reader.section("dc"))
         qcoefs = unpack_ints(reader.section("coefs")).reshape(-1, 1 + ndim)
-        if params["entropy"] == "huffman":
-            codes = huffman.decode(decompress_bytes(reader.section("codes")))
-        else:
-            codes = unpack_ints(reader.section("codes"))
+        codes = decode_codes(reader.section("codes"), params["entropy"])
         if codes.size != n_blocks * block_cells:
             raise DecompressionError(
                 f"code stream has {codes.size} entries, expected {n_blocks * block_cells}"
@@ -236,10 +238,7 @@ class SZLR(Compressor):
         modes = np.frombuffer(decompress_bytes(reader.section("modes")), dtype=np.uint8)
         if not 0 <= block_index < modes.size:
             raise DecompressionError(f"block index {block_index} out of range [0, {modes.size})")
-        if params["entropy"] == "huffman":
-            codes = huffman.decode(decompress_bytes(reader.section("codes")))
-        else:
-            codes = unpack_ints(reader.section("codes"))
+        codes = decode_codes(reader.section("codes"), params["entropy"])
         block_codes = codes[block_index * block_cells : (block_index + 1) * block_cells].copy()
         if modes[block_index] == MODE_LORENZO:
             dc = unpack_ints(reader.section("dc"))

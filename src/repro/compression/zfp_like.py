@@ -21,9 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression import huffman
-from repro.compression.base import Compressor, StreamReader, StreamWriter
-from repro.compression.lossless import compress_bytes, decompress_bytes, pack_ints, unpack_ints
+from repro.compression.base import (
+    Compressor,
+    StreamReader,
+    StreamWriter,
+    check_entropy_params,
+    decode_codes,
+    encode_codes,
+)
+from repro.compression.lossless import pack_ints, unpack_ints
 from repro.compression.quantizer import dequantize, prequantize
 from repro.compression import regression as reg
 from repro.errors import CompressionError
@@ -78,15 +84,24 @@ def s_transform_inverse(coefs: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
 
 
 class ZFPLike(Compressor):
-    """Fixed-accuracy transform codec over 4^d blocks."""
+    """Fixed-accuracy transform codec over 4^d blocks.
+
+    ``k_streams`` sets the Huffman interleave width (``"auto"`` scales
+    with the input for the vectorized decode).
+    """
 
     name = "zfp-like"
 
-    def __init__(self, entropy: str = "huffman", backend: str = "deflate"):
-        if entropy not in ("huffman", "deflate"):
-            raise CompressionError(f"entropy must be 'huffman' or 'deflate', got {entropy!r}")
+    def __init__(
+        self,
+        entropy: str = "huffman",
+        backend: str = "deflate",
+        k_streams: int | str = "auto",
+    ):
+        check_entropy_params(entropy, k_streams)
         self.entropy = entropy
         self.backend = backend
+        self.k_streams = k_streams if k_streams == "auto" else int(k_streams)
 
     def compress(self, data: np.ndarray, error_bound: float, mode: str = "abs") -> bytes:
         orig_dtype = np.asarray(data).dtype
@@ -101,20 +116,19 @@ class ZFPLike(Compressor):
         dc = flat[:, 0].copy()
         rest = flat.copy()
         rest[:, 0] = 0
-        entropy_used = self.entropy
-        if self.entropy == "huffman":
-            try:
-                code_blob = compress_bytes(huffman.encode(rest.ravel()), self.backend)
-            except huffman.HuffmanAlphabetError:
-                entropy_used = "deflate"
-                code_blob = pack_ints(rest.ravel(), self.backend)
-        else:
-            code_blob = pack_ints(rest.ravel(), self.backend)
+        code_blob, entropy_used = encode_codes(
+            rest.ravel(), self.entropy, self.backend, self.k_streams
+        )
         writer = StreamWriter(
             self.name,
             arr.shape,
             orig_dtype,
-            {"eb": eb, "padded_shape": list(padded_shape), "entropy": entropy_used},
+            {
+                "eb": eb,
+                "padded_shape": list(padded_shape),
+                "entropy": entropy_used,
+                "k_streams": self.k_streams,
+            },
         )
         writer.add_section("dc", pack_ints(dc, self.backend))
         writer.add_section("codes", code_blob)
@@ -128,10 +142,7 @@ class ZFPLike(Compressor):
         padded_shape = tuple(reader.params["padded_shape"])
         ndim = len(shape)
         dc = unpack_ints(reader.section("dc"))
-        if reader.params["entropy"] == "huffman":
-            codes = huffman.decode(decompress_bytes(reader.section("codes")))
-        else:
-            codes = unpack_ints(reader.section("codes"))
+        codes = decode_codes(reader.section("codes"), reader.params["entropy"])
         flat = codes.reshape(dc.size, 4**ndim).copy()
         flat[:, 0] = dc
         cube = flat.reshape((-1,) + (4,) * ndim)

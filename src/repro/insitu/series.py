@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import io
 import json
+import mmap as _mmap
 import struct
 import zlib
 from dataclasses import dataclass
@@ -59,7 +60,7 @@ from repro.compression.container import (
     ContainerReader,
     _normalize_selector,
 )
-from repro.errors import FormatError
+from repro.errors import CompressionError, FormatError
 
 __all__ = [
     "SERIES_MAGIC",
@@ -160,29 +161,64 @@ class SeriesReader:
 
     Parameters
     ----------
-    fileobj:
-        Seekable binary file-like object positioned anywhere. The reader
-        does not own it unless constructed through :meth:`open`.
+    source:
+        Either a seekable binary file-like object positioned anywhere, or
+        any byte buffer (``bytes``, ``memoryview``, ``mmap`` — the
+        zero-copy mode: segments are opened as buffer-mode
+        :class:`~repro.compression.container.ContainerReader` views, so
+        patch streams reach the codecs as ``memoryview`` slices with no
+        intermediate copy). :meth:`open` with ``mmap=True`` builds the
+        zero-copy mode over a memory-mapped file. The reader does not own
+        a file-like source unless constructed through :meth:`open`.
     """
 
-    def __init__(self, fileobj: BinaryIO):
-        self._file = fileobj
+    def __init__(self, source):
         self._owns = False
-        fileobj.seek(0, io.SEEK_END)
-        total = fileobj.tell()
+        self._mmap: _mmap.mmap | None = None
+        # mmap objects are file-likes too (they grow seek/read), so the
+        # buffer check must come first or zero-copy mode silently degrades
+        # to the copying file path.
+        if not isinstance(source, _mmap.mmap) and (
+            hasattr(source, "seek") and hasattr(source, "read")
+        ):
+            self._file: BinaryIO | None = source
+            self._view: memoryview | None = None
+            source.seek(0, io.SEEK_END)
+            total = source.tell()
+        else:
+            self._file = None
+            try:
+                self._view = memoryview(source).cast("B")
+            except TypeError:
+                raise CompressionError(
+                    f"cannot read a series from {type(source).__name__}; "
+                    "pass a seekable file or a byte buffer"
+                ) from None
+            total = self._view.nbytes
+        # Release the view if parsing fails: a failing constructor must not
+        # leave an exported buffer alive, or ``open(mmap=True)``'s cleanup
+        # ``mapping.close()`` raises BufferError and masks the real error
+        # (the in-flight traceback pins this frame's ``self``).
+        try:
+            self._parse_index(total)
+        except BaseException:
+            if self._view is not None:
+                self._view.release()
+                self._view = None
+            raise
+
+    def _parse_index(self, total: int) -> None:
         if total < _SERIES_HEADER.size + _SERIES_FOOTER.size:
             raise FormatError(f"series too short ({total} bytes) for RPH2S framing")
-        fileobj.seek(0)
-        magic, version = _SERIES_HEADER.unpack(fileobj.read(_SERIES_HEADER.size))
+        magic, version = _SERIES_HEADER.unpack(self._read_at(0, _SERIES_HEADER.size))
         if magic != SERIES_MAGIC:
             raise FormatError(
                 f"not an RPH2S series (magic {magic!r}, expected {SERIES_MAGIC!r})"
             )
         if version != SERIES_VERSION:
             raise FormatError(f"unsupported series version {version}")
-        fileobj.seek(total - _SERIES_FOOTER.size)
         index_offset, index_length, index_crc, footer_magic = _SERIES_FOOTER.unpack(
-            fileobj.read(_SERIES_FOOTER.size)
+            self._read_at(total - _SERIES_FOOTER.size, _SERIES_FOOTER.size)
         )
         if footer_magic != SERIES_FOOTER_MAGIC:
             raise FormatError(
@@ -190,8 +226,7 @@ class SeriesReader:
             )
         if index_offset + index_length > total - _SERIES_FOOTER.size:
             raise FormatError("series index extends past end of file (truncated?)")
-        fileobj.seek(index_offset)
-        index_bytes = fileobj.read(index_length)
+        index_bytes = self._read_at(index_offset, index_length)
         if len(index_bytes) != index_length or zlib.crc32(index_bytes) != index_crc:
             raise FormatError("series index checksum mismatch (corrupt timestep index)")
         try:
@@ -240,12 +275,43 @@ class SeriesReader:
     # ------------------------------------------------------------------
     # Construction / lifecycle
     # ------------------------------------------------------------------
+    def _read_at(self, offset: int, length: int) -> bytes:
+        """Read exactly one span (used for header/footer/index parsing)."""
+        if self._view is not None:
+            return bytes(self._view[offset : offset + length])
+        self._file.seek(offset)
+        return self._file.read(length)
+
+    @property
+    def mapped(self) -> bool:
+        """True when the reader serves zero-copy views of a byte buffer."""
+        return self._view is not None
+
     @classmethod
-    def open(cls, path: str | Path) -> "SeriesReader":
-        """Open a series file for random access (reader owns the handle)."""
+    def open(cls, path: str | Path, *, mmap: bool = False) -> "SeriesReader":
+        """Open a series file for random access (reader owns the handle).
+
+        With ``mmap=True`` the file is memory-mapped and every segment is
+        opened as a buffer-mode
+        :class:`~repro.compression.container.ContainerReader`, so patch
+        streams reach the codecs as zero-copy ``memoryview`` slices.
+        """
         fileobj = Path(path).open("rb")
         try:
-            reader = cls(fileobj)
+            if mmap:
+                try:
+                    mapping = _mmap.mmap(fileobj.fileno(), 0, access=_mmap.ACCESS_READ)
+                except (ValueError, OSError) as exc:
+                    raise FormatError(f"cannot memory-map {path}: {exc}") from exc
+                try:
+                    reader = cls(mapping)
+                except Exception:
+                    mapping.close()
+                    raise
+                reader._mmap = mapping
+                reader._file = fileobj
+            else:
+                reader = cls(fileobj)
         except Exception:
             fileobj.close()
             raise
@@ -253,8 +319,14 @@ class SeriesReader:
         return reader
 
     def close(self) -> None:
-        """Close the underlying file if this reader opened it."""
-        if self._owns:
+        """Close the underlying file/mapping if this reader opened it."""
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._owns and self._file is not None:
             self._file.close()
 
     def __enter__(self) -> "SeriesReader":
@@ -336,10 +408,16 @@ class SeriesReader:
         """Open one timestep's embedded RPH2 segment for random access.
 
         Only the segment's footer and index are read eagerly; streams are
-        fetched lazily through the shared file handle.
+        fetched lazily through the shared file handle. In zero-copy mode
+        the segment is a buffer-mode
+        :class:`~repro.compression.container.ContainerReader` over a
+        ``memoryview`` slice of the series buffer, so its patch streams
+        stay zero-copy all the way into the codecs.
         """
         e = self.entry(step)
         try:
+            if self._view is not None:
+                return ContainerReader(self._view[e.offset : e.offset + e.length])
             return ContainerReader(_SegmentWindow(self._file, e.offset, e.length))
         except FormatError as exc:
             raise FormatError(f"series step {e.describe()}: {exc}") from exc
@@ -349,11 +427,15 @@ class SeriesReader:
 
         Reads the full segment — O(segment) bytes — so it is an explicit
         integrity sweep, not part of the random-access path (stream-level
-        crcs already guard individual reads).
+        crcs already guard individual reads). In zero-copy mode the crc
+        runs over the segment's ``memoryview`` without a copy.
         """
         e = self.entry(step)
-        self._file.seek(e.offset)
-        blob = self._file.read(e.length)
+        if self._view is not None:
+            blob = self._view[e.offset : e.offset + e.length]
+        else:
+            self._file.seek(e.offset)
+            blob = self._file.read(e.length)
         if len(blob) != e.length or zlib.crc32(blob) != e.crc32:
             raise FormatError(f"segment checksum mismatch at step {e.describe()}")
 

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compression import huffman
-from repro.errors import CompressionError
+from repro.errors import CompressionError, DecompressionError
 
 
 class TestCodeLengths:
@@ -101,3 +103,205 @@ class TestProperties:
         rng = np.random.default_rng(n * 31 + k)
         syms = rng.integers(0, k, size=n).astype(np.int64)
         assert np.array_equal(huffman.decode(huffman.encode(syms)), syms)
+
+
+# ----------------------------------------------------------------------
+# HUF2: K-way interleaved layout
+# ----------------------------------------------------------------------
+class TestHUF2Layout:
+    """Structural contract of the K-way interleaved blob."""
+
+    def test_encode_emits_huf2_magic(self, rng):
+        syms = rng.integers(-5, 5, size=100).astype(np.int64)
+        assert huffman.encode(syms)[:4] == huffman.HUF2_MAGIC
+
+    def test_legacy_encoder_is_headerless(self, rng):
+        syms = rng.integers(-5, 5, size=100).astype(np.int64)
+        assert huffman._encode_huf1(syms)[:4] != huffman.HUF2_MAGIC
+
+    def test_huf1_huf2_cross_decode(self, rng):
+        """Both layouts decode to the same symbols through one decode()."""
+        syms = (rng.geometric(0.3, size=5000) - 1).astype(np.int64)
+        syms *= rng.choice([-1, 1], size=syms.size)
+        out1 = huffman.decode(huffman._encode_huf1(syms))
+        out2 = huffman.decode(huffman.encode(syms, k_streams=8))
+        assert np.array_equal(out1, syms)
+        assert np.array_equal(out2, syms)
+
+    def test_k_does_not_divide_n(self, rng):
+        """Ragged final round: lanes k >= n % K decode one symbol fewer."""
+        for n, k in [(7, 3), (100, 7), (4097, 64), (12345, 32)]:
+            syms = rng.integers(-9, 9, size=n).astype(np.int64)
+            blob = huffman.encode(syms, k_streams=k)
+            assert np.array_equal(huffman.decode(blob), syms), (n, k)
+
+    def test_sparse_negative_alphabet_kway(self):
+        syms = np.array(
+            [2**40, -(2**41), 0, -1, 2**40, 2**40, -(2**41), 7] * 600,
+            dtype=np.int64,
+        )
+        blob = huffman.encode(syms, k_streams=64)
+        assert np.array_equal(huffman.decode(blob), syms)
+
+    def test_single_symbol_degenerate_kway(self):
+        syms = np.full(10_001, -3, dtype=np.int64)
+        blob = huffman.encode(syms, k_streams=16)
+        assert np.array_equal(huffman.decode(blob), syms)
+
+    def test_empty_kway(self):
+        blob = huffman.encode(np.empty(0, dtype=np.int64), k_streams=8)
+        assert huffman.decode(blob).size == 0
+
+    def test_vector_and_scalar_decoders_agree(self, rng):
+        """The lockstep gather path and per-stream scalar path are one
+        semantics: decode the same blob through both, symbol-for-symbol."""
+        syms = rng.integers(-100, 100, size=20_000).astype(np.int64)
+        blob = huffman.encode(syms, k_streams=64)
+        n, K, alphabet, lengths, stream_bits, payload = huffman._parse_huf2(blob)
+        vec = huffman._decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload)
+        scl = huffman._decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload)
+        assert np.array_equal(vec, syms)
+        assert np.array_equal(scl, syms)
+
+    def test_auto_widens_with_input(self):
+        # Below the 8-stream floor, K clamps to the symbol count.
+        assert huffman.resolve_k_streams("auto", 3) == 3
+        assert huffman.resolve_k_streams("auto", 10) == huffman._AUTO_MIN_STREAMS
+        small = huffman.resolve_k_streams("auto", 5_000)
+        large = huffman.resolve_k_streams("auto", 64**3)
+        assert small < large <= huffman._AUTO_MAX_STREAMS
+        # Explicit K is clamped to the symbol count so no stream is empty.
+        assert huffman.resolve_k_streams(64, 10) == 10
+
+    def test_k_streams_validation(self):
+        for bad in (0, -1, huffman.MAX_STREAMS + 1, 2.5, "wide", True, None):
+            with pytest.raises(CompressionError):
+                huffman.resolve_k_streams(bad, 100)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(-(2**50), 2**50), min_size=1, max_size=300),
+        st.integers(1, 40),
+    )
+    def test_roundtrip_any_alphabet_any_k(self, values, k):
+        syms = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(huffman.decode(huffman.encode(syms, k_streams=k)), syms)
+
+
+# ----------------------------------------------------------------------
+# HUF2: adversarial blobs
+# ----------------------------------------------------------------------
+class TestHUF2Adversarial:
+    """Corrupt K-way blobs must raise DecompressionError, never return
+    garbage or read out of bounds."""
+
+    @staticmethod
+    def _blob(n=9000, k=64, lo=-50, hi=50, seed=0):
+        rng = np.random.default_rng(seed)
+        syms = rng.integers(lo, hi, size=n).astype(np.int64)
+        return huffman.encode(syms, k_streams=k), syms
+
+    @staticmethod
+    def _sections(blob):
+        """Byte offsets of (alphabet, lengths, stream_bits, payload)."""
+        _, n, k, alpha = huffman._HUF2_HEAD.unpack_from(blob, 0)
+        head = huffman._HUF2_HEAD.size
+        return {
+            "alphabet": (head, head + 8 * alpha),
+            "lengths": (head + 8 * alpha, head + 9 * alpha),
+            "stream_bits": (head + 9 * alpha, head + 9 * alpha + 8 * k),
+            "payload": (head + 9 * alpha + 8 * k, len(blob)),
+            "n": n,
+            "k": k,
+            "alpha": alpha,
+        }
+
+    def test_truncated_header(self):
+        blob, _ = self._blob()
+        with pytest.raises(DecompressionError):
+            huffman.decode(blob[:10])
+        with pytest.raises(DecompressionError):
+            huffman.decode(blob[: self._sections(blob)["lengths"][1] - 1])
+
+    def test_truncated_stream(self):
+        """Payload shorter than the recorded per-stream bit lengths."""
+        blob, _ = self._blob()
+        with pytest.raises(DecompressionError):
+            huffman.decode(blob[:-17])
+
+    def test_non_full_code_table(self):
+        """A lengths section whose canonical codes do not tile the window
+        space exactly is rejected before any symbol is emitted."""
+        blob, _ = self._blob()
+        sec = self._sections(blob)
+        doctored = bytearray(blob)
+        lo, hi = sec["lengths"]
+        doctored[lo:hi] = bytes([huffman.MAX_CODE_LENGTH]) * (hi - lo)
+        with pytest.raises(DecompressionError):
+            huffman.decode(bytes(doctored))
+
+    def test_zero_code_length_rejected(self):
+        blob, _ = self._blob()
+        lo, _ = self._sections(blob)["lengths"]
+        doctored = bytearray(blob)
+        doctored[lo] = 0
+        with pytest.raises(DecompressionError):
+            huffman.decode(bytes(doctored))
+
+    @pytest.mark.parametrize("k", [4, 64])
+    def test_bad_per_stream_bit_length(self, k):
+        """Tampered stream_bits must fail on both decode paths (k=4 routes
+        to the scalar path, k=64 to the vectorized lockstep path)."""
+        blob, _ = self._blob(k=k)
+        sec = self._sections(blob)
+        lo, _ = sec["stream_bits"]
+        for delta in (-8, 8):
+            doctored = bytearray(blob)
+            (bits,) = struct.unpack_from("<Q", doctored, lo)
+            struct.pack_into("<Q", doctored, lo, bits + delta)
+            with pytest.raises(DecompressionError):
+                huffman.decode(bytes(doctored))
+
+    def test_bad_stream_count(self):
+        blob, _ = self._blob()
+        doctored = bytearray(blob)
+        struct.pack_into("<I", doctored, 12, 0)
+        with pytest.raises(DecompressionError):
+            huffman.decode(bytes(doctored))
+        struct.pack_into("<I", doctored, 12, huffman.MAX_STREAMS + 1)
+        with pytest.raises(DecompressionError):
+            huffman.decode(bytes(doctored))
+
+    def test_bad_alphabet_size(self):
+        blob, _ = self._blob()
+        doctored = bytearray(blob)
+        struct.pack_into("<I", doctored, 16, (1 << huffman.MAX_CODE_LENGTH) + 1)
+        with pytest.raises(DecompressionError):
+            huffman.decode(bytes(doctored))
+
+    def test_truncation_sweep_never_returns_garbage(self):
+        """Any prefix of a valid blob either raises or (never) round-trips."""
+        blob, syms = self._blob(n=500, k=8)
+        for cut in range(0, len(blob) - 1, 37):
+            try:
+                out = huffman.decode(blob[:cut])
+            except Exception:
+                continue
+            assert not np.array_equal(out, syms) or cut >= len(blob)
+
+
+class TestExtremeAlphabets:
+    def test_int64_min_vector_path(self):
+        """np.abs(INT64_MIN) overflows negative; the fused-gather guard
+        must compare min/max directly or extreme symbols decode wrong."""
+        lo = np.iinfo(np.int64).min
+        syms = np.array([lo, 0, 1, 2] * 2000, dtype=np.int64)
+        blob = huffman.encode(syms, k_streams=64)
+        assert np.array_equal(huffman.decode(blob), syms)
+
+    def test_int64_extremes_scalar_path(self):
+        hi = np.iinfo(np.int64).max
+        lo = np.iinfo(np.int64).min
+        syms = np.array([lo, hi, 0, -1] * 50, dtype=np.int64)
+        blob = huffman.encode(syms, k_streams=4)
+        assert np.array_equal(huffman.decode(blob), syms)

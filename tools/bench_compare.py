@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Gate performance regressions against committed benchmark baselines.
+
+Reads the ``BENCH_<name>.json`` artifacts a benchmark run emitted (see
+``benchmarks/perf_harness.py``), pairs each with the committed baseline of
+the same filename in ``benchmarks/baselines/``, and **fails (exit 1) when
+any tracked metric regresses more than the threshold** (default 20%)
+against its baseline value.
+
+Tracking policy
+---------------
+A metric is *tracked* iff it appears in the baseline file — the committed
+baseline is the tracking list. Metrics present only in the current run
+(e.g. machine-dependent absolute throughputs on a new box) and artifacts
+with no baseline at all are reported informationally and never fail the
+run, which is what makes the first run of a new benchmark green by
+construction. A baseline metric may carry a per-metric ``tolerance``
+overriding the default threshold.
+
+Direction comes from the metric's ``higher_is_better`` flag: throughput
+and speedup regress downward, RSS and latency regress upward.
+
+Usage::
+
+    REPRO_BENCH_JSON=bench-out PYTHONPATH=src pytest benchmarks/bench_entropy.py
+    python tools/bench_compare.py --current bench-out
+    python tools/bench_compare.py --current bench-out --threshold 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_artifact(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+    if not isinstance(doc.get("metrics"), dict):
+        raise SystemExit(f"bench_compare: {path} has no 'metrics' mapping")
+    return doc
+
+
+def change_ratio(current: float, base: float, higher_is_better: bool) -> float:
+    """Fractional regression (positive = worse), direction-normalized."""
+    if base == 0:
+        return 0.0
+    delta = (current - base) / abs(base)
+    return -delta if higher_is_better else delta
+
+
+def compare_artifact(
+    current: dict, baseline: dict, threshold: float, name: str
+) -> tuple[list[str], list[str]]:
+    """Return (failures, notes) for one artifact pair."""
+    failures: list[str] = []
+    notes: list[str] = []
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    for metric, base in sorted(base_metrics.items()):
+        if metric not in cur_metrics:
+            failures.append(
+                f"{name}: tracked metric {metric!r} missing from current run"
+            )
+            continue
+        cur = cur_metrics[metric]
+        tol = float(base.get("tolerance", threshold))
+        hib = bool(base.get("higher_is_better", True))
+        reg = change_ratio(float(cur["value"]), float(base["value"]), hib)
+        verdict = f"{abs(reg) * 100:.1f}% {'worse' if reg > 0 else 'better'}"
+        line = (
+            f"{name}: {metric} = {cur['value']:.4g} {cur.get('unit', '')}"
+            f" vs baseline {base['value']:.4g}"
+            f" ({verdict}, tolerance {tol * 100:.0f}%)"
+        )
+        if reg > tol:
+            failures.append("REGRESSION " + line)
+        else:
+            notes.append("ok         " + line)
+    for metric in sorted(set(cur_metrics) - set(base_metrics)):
+        cur = cur_metrics[metric]
+        notes.append(
+            f"info       {name}: untracked metric {metric} = "
+            f"{cur['value']:.4g} {cur.get('unit', '')} (not in baseline)"
+        )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        required=True,
+        help="directory holding the run's BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help=f"committed baseline directory (default {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="default allowed fractional regression (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts = sorted(args.current.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"bench_compare: no BENCH_*.json artifacts in {args.current}")
+        return 1
+
+    failures: list[str] = []
+    notes: list[str] = []
+    for path in artifacts:
+        current = load_artifact(path)
+        base_path = args.baseline / path.name
+        if not base_path.exists():
+            notes.append(
+                f"info       {path.name}: no committed baseline at {base_path} "
+                "— informational first run; commit this artifact to start tracking"
+            )
+            continue
+        f, n = compare_artifact(
+            current, load_artifact(base_path), args.threshold, path.name
+        )
+        failures.extend(f)
+        notes.extend(n)
+
+    for line in notes:
+        print(line)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(
+            f"bench_compare: {len(failures)} tracked metric(s) regressed "
+            f"beyond tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_compare: {len(artifacts)} artifact(s) checked, no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
