@@ -9,6 +9,7 @@ least 5x (it reads and decodes O(patch) bytes, not O(hierarchy)).
 
 from __future__ import annotations
 
+import io
 import time
 from dataclasses import dataclass
 
@@ -103,3 +104,94 @@ def test_per_level_extraction(benchmark, container_bytes):
     """Level-granular decode: the dual-cell viz access pattern."""
     out = benchmark(lambda: decompress_selection(container_bytes, levels=1))
     assert out and all(k[0] == 1 for k in out)
+
+
+# ----------------------------------------------------------------------
+# Grouped (level-batched) containers: random access must stay O(selection)
+# ----------------------------------------------------------------------
+class _CountingFile(io.BytesIO):
+    """Seekable file wrapper that counts the bytes actually read."""
+
+    def __init__(self, raw: bytes):
+        super().__init__(raw)
+        self.bytes_read = 0
+
+    def read(self, size=-1):
+        out = super().read(size)
+        self.bytes_read += len(out)
+        return out
+
+
+@pytest.fixture(scope="module")
+def grouped_bytes():
+    """Grouped container over a many-small-patch level (the layout the
+    level-batched path produces: shared codebooks + per-patch extents)."""
+    from repro.amr.box import Box
+    from repro.amr.boxarray import BoxArray
+    from repro.amr.hierarchy import AMRHierarchy
+    from repro.amr.level import AMRLevel
+    from repro.amr.patch import Patch
+
+    rng = np.random.default_rng(11)
+    ps, grid = 16, (4, 4, 4)
+    boxes, patches = [], []
+    for i in range(grid[0]):
+        for j in range(grid[1]):
+            for k in range(grid[2]):
+                box = Box.from_shape((ps,) * 3, lo=(i * ps, j * ps, k * ps))
+                boxes.append(box)
+                patches.append(Patch(box, rng.standard_normal((ps,) * 3)))
+    level = AMRLevel(0, BoxArray(boxes), (1.0,) * 3, {"density": patches})
+    h = AMRHierarchy(Box.from_shape(tuple(g * ps for g in grid)), [level], 2)
+    return compress_hierarchy(
+        h, "sz-lr", 1e-3, fields=["density"], batch="level"
+    ).tobytes()
+
+
+def test_grouped_selective_vs_full(benchmark, grouped_bytes):
+    """Selective decode of one grouped patch still beats a full decode by
+    >= 5x: the group section's per-patch extents keep random access
+    per-member even though the codebook is shared."""
+    full_s = _best_of(lambda: decompress_selection(grouped_bytes))
+    selective = benchmark(lambda: decompress_selection(grouped_bytes, patches=0))
+    sel_s = _best_of(lambda: decompress_selection(grouped_bytes, patches=0))
+    speedup = full_s / sel_s
+    perf_harness.record(
+        "bench_selective", "grouped_selective_speedup", speedup, "x",
+        higher_is_better=True,
+    )
+    assert len(selective) == 1
+    assert speedup >= 5.0, (
+        f"grouped selective decode only {speedup:.1f}x faster than full"
+    )
+
+
+def test_grouped_selection_byte_accounting(grouped_bytes):
+    """Acceptance criterion: one-patch selection on a grouped container
+    reads O(selection) payload bytes — footer + index + group *header*
+    (codebook + extents) + one stream + one payload extent — never the
+    other members' payloads."""
+    counter = _CountingFile(grouped_bytes)
+    out = decompress_selection(counter, patches=0)
+    assert len(out) == 1
+    fraction = counter.bytes_read / len(grouped_bytes)
+    perf_harness.record(
+        "bench_selective", "grouped_one_patch_read_fraction", fraction, "frac",
+        higher_is_better=False,
+    )
+    # 1 of 64 patches: allow index + group header + slack, but reading a
+    # quarter of the file would mean payload extents are not being used.
+    assert fraction < 0.25, (
+        f"one-patch selection read {fraction:.1%} of a 64-patch grouped "
+        "container — random access is no longer O(selection)"
+    )
+    full_counter = _CountingFile(grouped_bytes)
+    decompress_selection(full_counter)
+    assert counter.bytes_read < full_counter.bytes_read / 4
+
+
+def test_grouped_selection_matches_full(grouped_bytes):
+    full = decompress_selection(grouped_bytes)
+    one = decompress_selection(grouped_bytes, patches=3)
+    key = (0, "density", 3)
+    assert np.array_equal(one[key], full[key])

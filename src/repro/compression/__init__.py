@@ -20,12 +20,22 @@ from repro.compression.base import Compressor, CompressionStats, StreamReader, S
 from repro.compression.sz_lr import SZLR
 from repro.compression.sz_interp import SZInterp
 from repro.compression.zfp_like import ZFPLike
-from repro.compression.registry import available_codecs, make_codec, register_codec, decompress_any
+from repro.compression.registry import (
+    available_codecs,
+    codec_accepts,
+    codec_supports_batch,
+    make_codec,
+    register_codec,
+    decompress_any,
+)
 from repro.compression.zmesh_like import ZMeshLike, morton_order, serialize_hierarchy_1d
 from repro.compression.container import (
     ContainerReader,
+    GroupHandle,
+    GroupIndexEntry,
     PatchIndexEntry,
     pack_container,
+    pack_group,
     pack_header,
     pack_footer,
     build_index_bytes,
@@ -48,13 +58,18 @@ __all__ = [
     "SZInterp",
     "ZFPLike",
     "available_codecs",
+    "codec_accepts",
+    "codec_supports_batch",
     "make_codec",
     "register_codec",
     "decompress_any",
     "CompressedHierarchy",
     "ContainerReader",
+    "GroupHandle",
+    "GroupIndexEntry",
     "PatchIndexEntry",
     "pack_container",
+    "pack_group",
     "pack_header",
     "pack_footer",
     "build_index_bytes",

@@ -28,7 +28,7 @@ legacy magic" error instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -38,12 +38,15 @@ from repro.amr.coverage import level_covered_masks
 from repro.amr.hierarchy import AMRHierarchy
 from repro.amr.level import AMRLevel
 from repro.amr.patch import Patch
-from repro.compression.base import Compressor
+from repro.compression.base import BatchResult, Compressor, SharedEntropy
 from repro.compression.container import (
     CONTAINER_MAGIC,
     ContainerReader,
+    GroupHandle,
     _normalize_selector,
+    group_handle_from_bytes,
     pack_container,
+    pack_group,
 )
 from repro.compression.registry import codec_accepts, make_codec
 from repro.errors import CompressionError, FormatError
@@ -102,7 +105,13 @@ def average_down(hierarchy: AMRHierarchy, field: str) -> None:
 
 @dataclass
 class CompressedHierarchy:
-    """Container of per-patch compressed streams for one hierarchy."""
+    """Container of per-patch compressed streams for one hierarchy.
+
+    Level-batched compression (``batch="level"``) additionally carries the
+    shared-codebook group sections in ``groups`` (raw ``RPGB`` blobs, gid
+    order) and the ``(level, field, patch) -> (gid, member)`` membership in
+    ``stream_groups``; both are empty for the per-patch path.
+    """
 
     codec: str
     error_bound: float
@@ -112,13 +121,17 @@ class CompressedHierarchy:
     #: streams[level][field][patch] -> bytes
     streams: list[dict[str, list[bytes]]]
     original_bytes: int
+    #: group sections (raw RPGB blobs), indexed by gid.
+    groups: list[bytes] = field(default_factory=list)
+    #: (level, field, patch) -> (gid, member) for grouped streams.
+    stream_groups: dict[tuple[int, str, int], tuple[int, int]] = field(default_factory=dict)
 
     @property
     def compressed_bytes(self) -> int:
-        """Total payload size."""
+        """Total payload size (patch streams plus group sections)."""
         return sum(
             len(blob) for level in self.streams for plist in level.values() for blob in plist
-        )
+        ) + sum(len(g) for g in self.groups)
 
     @property
     def ratio(self) -> float:
@@ -137,7 +150,28 @@ class CompressedHierarchy:
 
     def tobytes(self) -> bytes:
         """Serialize to the seekable patch-indexed ``RPH2`` container."""
-        return pack_container(self._meta(), self.streams)
+        return pack_container(
+            self._meta(), self.streams,
+            groups=self.groups or None,
+            stream_groups=self.stream_groups or None,
+        )
+
+    def _group_handle(self, gid: int) -> GroupHandle:
+        """Parsed handle over one in-memory group section, cached (the
+        shared codebook's decode tables amortize across members)."""
+        cache = self.__dict__.setdefault("_group_handles", {})
+        if gid not in cache:
+            if not 0 <= gid < len(self.groups):
+                raise FormatError(f"hierarchy has no group {gid}")
+            cache[gid] = group_handle_from_bytes(gid, self.groups[gid])
+        return cache[gid]
+
+    def _shared_for(self, key: tuple[int, str, int], copy: bool = False) -> SharedEntropy | None:
+        membership = self.stream_groups.get(key)
+        if membership is None:
+            return None
+        gid, member = membership
+        return self._group_handle(gid).shared(member, copy=copy)
 
     def select(
         self,
@@ -146,6 +180,7 @@ class CompressedHierarchy:
         patches=None,
         parallel: str = "serial",
         workers: int = 2,
+        pool=None,
     ) -> dict[tuple[int, str, int], np.ndarray]:
         """Decompress a subset of in-memory streams (see
         :func:`decompress_selection` for the selector semantics).
@@ -167,11 +202,16 @@ class CompressedHierarchy:
                     if want_patches is not None and p_idx not in want_patches:
                         continue
                     chosen.append(((lev_idx, field, p_idx), blob))
+        copy = parallel == "process" or (pool is not None and pool.mode == "process")
         arrays = parallel_map(
             _decompress_task,
-            [(self.codec, blob) for _, blob in chosen],
+            [
+                (self.codec, blob, self._shared_for(key, copy=copy))
+                for key, blob in chosen
+            ],
             mode=parallel,
             workers=workers,
+            pool=pool,
         )
         return {key: arr for (key, _), arr in zip(chosen, arrays)}
 
@@ -202,12 +242,13 @@ class CompressedHierarchy:
     def fromreader(cls, reader: ContainerReader) -> "CompressedHierarchy":
         """Materialize every stream of an open :class:`ContainerReader`.
 
-        Streams are owned ``bytes`` regardless of the reader's mode: an
-        in-memory hierarchy outlives the reader (and pickles under
-        process-mode selection), so zero-copy views are copied out here —
-        the one place materialization is the point.
+        Streams (and group sections) are owned ``bytes`` regardless of the
+        reader's mode: an in-memory hierarchy outlives the reader (and
+        pickles under process-mode selection), so zero-copy views are
+        copied out here — the one place materialization is the point.
         """
         streams: list[dict[str, list[bytes]]] = [{} for _ in range(reader.n_levels)]
+        stream_groups: dict[tuple[int, str, int], tuple[int, int]] = {}
         for entry in reader.entries:
             plist = streams[entry.level].setdefault(entry.field, [])
             if entry.patch != len(plist):
@@ -215,6 +256,15 @@ class CompressedHierarchy:
                     f"container index out of order at patch {entry.describe()}"
                 )
             plist.append(bytes(reader.read_stream(entry)))
+            if entry.group is not None:
+                stream_groups[entry.key] = (entry.group, entry.member)
+        group_rows = sorted(reader.group_entries, key=lambda g: g.gid)
+        if [g.gid for g in group_rows] != list(range(len(group_rows))):
+            raise FormatError(
+                "container group ids are not contiguous from 0 "
+                f"(got {[g.gid for g in group_rows]})"
+            )
+        groups = [bytes(reader.read_group_blob(g.gid)) for g in group_rows]
         return cls(
             codec=reader.codec,
             error_bound=reader.error_bound,
@@ -223,6 +273,8 @@ class CompressedHierarchy:
             exclude_covered=reader.exclude_covered,
             streams=streams,
             original_bytes=reader.original_bytes,
+            groups=groups,
+            stream_groups=stream_groups,
         )
 
 def _compress_task(task: tuple[Compressor, np.ndarray, float, str]) -> bytes:
@@ -231,10 +283,19 @@ def _compress_task(task: tuple[Compressor, np.ndarray, float, str]) -> bytes:
     return comp.compress(data, error_bound, mode)
 
 
-def _decompress_task(task: tuple[str, bytes]) -> np.ndarray:
+def _compress_group_task(task: tuple[Compressor, np.ndarray, np.ndarray]) -> BatchResult:
+    """Module-level fused-group compress task (picklable for process mode)."""
+    comp, stacked, bounds = task
+    return comp.compress_batch(stacked, bounds, mode="abs")
+
+
+def _decompress_task(task: tuple[str, bytes, SharedEntropy | None]) -> np.ndarray:
     """Module-level decompress task (picklable for process mode)."""
-    codec_name, blob = task
-    return make_codec(codec_name).decompress(blob)
+    codec_name, blob, shared = task
+    codec = make_codec(codec_name)
+    if shared is not None:
+        return codec.decompress(blob, shared=shared)
+    return codec.decompress(blob)
 
 
 def resolve_patch_codec(codec: str | Compressor, k_streams: int | str = "auto") -> Compressor:
@@ -272,6 +333,8 @@ def compress_hierarchy(
     parallel: str = "serial",
     workers: int = 2,
     k_streams: int | str = "auto",
+    batch: str = "patch",
+    pool=None,
 ) -> CompressedHierarchy:
     """Compress selected fields of ``hierarchy`` patch by patch.
 
@@ -295,12 +358,35 @@ def compress_hierarchy(
         Huffman interleave width forwarded to named codecs (``"auto"``
         scales with each patch for the vectorized decode); ignored when
         ``codec`` is an instance, which already carries its configuration.
+    batch:
+        ``"patch"`` (historical: one codec call per patch) or ``"level"``
+        — the **fused level-batched path**: all same-shape patches of one
+        (level, field) run prediction + quantization as one batched kernel
+        invocation and share one Huffman codebook per group, written as
+        grouped container streams (see ``docs/container_format.md``).
+        Real AMR hierarchies are built from many small patches at fixed
+        blocking factors, so this amortizes every per-stream fixed cost
+        the paper's workload shape is dominated by. Requires a codec with
+        ``supports_batch`` (``sz-lr``, ``sz-interp``); the parallel map
+        then runs per *group*, and the container bytes remain identical
+        across serial/thread/process.
+    pool:
+        Optional persistent :class:`repro.parallel.WorkerPool`, reused
+        across calls (e.g. across timesteps) instead of building an
+        executor per call; overrides ``parallel``/``workers``.
     """
     comp = resolve_patch_codec(codec, k_streams=k_streams)
     names = tuple(fields) if fields is not None else hierarchy.field_names
     for name in names:
         if name not in hierarchy.field_names:
             raise CompressionError(f"hierarchy has no field {name!r}")
+    if batch not in ("patch", "level"):
+        raise CompressionError(f"unknown batch mode {batch!r} (use 'patch' or 'level')")
+    if batch == "level":
+        return _compress_hierarchy_batched(
+            hierarchy, comp, error_bound, mode, names, exclude_covered,
+            parallel, workers, pool,
+        )
     # Flatten the hierarchy into an ordered task list: the map over patches
     # is pure (paper §3.3), so any executor that preserves order produces
     # the same streams — and therefore the same container bytes.
@@ -324,7 +410,7 @@ def compress_hierarchy(
                 else:
                     tasks.append((comp, data, error_bound, mode))
         layout.append(counts)
-    blobs = parallel_map(_compress_task, tasks, mode=parallel, workers=workers)
+    blobs = parallel_map(_compress_task, tasks, mode=parallel, workers=workers, pool=pool)
     streams: list[dict[str, list[bytes]]] = []
     cursor = 0
     for counts in layout:
@@ -345,19 +431,106 @@ def compress_hierarchy(
     )
 
 
+def _compress_hierarchy_batched(
+    hierarchy: AMRHierarchy,
+    comp: Compressor,
+    error_bound: float,
+    mode: str,
+    names: tuple[str, ...],
+    exclude_covered: bool,
+    parallel: str,
+    workers: int,
+    pool,
+) -> CompressedHierarchy:
+    """The ``batch="level"`` body of :func:`compress_hierarchy`.
+
+    Groups same-shape patches of each (level, field) into one fused
+    ``compress_batch`` task; the parallel map runs per group. Group ids
+    are assigned in deterministic task order (level ascending, field in
+    ``names`` order, shape by first appearance), so the container bytes —
+    like the per-patch path's — are identical across execution modes.
+    """
+    if not getattr(comp, "supports_batch", False):
+        raise CompressionError(
+            f"codec {comp.name!r} does not implement the level-batched fused "
+            "path; use batch='patch' (batch-capable codecs: sz-lr, sz-interp)"
+        )
+    # One task per (level, field, patch shape): stack the members and
+    # resolve every bound to an absolute value up front (identical math to
+    # the per-patch path, including the covered-cell fill ordering).
+    tasks: list[tuple[Compressor, np.ndarray, np.ndarray]] = []
+    memberships: list[list[tuple[int, str, int]]] = []  # task -> member keys
+    counts_by_level: list[dict[str, int]] = []
+    for lev_idx, lev in enumerate(hierarchy):
+        masks = level_covered_masks(hierarchy, lev_idx) if exclude_covered else None
+        counts: dict[str, int] = {}
+        for name in names:
+            patches = lev.patches(name)
+            counts[name] = len(patches)
+            by_shape: dict[tuple[int, ...], list[int]] = {}
+            for p_idx, patch in enumerate(patches):
+                by_shape.setdefault(patch.box.shape, []).append(p_idx)
+            for idxs in by_shape.values():
+                stacked = np.stack([patches[p].data for p in idxs])
+                # Bounds resolve against the *original* values, vectorized
+                # over the stack; the covered-cell fill (which may shrink a
+                # patch's range and must not tighten its bound) runs after.
+                bounds = comp.resolve_error_bounds(stacked, error_bound, mode)
+                if masks is not None:
+                    for row, p_idx in enumerate(idxs):
+                        if masks[p_idx].any():
+                            stacked[row] = _fill_covered(stacked[row], masks[p_idx])
+                tasks.append((comp, stacked, bounds))
+                memberships.append([(lev_idx, name, p) for p in idxs])
+        counts_by_level.append(counts)
+    results = parallel_map(
+        _compress_group_task, tasks, mode=parallel, workers=workers, pool=pool
+    )
+    # Deterministic assembly: gids in task order, skipping fallback groups
+    # (pooled alphabet too large -> members became self-contained streams).
+    streams: list[dict[str, list[bytes]]] = [
+        {name: [b""] * counts[name] for name in names} for counts in counts_by_level
+    ]
+    groups: list[bytes] = []
+    stream_groups: dict[tuple[int, str, int], tuple[int, int]] = {}
+    for keys, result in zip(memberships, results):
+        if result.codebook is not None:
+            gid = len(groups)
+            groups.append(pack_group(result.codebook, result.payloads))
+            for member, key in enumerate(keys):
+                stream_groups[key] = (gid, member)
+        for (lev_idx, name, p_idx), blob in zip(keys, result.streams):
+            streams[lev_idx][name][p_idx] = blob
+    original = sum(hierarchy.nbytes(name) for name in names)
+    return CompressedHierarchy(
+        codec=comp.name,
+        error_bound=float(error_bound),
+        mode=mode,
+        fields=names,
+        exclude_covered=exclude_covered,
+        streams=streams,
+        original_bytes=original,
+        groups=groups,
+        stream_groups=stream_groups,
+    )
+
+
 def decompress_hierarchy(
     container: CompressedHierarchy,
     template: AMRHierarchy,
     restore: str = "none",
     parallel: str = "serial",
     workers: int = 2,
+    pool=None,
 ) -> AMRHierarchy:
     """Rebuild a hierarchy from compressed streams.
 
     Parameters
     ----------
     container:
-        Output of :func:`compress_hierarchy`.
+        Output of :func:`compress_hierarchy` (per-patch or level-batched;
+        grouped streams decode against their shared codebooks
+        transparently).
     template:
         Hierarchy providing the box structure and any fields that were not
         compressed (structure travels with the plotfile, not the codec
@@ -369,16 +542,21 @@ def decompress_hierarchy(
     parallel, workers:
         Execution mode for the per-patch decode map; the rebuilt hierarchy
         is identical across modes.
+    pool:
+        Optional persistent :class:`repro.parallel.WorkerPool` to run the
+        decode map on (overrides ``parallel``/``workers``).
     """
     if restore not in ("none", "average_down"):
         raise CompressionError(f"unknown restore mode {restore!r}")
-    tasks: list[tuple[str, bytes]] = []
+    copy = parallel == "process" or (pool is not None and pool.mode == "process")
+    tasks: list[tuple[str, bytes, SharedEntropy | None]] = []
     for lev_idx, lev in enumerate(template):
         for name in template.field_names:
             if name in container.fields:
-                for blob in container.streams[lev_idx][name]:
-                    tasks.append((container.codec, blob))
-    arrays = parallel_map(_decompress_task, tasks, mode=parallel, workers=workers)
+                for p_idx, blob in enumerate(container.streams[lev_idx][name]):
+                    shared = container._shared_for((lev_idx, name, p_idx), copy=copy)
+                    tasks.append((container.codec, blob, shared))
+    arrays = parallel_map(_decompress_task, tasks, mode=parallel, workers=workers, pool=pool)
     cursor = 0
     new_levels = []
     for lev_idx, lev in enumerate(template):
@@ -429,6 +607,7 @@ def decompress_selection(
     workers: int = 2,
     *,
     steps=None,
+    pool=None,
 ):
     """Random-access decompression of a subset of patches.
 
@@ -465,19 +644,19 @@ def decompress_selection(
     if isinstance(source, SeriesReader):
         return source.select(
             steps=steps, levels=levels, fields=fields, patches=patches,
-            verify=verify, parallel=parallel, workers=workers,
+            verify=verify, parallel=parallel, workers=workers, pool=pool,
         )
     if isinstance(source, ContainerReader):
         _reject_steps_on_snapshot(steps)
         return source.select(
             levels=levels, fields=fields, patches=patches, verify=verify,
-            parallel=parallel, workers=workers,
+            parallel=parallel, workers=workers, pool=pool,
         )
     if isinstance(source, CompressedHierarchy):
         _reject_steps_on_snapshot(steps)
         return source.select(
             levels=levels, fields=fields, patches=patches,
-            parallel=parallel, workers=workers,
+            parallel=parallel, workers=workers, pool=pool,
         )
     if isinstance(source, (bytes, bytearray, memoryview)):
         # Buffer (zero-copy) mode: the readers slice memoryviews straight
@@ -486,12 +665,12 @@ def decompress_selection(
         if bytes(source[: len(SERIES_MAGIC)]) == SERIES_MAGIC:
             return SeriesReader(source).select(
                 steps=steps, levels=levels, fields=fields, patches=patches,
-                verify=verify, parallel=parallel, workers=workers,
+                verify=verify, parallel=parallel, workers=workers, pool=pool,
             )
         _reject_steps_on_snapshot(steps)
         return ContainerReader(source).select(
             levels=levels, fields=fields, patches=patches, verify=verify,
-            parallel=parallel, workers=workers,
+            parallel=parallel, workers=workers, pool=pool,
         )
     if isinstance(source, (str, Path)):
         with Path(source).open("rb") as fileobj:
@@ -503,18 +682,18 @@ def decompress_selection(
             _reject_steps_on_snapshot(steps)
             return ContainerReader(fileobj).select(
                 levels=levels, fields=fields, patches=patches, verify=verify,
-                parallel=parallel, workers=workers,
+                parallel=parallel, workers=workers, pool=pool,
             )
     if hasattr(source, "seek") and hasattr(source, "read"):
         if _sniff_magic(source) == SERIES_MAGIC:
             return SeriesReader(source).select(
                 steps=steps, levels=levels, fields=fields, patches=patches,
-                verify=verify, parallel=parallel, workers=workers,
+                verify=verify, parallel=parallel, workers=workers, pool=pool,
             )
         _reject_steps_on_snapshot(steps)
         return ContainerReader(source).select(
             levels=levels, fields=fields, patches=patches, verify=verify,
-            parallel=parallel, workers=workers,
+            parallel=parallel, workers=workers, pool=pool,
         )
     raise CompressionError(
         f"cannot read a container from {type(source).__name__}; pass bytes, a "

@@ -25,7 +25,7 @@ import json
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Mapping, NamedTuple
 
 import numpy as np
 
@@ -45,13 +45,92 @@ __all__ = [
     "CompressionStats",
     "STREAM_MAGIC",
     "ENTROPY_STAGES",
+    "GROUPED_STAGE",
+    "GROUPED_SECTION_BACKEND",
+    "BatchResult",
+    "SharedEntropy",
     "check_entropy_params",
+    "check_backend_level",
     "encode_codes",
+    "encode_codes_batch",
     "decode_codes",
 ]
 
 #: Entropy stages a codec may select for its quantization codes.
 ENTROPY_STAGES = ("huffman", "deflate")
+
+#: Recorded stage name of a grouped (shared-codebook) codes section; never
+#: selected directly — :func:`encode_codes_batch` emits it.
+GROUPED_STAGE = "huffman-grouped"
+
+#: Default DEFLATE level for self-contained ``HUF2`` codes sections.
+#: Measured on 16^3-patch SZ-L/R codes: a HUF2 blob deflates to 0.81x at
+#: level 1 and 0.81x at level 6 (the win is the compressible alphabet +
+#: lengths header and the stream zero padding, and level 1 already
+#: captures it), while level 6 costs 10-60% more time — so the historical
+#: level-6 default was pure waste here. Raw (non-Huffman) sections keep
+#: zlib's default 6, where DEFLATE *is* the entropy coder.
+HUFFMAN_SECTION_LEVEL = 1
+
+#: Default DEFLATE level for sections the backend itself entropy-codes.
+RAW_SECTION_LEVEL = 6
+
+#: Grouped (``HUFS``) member payloads are pure shared-codebook bitstreams
+#: — no alphabet header, no length table — and measured DEFLATE gain on
+#: them is ~1.1% for ~18 ms per 256 x 16^3 group (level 1 and level 6
+#: alike). The measured-right default is therefore the ``"none"`` backend
+#: (a 1-byte tag); setting the codec's ``backend_level`` explicitly opts a
+#: group back into its configured backend at that level.
+GROUPED_SECTION_BACKEND = "none"
+
+
+class BatchResult(NamedTuple):
+    """Output of a codec's ``compress_batch`` over one group of patches.
+
+    ``codebook`` is the serialized shared Huffman codebook (``HUFB``), or
+    ``None`` when the pooled alphabet forced the DEFLATE fallback — then
+    ``payloads`` is empty and every stream is self-contained. Otherwise
+    ``payloads[i]`` is member ``i``'s entropy payload (backend-compressed
+    ``HUFS``) and ``streams[i]`` its codec stream *without* a codes
+    section (params record :data:`GROUPED_STAGE` and ``group_member``).
+    """
+
+    codebook: bytes | None
+    payloads: list
+    streams: list
+
+
+#: Worker-side memo of parsed codebooks, keyed by their HUFB bytes: a
+#: process-mode decode map ships raw bytes per member task, and without
+#: this every member of a group would rebuild the flat decode tables the
+#: shared codebook exists to amortize. Tiny bound — tasks arrive grouped.
+_CODEBOOK_MEMO: dict[bytes, Any] = {}
+_CODEBOOK_MEMO_MAX = 8
+
+
+class SharedEntropy(NamedTuple):
+    """What a grouped stream needs besides its own bytes to decode.
+
+    ``codebook`` is the group's :class:`repro.compression.huffman.
+    SharedCodebook` (cached decode tables amortize across members) or the
+    raw ``HUFB`` bytes (picklable for process-mode workers); ``payload``
+    is this member's backend-compressed ``HUFS`` blob.
+    """
+
+    codebook: Any
+    payload: Any
+
+    def resolve_codebook(self) -> "huffman.SharedCodebook":
+        if isinstance(self.codebook, huffman.SharedCodebook):
+            return self.codebook
+        key = bytes(self.codebook)
+        cached = _CODEBOOK_MEMO.get(key)
+        if cached is None:
+            cached = huffman.SharedCodebook.frombytes(key)
+            if len(_CODEBOOK_MEMO) >= _CODEBOOK_MEMO_MAX:
+                _CODEBOOK_MEMO.pop(next(iter(_CODEBOOK_MEMO)))
+            _CODEBOOK_MEMO[key] = cached
+        return cached
 
 
 def check_entropy_params(entropy: str, k_streams: int | str = "auto") -> None:
@@ -70,35 +149,121 @@ def check_entropy_params(entropy: str, k_streams: int | str = "auto") -> None:
         huffman.resolve_k_streams(k_streams, 1)
 
 
+def check_backend_level(backend_level: int | None) -> None:
+    """Validate a codec's ``backend_level`` constructor parameter
+    (``None`` = per-section defaults, else a zlib/lzma level 0-9)."""
+    if backend_level is None:
+        return
+    if isinstance(backend_level, bool) or not isinstance(backend_level, int) \
+            or not 0 <= backend_level <= 9:
+        raise CompressionError(
+            f"backend_level must be None or an int in [0, 9], got {backend_level!r}"
+        )
+
+
 def encode_codes(
     codes: np.ndarray,
     entropy: str,
     backend: str,
     k_streams: int | str = "auto",
+    level: int | None = None,
 ) -> tuple[bytes, str]:
     """Entropy-encode a quantization-code array into a section blob.
 
     ``"huffman"`` runs the K-way interleaved canonical Huffman stage then
     the lossless backend (the SZ pipeline); alphabets too large to
-    Huffman-code fall back to ``"deflate"``. Returns ``(blob, stage)``
-    where ``stage`` names the encoding actually used — codecs record it in
-    their stream params so :func:`decode_codes` can invert it.
+    Huffman-code fall back to ``"deflate"``. ``level`` overrides the
+    backend compression level (default: :data:`HUFFMAN_SECTION_LEVEL` for
+    Huffman-coded sections — the output is already near-entropy — and
+    :data:`RAW_SECTION_LEVEL` for the fallback, where DEFLATE *is* the
+    entropy coder). Returns ``(blob, stage)`` where ``stage`` names the
+    encoding actually used — codecs record it in their stream params so
+    :func:`decode_codes` can invert it.
     """
     if entropy == "huffman":
         try:
             return (
-                compress_bytes(huffman.encode(codes, k_streams=k_streams), backend),
+                compress_bytes(
+                    huffman.encode(codes, k_streams=k_streams),
+                    backend,
+                    HUFFMAN_SECTION_LEVEL if level is None else level,
+                ),
                 "huffman",
             )
         except huffman.HuffmanAlphabetError:
             pass
-    return pack_ints(np.ascontiguousarray(codes), backend), "deflate"
+    return (
+        pack_ints(
+            np.ascontiguousarray(codes),
+            backend,
+            RAW_SECTION_LEVEL if level is None else level,
+        ),
+        "deflate",
+    )
 
 
-def decode_codes(section, entropy: str) -> np.ndarray:
-    """Invert :func:`encode_codes` given the recorded stage name."""
+def encode_codes_batch(
+    codes: np.ndarray,
+    entropy: str,
+    backend: str,
+    k_streams: int | str = "auto",
+    level: int | None = None,
+) -> tuple[bytes | None, list, str]:
+    """Entropy-encode the ``(members, symbols)`` code matrix of one group.
+
+    The Huffman path builds **one** shared codebook from the pooled
+    frequencies and packs every member in a single vectorized scatter pass
+    (:func:`repro.compression.huffman.encode_batch`); per-member payloads
+    are wrapped individually so random access stays per-member. By default
+    they are *stored*, not re-DEFLATEd (:data:`GROUPED_SECTION_BACKEND` —
+    measured gain is ~1% for real time); pass ``level`` to opt back into
+    ``backend`` at that level. Returns ``(codebook_bytes, payloads,
+    stage)``; a pooled alphabet too large to Huffman-code (or
+    ``entropy="deflate"``) falls back to self-contained per-member DEFLATE
+    sections with ``codebook=None``.
+    """
+    mat = np.ascontiguousarray(codes, dtype=np.int64)
+    if entropy == "huffman" and mat.size:
+        try:
+            codebook, inverse = huffman.SharedCodebook.from_symbols_with_inverse(mat)
+            if level is None:
+                wrap = lambda blob: compress_bytes(blob, GROUPED_SECTION_BACKEND)
+            else:
+                wrap = lambda blob: compress_bytes(blob, backend, level)
+            payloads = [
+                wrap(blob)
+                for blob in huffman.encode_batch(
+                    mat, codebook, k_streams=k_streams, inverse=inverse
+                )
+            ]
+            return codebook.tobytes(), payloads, GROUPED_STAGE
+        except huffman.HuffmanAlphabetError:
+            pass
+    lvl = RAW_SECTION_LEVEL if level is None else level
+    return None, [pack_ints(row, backend, lvl) for row in mat], "deflate"
+
+
+def decode_codes(section, entropy: str, shared: SharedEntropy | None = None) -> np.ndarray:
+    """Invert :func:`encode_codes` / :func:`encode_codes_batch` given the
+    recorded stage name.
+
+    Grouped streams (:data:`GROUPED_STAGE`) carry no codes section of
+    their own; their symbols live in ``shared.payload`` and decode against
+    ``shared.codebook`` (see the grouped-stream layout in
+    ``docs/container_format.md``).
+    """
     if entropy == "huffman":
         return huffman.decode(decompress_bytes(section))
+    if entropy == GROUPED_STAGE:
+        if shared is None:
+            raise DecompressionError(
+                "stream was grouped under a shared Huffman codebook; decode "
+                "it through its container (which supplies the group section) "
+                "— the stream alone carries no entropy payload"
+            )
+        return huffman.decode_with_codebook(
+            decompress_bytes(shared.payload), shared.resolve_codebook()
+        )
     if entropy == "deflate":
         return unpack_ints(section)
     raise DecompressionError(f"stream records unknown entropy stage {entropy!r}")
@@ -232,6 +397,10 @@ class Compressor(ABC):
     #: registry name; subclasses override.
     name: str = "abstract"
 
+    #: Whether this codec implements ``compress_batch`` (the level-batched
+    #: fused path with shared Huffman codebooks).
+    supports_batch: bool = False
+
     @abstractmethod
     def compress(self, data: np.ndarray, error_bound: float, mode: str = "abs") -> bytes:
         """Compress ``data`` under an error bound.
@@ -269,6 +438,24 @@ class Compressor(ABC):
         return arr.astype(np.float64, copy=False)
 
     @staticmethod
+    def _validate_batch(data: np.ndarray) -> np.ndarray:
+        """Validate a ``(n_patches, *shape)`` batch of same-shape patches
+        (the level-batched fused path)."""
+        arr = np.ascontiguousarray(data)
+        if arr.dtype.kind != "f":
+            raise CompressionError(f"only float arrays are supported, got {arr.dtype}")
+        if arr.ndim not in (2, 3, 4):
+            raise CompressionError(
+                f"batch must be (n_patches, *shape) with 1-3 spatial dims, "
+                f"got {arr.ndim}-D"
+            )
+        if arr.shape[0] == 0 or arr.size == 0:
+            raise CompressionError("cannot compress an empty batch")
+        if not np.isfinite(arr).all():
+            raise CompressionError("input contains NaN/Inf; mask before compressing")
+        return arr.astype(np.float64, copy=False)
+
+    @staticmethod
     def resolve_error_bound(data: np.ndarray, error_bound: float, mode: str) -> float:
         """Convert a (value, mode) pair to an absolute bound."""
         if error_bound <= 0:
@@ -282,6 +469,43 @@ class Compressor(ABC):
                 return float(error_bound)
             return float(error_bound) * value_range
         raise CompressionError(f"unknown error-bound mode {mode!r} (use 'abs' or 'rel')")
+
+    @classmethod
+    def resolve_error_bounds(cls, batch: np.ndarray, error_bound, mode: str) -> np.ndarray:
+        """Per-patch absolute bounds for a ``(n_patches, *shape)`` batch.
+
+        ``error_bound`` may be a scalar spec (resolved per patch — in
+        ``"rel"`` mode every patch gets a bound scaled to *its own* value
+        range, exactly as the per-patch path does) or a pre-resolved
+        ``(n_patches,)`` array of absolute bounds (``mode`` must then be
+        ``"abs"``; the covered-cell path resolves before filling).
+        """
+        n = batch.shape[0]
+        eb = np.asarray(error_bound, dtype=np.float64)
+        if eb.ndim == 0:
+            spatial = tuple(range(1, batch.ndim))
+            if np.any(eb <= 0):
+                raise CompressionError(f"error bound must be > 0, got {error_bound}")
+            if mode == "abs":
+                return np.full(n, float(eb))
+            if mode == "rel":
+                ranges = batch.max(axis=spatial) - batch.min(axis=spatial)
+                out = np.where(ranges == 0.0, float(eb), float(eb) * ranges)
+                return np.ascontiguousarray(out)
+            raise CompressionError(
+                f"unknown error-bound mode {mode!r} (use 'abs' or 'rel')"
+            )
+        if eb.shape != (n,):
+            raise CompressionError(
+                f"per-patch bounds must have shape ({n},), got {eb.shape}"
+            )
+        if mode != "abs":
+            raise CompressionError(
+                "per-patch bound arrays are already absolute; pass mode='abs'"
+            )
+        if np.any(eb <= 0):
+            raise CompressionError("every per-patch bound must be > 0")
+        return np.ascontiguousarray(eb)
 
     @classmethod
     def _check_stream(cls, reader: StreamReader) -> None:

@@ -12,6 +12,7 @@ container (magic ``RPH2``):
     offset 4   u8     container version (currently 1)
     offset 5   patch streams, concatenated back to back; each stream is an
                independent self-describing codec blob (``RPRC`` framing)
+    ...        group sections (only in level-batched containers; see below)
     ...        index: JSON document (see below)
     EOF-28     footer: u64 index_offset, u64 index_length,
                u32 crc32(index bytes), followed at EOF-8 by the
@@ -28,11 +29,45 @@ Index schema (JSON)::
       "codec": str, "error_bound": float, "mode": str,
       "fields": [str, ...], "exclude_covered": bool,
       "original_bytes": int, "n_levels": int,
-      "entries": [[level, field, patch, offset, length, codec, crc32], ...]
+      "entries": [[level, field, patch, offset, length, codec, crc32], ...],
+      "groups": [[gid, offset, length, header_crc32], ...]   # optional
     }
 
 Every stream carries its own crc32 in the index; corruption is detected
 per patch and reported with the failing ``(level, field, patch)`` triple.
+
+Grouped streams (level-batched compression)
+-------------------------------------------
+``compress_hierarchy(..., batch="level")`` entropy-codes all same-shape
+patches of one (level, field) against a **shared Huffman codebook**. The
+codebook and the per-patch entropy payloads live in a *group section*
+(magic ``RPGB``), one per group:
+
+.. code-block:: text
+
+    offset 0   magic  b"RPGB"
+    offset 4   u32    n_patches (group members)
+    offset 8   u32    codebook_length
+    offset 12  u64    payload_length (sum of all member payloads)
+    offset 20  shared codebook (HUFB blob, see repro.compression.huffman)
+    ...        extents: n_patches rows of
+               (u64 payload_offset, u64 payload_length, u32 crc32) —
+               offsets relative to the payload region start
+    ...        member payloads, concatenated (each a backend-compressed
+               HUFS blob)
+
+A grouped patch's index entry grows two columns —
+``[..., crc32, gid, member]`` — naming its group and its row in the extent
+table; its codec stream keeps every per-patch section (modes,
+coefficients, ...) but no codes section. Random access to one patch reads
+the group *header* (codebook + extents, small, cached per reader) plus
+only that member's payload extent, so ``decompress_selection`` stays
+O(selection) payload bytes. The group header carries its own crc32 in the
+index row; each payload extent carries one in the extent table.
+
+Containers written without ``batch="level"`` are byte-identical to the
+pre-group format (no ``"groups"`` key, 7-column entries); readers older
+than the grouped layout cannot open grouped containers.
 """
 
 from __future__ import annotations
@@ -48,17 +83,25 @@ from typing import Any, BinaryIO, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.compression import huffman
+from repro.compression.base import SharedEntropy
+from repro.compression.lossless import compress_bytes, decompress_bytes
 from repro.compression.registry import available_codecs, make_codec
-from repro.errors import CompressionError, FormatError
+from repro.errors import CompressionError, DecompressionError, FormatError
 from repro.parallel.pool import parallel_map
 
 __all__ = [
     "CONTAINER_MAGIC",
     "CONTAINER_VERSION",
     "FOOTER_MAGIC",
+    "GROUP_MAGIC",
     "PatchIndexEntry",
+    "GroupIndexEntry",
+    "GroupHandle",
+    "group_handle_from_bytes",
     "ContainerReader",
     "pack_container",
+    "pack_group",
     "pack_header",
     "pack_footer",
     "build_index_bytes",
@@ -66,11 +109,19 @@ __all__ = [
 
 CONTAINER_MAGIC = b"RPH2"
 FOOTER_MAGIC = b"RPH2-IDX"
+#: Magic prefix of a shared-codebook group section.
+GROUP_MAGIC = b"RPGB"
 #: Current container format version (the u8 after the magic).
 CONTAINER_VERSION = 1
 _VERSION = CONTAINER_VERSION
 _HEADER = struct.Struct("<4sB")
 _FOOTER = struct.Struct("<QQI8s")
+#: Fixed prefix of a group section: magic, n_patches (u32),
+#: codebook_length (u32), payload_length (u64).
+_GROUP_HEAD = struct.Struct("<4sIIQ")
+#: One extent-table row: payload offset (u64, relative to the payload
+#: region), payload length (u64), crc32 (u32).
+_GROUP_EXTENT = struct.Struct("<QQI")
 #: Version byte a reader sees when handed an RPH2S *series* file: the series
 #: magic b"RPH2S" shares the 4-byte RPH2 prefix on purpose, so the byte at
 #: offset 4 is ord("S") and snapshot readers can point at the series API.
@@ -90,7 +141,12 @@ _META_KEYS = (
 
 @dataclass(frozen=True)
 class PatchIndexEntry:
-    """One row of the patch index: where a stream lives and how to check it."""
+    """One row of the patch index: where a stream lives and how to check it.
+
+    ``group``/``member`` are ``None`` for self-contained streams; a grouped
+    stream names its shared-codebook group section and its row in that
+    group's extent table.
+    """
 
     level: int
     field: str
@@ -99,6 +155,8 @@ class PatchIndexEntry:
     length: int
     codec: str
     crc32: int
+    group: int | None = None
+    member: int | None = None
 
     @property
     def key(self) -> tuple[int, str, int]:
@@ -108,6 +166,163 @@ class PatchIndexEntry:
     def describe(self) -> str:
         """Human-readable patch identifier for error messages."""
         return f"(level={self.level}, field={self.field!r}, patch={self.patch})"
+
+
+@dataclass(frozen=True)
+class GroupIndexEntry:
+    """One row of the group table: where a group section lives and the
+    crc32 of its header region (prefix + codebook + extent table)."""
+
+    gid: int
+    offset: int
+    length: int
+    header_crc32: int
+
+
+def pack_group(codebook: bytes, payloads: Sequence[bytes]) -> bytes:
+    """Serialize one shared-codebook group section (``RPGB`` layout).
+
+    ``codebook`` is the group's ``HUFB`` blob — stored DEFLATEd in the
+    self-describing :func:`repro.compression.lossless.compress_bytes`
+    framing (a sorted int64 alphabet plus a length table compresses ~2x,
+    and the cost is one zlib call per *group*); ``payloads`` are the
+    members' ``HUFS`` blobs, in member order. See the module docstring
+    for the byte layout.
+    """
+    if not payloads:
+        raise CompressionError("a group section needs at least one member payload")
+    wrapped = compress_bytes(codebook, "deflate")
+    extents = bytearray()
+    rel = 0
+    for blob in payloads:
+        extents += _GROUP_EXTENT.pack(rel, len(blob), zlib.crc32(blob))
+        rel += len(blob)
+    out = bytearray()
+    out += _GROUP_HEAD.pack(GROUP_MAGIC, len(payloads), len(wrapped), rel)
+    out += wrapped
+    out += extents
+    for blob in payloads:
+        out += blob
+    return bytes(out)
+
+
+def _group_header_len(n_patches: int, codebook_len: int) -> int:
+    return _GROUP_HEAD.size + codebook_len + n_patches * _GROUP_EXTENT.size
+
+
+def group_handle_from_bytes(gid: int, blob) -> "GroupHandle":
+    """Open a :class:`GroupHandle` over one in-memory group section (the
+    in-memory :class:`~repro.compression.amr_codec.CompressedHierarchy`
+    path; container files go through :meth:`ContainerReader.group`)."""
+    if len(blob) < _GROUP_HEAD.size or bytes(blob[:4]) != GROUP_MAGIC:
+        raise FormatError(f"group {gid}: not a group section (bad magic)")
+    _, n_patches, codebook_len, _ = _GROUP_HEAD.unpack_from(blob, 0)
+    header_len = min(_group_header_len(n_patches, codebook_len), len(blob))
+    return GroupHandle(
+        gid, blob[:header_len], len(blob),
+        lambda rel, length: blob[rel : rel + length],
+    )
+
+
+class GroupHandle:
+    """Parsed header of one group section plus lazy member-payload access.
+
+    Owned by a :class:`ContainerReader` (or an in-memory
+    :class:`~repro.compression.amr_codec.CompressedHierarchy`): the header
+    — shared codebook bytes and extent table — is read once; payloads are
+    fetched per member through ``read_at`` so a selection touches only its
+    members' extents. The decoded
+    :class:`~repro.compression.huffman.SharedCodebook` (and with it the
+    flat decode tables) is cached, which is what amortizes table
+    construction across all members of the group.
+    """
+
+    def __init__(self, gid: int, header: bytes, total_length: int, read_at):
+        # ``read_at(rel_offset, length)`` must return payload-region bytes
+        # relative to the group section start.
+        if len(header) < _GROUP_HEAD.size or bytes(header[:4]) != GROUP_MAGIC:
+            raise FormatError(f"group {gid}: not a group section (bad magic)")
+        magic, n_patches, codebook_len, payload_len = _GROUP_HEAD.unpack_from(header, 0)
+        header_len = _group_header_len(n_patches, codebook_len)
+        if n_patches < 1:
+            raise FormatError(f"group {gid}: empty group section")
+        if len(header) < header_len:
+            raise FormatError(
+                f"group {gid}: truncated shared codebook or extent table "
+                f"(header needs {header_len} bytes, section gave {len(header)})"
+            )
+        if header_len + payload_len > total_length:
+            raise FormatError(
+                f"group {gid}: recorded payload region ({payload_len} bytes) "
+                "extends past the group section end"
+            )
+        self.gid = gid
+        self.n_patches = int(n_patches)
+        self.header_len = header_len
+        self.payload_len = int(payload_len)
+        try:
+            self.codebook_bytes = decompress_bytes(
+                header[_GROUP_HEAD.size : _GROUP_HEAD.size + codebook_len]
+            )
+        except DecompressionError as exc:
+            raise FormatError(
+                f"group {gid}: corrupt shared codebook wrapper: {exc}"
+            ) from exc
+        ext = header[_GROUP_HEAD.size + codebook_len : header_len]
+        self._extents = [
+            _GROUP_EXTENT.unpack_from(ext, i * _GROUP_EXTENT.size)
+            for i in range(self.n_patches)
+        ]
+        for m, (rel, ln, _) in enumerate(self._extents):
+            if rel + ln > self.payload_len:
+                raise FormatError(
+                    f"group {gid}: member {m} payload extent "
+                    f"[{rel}, {rel + ln}) past the group payload end "
+                    f"({self.payload_len} bytes)"
+                )
+        self._read_at = read_at
+        self._codebook: huffman.SharedCodebook | None = None
+
+    @property
+    def codebook(self) -> huffman.SharedCodebook:
+        """The group's shared codebook, parsed once and cached."""
+        if self._codebook is None:
+            try:
+                self._codebook = huffman.SharedCodebook.frombytes(self.codebook_bytes)
+            except Exception as exc:
+                raise FormatError(
+                    f"group {self.gid}: corrupt shared codebook: {exc}"
+                ) from exc
+        return self._codebook
+
+    def read_payload(self, member: int, verify: bool = True):
+        """One member's entropy payload (crc-checked against the extent
+        table when ``verify``)."""
+        if not 0 <= member < self.n_patches:
+            raise FormatError(
+                f"group {self.gid} has {self.n_patches} members, not member {member}"
+            )
+        rel, length, crc = self._extents[member]
+        blob = self._read_at(self.header_len + rel, length)
+        if len(blob) != length:
+            raise FormatError(
+                f"group {self.gid}: member {member} payload truncated "
+                f"(wanted {length} bytes, got {len(blob)})"
+            )
+        if verify and zlib.crc32(blob) != crc:
+            raise FormatError(
+                f"group {self.gid}: checksum mismatch in member {member} payload"
+            )
+        return blob
+
+    def shared(self, member: int, verify: bool = True, copy: bool = False) -> SharedEntropy:
+        """The :class:`~repro.compression.base.SharedEntropy` for one
+        member. ``copy=True`` materializes owned ``bytes`` and ships the
+        raw codebook (picklable; the process-mode path)."""
+        payload = self.read_payload(member, verify=verify)
+        if copy:
+            return SharedEntropy(self.codebook_bytes, bytes(payload))
+        return SharedEntropy(self.codebook, payload)
 
 
 def _iter_streams(
@@ -131,12 +346,19 @@ def pack_footer(index_offset: int, index_length: int, index_crc32: int) -> bytes
     return _FOOTER.pack(index_offset, index_length, index_crc32, FOOTER_MAGIC)
 
 
-def build_index_bytes(meta: Mapping[str, Any], n_levels: int, entries: Sequence[Sequence]) -> bytes:
+def build_index_bytes(
+    meta: Mapping[str, Any],
+    n_levels: int,
+    entries: Sequence[Sequence],
+    groups: Sequence[Sequence] | None = None,
+) -> bytes:
     """Serialize the container index JSON (canonical key order).
 
     Shared by :func:`pack_container` and the streaming series writer so a
     segment written incrementally is byte-identical to a batch-packed
-    container given the same streams and layout order.
+    container given the same streams and layout order. The ``groups``
+    table is only emitted when non-empty, keeping per-patch containers
+    byte-identical to the pre-group format.
     """
     index = {
         "format": "rph2",
@@ -150,6 +372,8 @@ def build_index_bytes(meta: Mapping[str, Any], n_levels: int, entries: Sequence[
         "n_levels": int(n_levels),
         "entries": [list(e) for e in entries],
     }
+    if groups:
+        index["groups"] = [list(g) for g in groups]
     return json.dumps(index, separators=(",", ":")).encode()
 
 
@@ -157,6 +381,8 @@ def pack_container(
     meta: Mapping[str, Any],
     streams: Sequence[Mapping[str, Sequence[bytes]]],
     stream_codecs: Mapping[tuple[int, str, int], str] | None = None,
+    groups: Sequence[bytes] | None = None,
+    stream_groups: Mapping[tuple[int, str, int], tuple[int, int]] | None = None,
 ) -> bytes:
     """Serialize per-patch streams plus ``meta`` into an ``RPH2`` container.
 
@@ -169,6 +395,14 @@ def pack_container(
         ``streams[level][field][patch] -> bytes`` layout.
     stream_codecs:
         Optional per-stream codec override; defaults to ``meta["codec"]``.
+    groups:
+        Shared-codebook group sections (``RPGB`` blobs from
+        :func:`pack_group`), indexed by gid; written after the patch
+        streams. Omitted entirely for per-patch containers, which keeps
+        their bytes identical to the pre-group format.
+    stream_groups:
+        ``(level, field, patch) -> (gid, member)`` for every grouped
+        stream; its index row grows the two extra columns.
     """
     default_codec = str(meta["codec"])
     out = bytearray(pack_header())
@@ -177,11 +411,22 @@ def pack_container(
         codec = default_codec
         if stream_codecs is not None:
             codec = stream_codecs.get((lev_idx, field, p_idx), default_codec)
-        entries.append(
-            [lev_idx, field, p_idx, len(out), len(blob), codec, zlib.crc32(blob)]
+        row = [lev_idx, field, p_idx, len(out), len(blob), codec, zlib.crc32(blob)]
+        if stream_groups is not None:
+            membership = stream_groups.get((lev_idx, field, p_idx))
+            if membership is not None:
+                row += [int(membership[0]), int(membership[1])]
+        entries.append(row)
+        out += blob
+    group_rows: list[list] = []
+    for gid, blob in enumerate(groups or ()):
+        n_patches, codebook_len = struct.unpack_from("<II", blob, 4)
+        header_len = _group_header_len(n_patches, codebook_len)
+        group_rows.append(
+            [gid, len(out), len(blob), zlib.crc32(bytes(blob[:header_len]))]
         )
         out += blob
-    index_bytes = build_index_bytes(meta, len(streams), entries)
+    index_bytes = build_index_bytes(meta, len(streams), entries, group_rows)
     index_offset = len(out)
     out += index_bytes
     out += pack_footer(index_offset, len(index_bytes), zlib.crc32(index_bytes))
@@ -323,13 +568,39 @@ class ContainerReader:
         try:
             self._meta = {k: index[k] for k in _META_KEYS}
             self._payload_end = index_offset
-            self.entries: list[PatchIndexEntry] = [
-                PatchIndexEntry(int(l), str(f), int(p), int(off), int(ln), str(c), int(crc))
-                for l, f, p, off, ln, c, crc in index["entries"]
+            self.entries: list[PatchIndexEntry] = []
+            for row in index["entries"]:
+                if len(row) == 7:
+                    l, f, p, off, ln, c, crc = row
+                    gid = member = None
+                elif len(row) == 9:
+                    l, f, p, off, ln, c, crc, gid, member = row
+                    gid = int(gid)
+                    member = int(member)
+                else:
+                    raise ValueError(f"entry row has {len(row)} columns")
+                self.entries.append(
+                    PatchIndexEntry(
+                        int(l), str(f), int(p), int(off), int(ln), str(c),
+                        int(crc), gid, member,
+                    )
+                )
+            self.group_entries: list[GroupIndexEntry] = [
+                GroupIndexEntry(int(g), int(off), int(ln), int(crc))
+                for g, off, ln, crc in index.get("groups", [])
             ]
             n_levels = int(index["n_levels"])
         except (KeyError, ValueError, TypeError) as exc:
             raise FormatError(f"malformed container index: {exc!r}") from exc
+        self._by_gid = {g.gid: g for g in self.group_entries}
+        if len(self._by_gid) != len(self.group_entries):
+            raise FormatError("container group table has duplicate group ids")
+        self._group_members: dict[int, int] = {}
+        for g in self.group_entries:
+            if g.length < _GROUP_HEAD.size:
+                raise FormatError(f"group {g.gid} section too short")
+            if g.offset < _HEADER.size or g.offset + g.length > self._payload_end:
+                raise FormatError(f"group {g.gid} section points outside the payload")
         for e in self.entries:
             if not 0 <= e.level < n_levels:
                 raise FormatError(
@@ -342,7 +613,20 @@ class ContainerReader:
                 raise FormatError(
                     f"index entry {e.describe()} points outside the payload"
                 )
+            if e.group is not None:
+                if e.group not in self._by_gid:
+                    raise FormatError(
+                        f"index entry {e.describe()} references unknown group "
+                        f"{e.group}"
+                    )
+                if e.member is None or e.member < 0:
+                    raise FormatError(
+                        f"index entry {e.describe()} has a malformed group member"
+                    )
+                self._group_members[e.group] = self._group_members.get(e.group, 0) + 1
         self._by_key = {e.key: e for e in self.entries}
+        self._group_cache: dict[int, GroupHandle] = {}
+        self._groups_verified: set[int] = set()
 
     # ------------------------------------------------------------------
     # Construction / lifecycle
@@ -453,8 +737,10 @@ class ContainerReader:
 
     @property
     def compressed_bytes(self) -> int:
-        """Total payload size across all patch streams."""
-        return sum(e.length for e in self.entries)
+        """Total payload size across all patch streams and group sections."""
+        return sum(e.length for e in self.entries) + sum(
+            g.length for g in self.group_entries
+        )
 
     def meta(self) -> dict[str, Any]:
         """Copy of the container-level metadata."""
@@ -494,11 +780,105 @@ class ContainerReader:
             raise FormatError(f"checksum mismatch in patch stream {entry.describe()}")
         return blob
 
+    # ------------------------------------------------------------------
+    # Group sections
+    # ------------------------------------------------------------------
+    def group(self, gid: int, verify: bool = True) -> GroupHandle:
+        """Open one group section's header (codebook + extents), cached.
+
+        Only the header region is read here — O(codebook + extents) bytes;
+        member payloads are fetched lazily through the handle. The header
+        crc from the group table is checked on the first *verified* access
+        (a handle cached by a ``verify=False`` read does not exempt later
+        verified reads from the check); the group's member count must
+        match the index's references to it (a "group/index patch-count
+        mismatch" is corruption).
+        """
+        handle = self._group_cache.get(gid)
+        if handle is not None:
+            if verify and gid not in self._groups_verified:
+                g = self._by_gid[gid]
+                header = self._read_at(g.offset, handle.header_len)
+                if zlib.crc32(header) != g.header_crc32:
+                    raise FormatError(
+                        f"group {gid}: header checksum mismatch (corrupt "
+                        "shared codebook or extent table)"
+                    )
+                self._groups_verified.add(gid)
+            return handle
+        try:
+            g = self._by_gid[gid]
+        except KeyError:
+            raise FormatError(f"container has no group {gid}") from None
+        prefix = self._read_at(g.offset, _GROUP_HEAD.size)
+        if len(prefix) < _GROUP_HEAD.size or bytes(prefix[:4]) != GROUP_MAGIC:
+            raise FormatError(f"group {gid}: not a group section (bad magic)")
+        _, n_patches, codebook_len, _ = _GROUP_HEAD.unpack_from(prefix, 0)
+        header_len = min(_group_header_len(n_patches, codebook_len), g.length)
+        header = self._read_at(g.offset, header_len)
+        if verify:
+            if zlib.crc32(header) != g.header_crc32:
+                raise FormatError(
+                    f"group {gid}: header checksum mismatch (corrupt shared "
+                    "codebook or extent table)"
+                )
+            self._groups_verified.add(gid)
+
+        def read_at(rel: int, length: int):
+            if rel + length > g.length:
+                raise FormatError(
+                    f"group {gid}: read past the group section end"
+                )
+            if self._view is not None:
+                return self._view[g.offset + rel : g.offset + rel + length]
+            self._file.seek(g.offset + rel)
+            return self._file.read(length)
+
+        handle = GroupHandle(gid, header, g.length, read_at)
+        refs = self._group_members.get(gid, 0)
+        if refs != handle.n_patches:
+            raise FormatError(
+                f"group {gid} records {handle.n_patches} members but the "
+                f"index references it from {refs} entries "
+                "(group/index patch-count mismatch)"
+            )
+        self._group_cache[gid] = handle
+        return handle
+
+    def read_group_blob(self, gid: int):
+        """One group section's full bytes (header + payloads) — used to
+        materialize an in-memory :class:`CompressedHierarchy`."""
+        try:
+            g = self._by_gid[gid]
+        except KeyError:
+            raise FormatError(f"container has no group {gid}") from None
+        blob = self._read_at(g.offset, g.length)
+        if len(blob) != g.length:
+            raise FormatError(f"group {gid}: section truncated")
+        return blob
+
+    def _entry_shared(
+        self, entry: PatchIndexEntry, verify: bool = True, copy: bool = False
+    ) -> SharedEntropy | None:
+        """The shared-entropy pair for a grouped entry (``None`` otherwise)."""
+        if entry.group is None:
+            return None
+        handle = self.group(entry.group, verify=verify)
+        if entry.member is None or entry.member >= handle.n_patches:
+            raise FormatError(
+                f"index entry {entry.describe()} names member {entry.member} "
+                f"of group {entry.group}, which has {handle.n_patches} members"
+            )
+        try:
+            return handle.shared(entry.member, verify=verify, copy=copy)
+        except FormatError as exc:
+            raise FormatError(f"patch stream {entry.describe()}: {exc}") from exc
+
     def read_patch(self, level: int, field: str, patch: int, verify: bool = True) -> np.ndarray:
         """Decompress a single patch identified by ``(level, field, patch)``."""
         entry = self.entry(level, field, patch)
         blob = self.read_stream(entry, verify=verify)
-        return _decode_entry_stream(entry, blob)
+        return _decode_entry_stream(entry, blob, self._entry_shared(entry, verify=verify))
 
     def select(
         self,
@@ -508,16 +888,20 @@ class ContainerReader:
         verify: bool = True,
         parallel: str = "serial",
         workers: int = 2,
+        pool=None,
     ) -> dict[tuple[int, str, int], np.ndarray]:
         """Decompress the subset of patches matching the selectors.
 
         ``levels`` / ``fields`` / ``patches`` accept a scalar, an iterable,
         or ``None`` (no restriction); results are keyed by the entry's
         ``(level, field, patch)`` triple. Stream reads are serial (one
-        seekable handle); decompression fans out through ``parallel_map``.
-        In zero-copy (mmap/buffer) mode the streams reach the codecs as
-        ``memoryview`` slices — except under ``parallel="process"``, where
-        they are copied to ``bytes`` once for pickling.
+        seekable handle); decompression fans out through ``parallel_map``
+        (or a caller-supplied persistent ``pool``). In zero-copy
+        (mmap/buffer) mode the streams reach the codecs as ``memoryview``
+        slices — except under ``parallel="process"``, where they are
+        copied to ``bytes`` once for pickling. Grouped entries additionally
+        carry their member payload and group codebook; only the selected
+        members' extents are read, so the byte cost stays O(selection).
         """
         want_levels = _normalize_selector(levels, "level")
         want_fields = _normalize_selector(fields, "field")
@@ -529,32 +913,45 @@ class ContainerReader:
             and (want_fields is None or e.field in want_fields)
             and (want_patches is None or e.patch in want_patches)
         ]
+        copy = parallel == "process" or (pool is not None and pool.mode == "process")
         blobs = [self.read_stream(e, verify=verify) for e in chosen]
-        if parallel == "process":
+        if copy:
             blobs = [bytes(b) for b in blobs]
+        shareds = [self._entry_shared(e, verify=verify, copy=copy) for e in chosen]
         arrays = parallel_map(
             _decode_task,
-            [(e, blob) for e, blob in zip(chosen, blobs)],
+            [(e, blob, sh) for e, blob, sh in zip(chosen, blobs, shareds)],
             mode=parallel,
             workers=workers,
+            pool=pool,
         )
         return {e.key: arr for e, arr in zip(chosen, arrays)}
 
 
-def _decode_entry_stream(entry: PatchIndexEntry, blob: bytes) -> np.ndarray:
+def _decode_entry_stream(
+    entry: PatchIndexEntry, blob: bytes, shared: SharedEntropy | None = None
+) -> np.ndarray:
     """Decode one stream, attributing any codec failure to its patch."""
     if entry.codec not in available_codecs():
         raise CompressionError(
             f"patch stream {entry.describe()} uses unknown codec {entry.codec!r}; "
             f"available: {available_codecs()}"
         )
+    codec = make_codec(entry.codec)
+    if shared is not None and not getattr(codec, "supports_batch", False):
+        raise CompressionError(
+            f"patch stream {entry.describe()} is grouped but codec "
+            f"{entry.codec!r} does not accept shared entropy"
+        )
     try:
-        return make_codec(entry.codec).decompress(blob)
+        if shared is not None:
+            return codec.decompress(blob, shared=shared)
+        return codec.decompress(blob)
     except FormatError as exc:
         raise FormatError(f"patch stream {entry.describe()}: {exc}") from exc
 
 
-def _decode_task(task: tuple[PatchIndexEntry, bytes]) -> np.ndarray:
+def _decode_task(task) -> np.ndarray:
     """Module-level decode task (picklable for process-mode parallel_map)."""
-    entry, blob = task
-    return _decode_entry_stream(entry, blob)
+    entry, blob, shared = task
+    return _decode_entry_stream(entry, blob, shared)

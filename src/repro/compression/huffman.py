@@ -15,7 +15,16 @@ implements that stage:
   round gathers K windows against the flat table and emits K symbols,
   replacing the per-symbol Python loop,
 * vectorized bit packing on encode (one scatter pass per bit position,
-  for all K streams at once).
+  for all K streams at once),
+* **shared codebooks** (``HUFB`` + ``HUFS`` layouts): many small symbol
+  arrays — the per-patch quantization codes of one AMR level — can be
+  coded against one :class:`SharedCodebook` built from their pooled
+  frequencies. The codebook (alphabet + lengths) is serialized once per
+  group; each member's payload carries only its bitstreams, and
+  :func:`encode_batch` packs every member of a group in a single
+  vectorized scatter pass. This is what makes level-batched compression
+  cheap: the pure-Python tree build and the codebook bytes are paid per
+  *group*, not per patch.
 
 The alphabet is the set of distinct int64 code values; streams record the
 alphabet explicitly, so arbitrary (sparse, negative) code values work.
@@ -40,7 +49,10 @@ Blob compatibility
 :func:`encode` emits the ``HUF2`` layout. :func:`decode` reads both
 ``HUF2`` and the previous headerless single-stream layout (``HUF1``);
 HUF1 read support is kept for one release after HUF2 landed, mirroring
-the container policy in ``docs/container_format.md``.
+the container policy in ``docs/container_format.md``. ``HUFS`` payloads
+are *not* self-contained on purpose — they decode only through
+:func:`decode_with_codebook` with their group's ``HUFB`` codebook (see
+the grouped-stream layout in ``docs/container_format.md``).
 """
 
 from __future__ import annotations
@@ -56,9 +68,15 @@ __all__ = [
     "MAX_CODE_LENGTH",
     "MAX_STREAMS",
     "HUF2_MAGIC",
+    "HUFB_MAGIC",
+    "HUFS_MAGIC",
     "HuffmanAlphabetError",
+    "SharedCodebook",
     "encode",
     "decode",
+    "encode_batch",
+    "encode_with_codebook",
+    "decode_with_codebook",
     "code_lengths",
     "resolve_k_streams",
 ]
@@ -66,15 +84,28 @@ __all__ = [
 #: Longest permitted code, bounding the decode table at 2**16 entries.
 MAX_CODE_LENGTH = 16
 
-#: Most interleaved streams a HUF2 blob may carry.
+#: Most interleaved streams a HUF2/HUFS blob may carry.
 MAX_STREAMS = 4096
 
 #: Magic prefix of the K-way interleaved blob layout.
 HUF2_MAGIC = b"HUF2"
 
+#: Magic prefix of a serialized shared codebook (alphabet + lengths only).
+HUFB_MAGIC = b"HUFB"
+
+#: Magic prefix of a shared-codebook payload (bitstreams only; decodes
+#: exclusively through :func:`decode_with_codebook`).
+HUFS_MAGIC = b"HUFS"
+
 #: ``HUF2`` fixed header: magic, n_symbols (u64), k_streams (u32),
 #: alphabet_size (u32).
 _HUF2_HEAD = struct.Struct("<4sQII")
+
+#: ``HUFB`` fixed header: magic, alphabet_size (u32).
+_HUFB_HEAD = struct.Struct("<4sI")
+
+#: ``HUFS`` fixed header: magic, n_symbols (u64), k_streams (u32).
+_HUFS_HEAD = struct.Struct("<4sQI")
 
 #: ``k_streams="auto"`` sizes K so the lockstep decode runs about this
 #: many rounds — wide rounds amortize NumPy's per-op dispatch cost.
@@ -91,6 +122,29 @@ _VECTOR_MIN_STREAMS = 32
 
 class HuffmanAlphabetError(CompressionError):
     """Raised when the alphabet cannot be Huffman-coded (too many symbols)."""
+
+
+def _alphabet_inverse(syms: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(alphabet, inverse, freqs)`` of a flat int64 symbol array.
+
+    Quantization codes cluster in a narrow value band, so when the value
+    span is comparable to the symbol count a dense :func:`numpy.bincount`
+    histogram beats sort-based :func:`numpy.unique` by several times —
+    three linear passes instead of an O(n log n) sort. Wide/sparse spans
+    fall back to ``unique``.
+    """
+    lo = int(syms.min())
+    hi = int(syms.max())
+    span = hi - lo + 1
+    if span <= max(4 * syms.size, 1 << 16):
+        shifted = syms - lo
+        counts = np.bincount(shifted, minlength=span)
+        present = counts > 0
+        alphabet = np.flatnonzero(present) + lo
+        remap = np.cumsum(present, dtype=np.int64) - 1
+        return alphabet, remap[shifted], counts[present]
+    alphabet, inverse = np.unique(syms, return_inverse=True)
+    return alphabet, inverse, np.bincount(inverse)
 
 
 def resolve_k_streams(k_streams: int | str, n_symbols: int) -> int:
@@ -220,9 +274,261 @@ def _flat_tables(
     return table_sym, table_len, max_len
 
 
+def _fused_table(
+    alphabet: np.ndarray, table_sym: np.ndarray, table_len: np.ndarray
+) -> np.ndarray | None:
+    """Fuse (symbol, length) into one gather table when symbols fit 58
+    bits (quantization codes always do; arbitrary alphabets decode with
+    two gathers instead). Compare min/max directly: ``np.abs(INT64_MIN)``
+    overflows negative, so an abs()-based guard would wrongly fuse and
+    corrupt extreme alphabets. (min/max, not alphabet[0]/[-1]: a doctored
+    blob may be unsorted.)"""
+    if alphabet.min() > -(1 << 57) and alphabet.max() < (1 << 57):
+        return (table_sym << 5) | table_len
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shared codebooks
+# ----------------------------------------------------------------------
+class SharedCodebook:
+    """One canonical Huffman codebook shared by a whole group of streams.
+
+    Holds the (sorted, distinct) int64 alphabet and the per-symbol code
+    lengths; canonical code values and the flat/fused decode tables are
+    derived lazily and cached, so a group of N patches pays the table
+    construction once instead of N times. Build one with
+    :meth:`from_symbols` (pooled frequencies), serialize it with
+    :meth:`tobytes` (``HUFB`` layout), and pair it with
+    :func:`encode_batch` / :func:`decode_with_codebook`.
+    """
+
+    __slots__ = (
+        "alphabet", "lengths", "_codes", "_codes_f", "_lengths64", "_tables",
+        "_fused", "_lists",
+    )
+
+    def __init__(self, alphabet: np.ndarray, lengths: np.ndarray):
+        alphabet = np.ascontiguousarray(alphabet, dtype=np.int64)
+        lengths = np.ascontiguousarray(lengths, dtype=np.uint8)
+        if alphabet.ndim != 1 or alphabet.size == 0:
+            raise CompressionError("codebook alphabet must be a non-empty 1-D array")
+        if lengths.shape != alphabet.shape:
+            raise CompressionError(
+                f"codebook lengths shape {lengths.shape} does not match "
+                f"alphabet shape {alphabet.shape}"
+            )
+        if alphabet.size > (1 << MAX_CODE_LENGTH):
+            raise HuffmanAlphabetError(
+                f"alphabet of {alphabet.size} symbols exceeds {1 << MAX_CODE_LENGTH}"
+            )
+        if alphabet.size > 1 and not (np.diff(alphabet) > 0).all():
+            raise CompressionError("codebook alphabet must be strictly increasing")
+        self.alphabet = alphabet
+        self.lengths = lengths
+        self._codes: np.ndarray | None = None
+        self._codes_f: np.ndarray | None = None
+        self._lengths64: np.ndarray | None = None
+        self._tables: tuple[np.ndarray, np.ndarray, int] | None = None
+        self._fused: np.ndarray | None = None
+        self._lists: tuple[list, list] | None = None
+
+    @classmethod
+    def from_symbols(cls, symbols: np.ndarray) -> "SharedCodebook":
+        """Build a codebook from the pooled frequencies of ``symbols``
+        (typically every patch of a group concatenated)."""
+        syms = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
+        if syms.size == 0:
+            raise CompressionError("cannot build a codebook from zero symbols")
+        alphabet, _, freqs = _alphabet_inverse(syms)
+        if alphabet.size > (1 << MAX_CODE_LENGTH):
+            raise HuffmanAlphabetError(
+                f"alphabet of {alphabet.size} symbols exceeds {1 << MAX_CODE_LENGTH}"
+            )
+        return cls(alphabet, code_lengths(freqs))
+
+    @classmethod
+    def from_symbols_with_inverse(
+        cls, symbols: np.ndarray
+    ) -> "tuple[SharedCodebook, np.ndarray]":
+        """Like :meth:`from_symbols`, also returning the alphabet indices
+        of every symbol (same shape as ``symbols``) so batch encoders skip
+        a second alphabet lookup over the pooled data."""
+        syms = np.ascontiguousarray(symbols, dtype=np.int64)
+        if syms.size == 0:
+            raise CompressionError("cannot build a codebook from zero symbols")
+        alphabet, inverse, freqs = _alphabet_inverse(syms.ravel())
+        if alphabet.size > (1 << MAX_CODE_LENGTH):
+            raise HuffmanAlphabetError(
+                f"alphabet of {alphabet.size} symbols exceeds {1 << MAX_CODE_LENGTH}"
+            )
+        return cls(alphabet, code_lengths(freqs)), inverse.reshape(syms.shape)
+
+    # -- encode side ---------------------------------------------------
+    @property
+    def codes(self) -> np.ndarray:
+        """Canonical code values (uint32), cached."""
+        if self._codes is None:
+            self._codes = _canonical_codes(self.lengths)
+        return self._codes
+
+    @property
+    def codes_f(self) -> np.ndarray:
+        """Canonical code values as float64 (exact: codes < 2**16), cached
+        — the dtype the histogram-based bit packer consumes directly."""
+        if self._codes_f is None:
+            self._codes_f = self.codes.astype(np.float64)
+        return self._codes_f
+
+    @property
+    def lengths64(self) -> np.ndarray:
+        """Code lengths widened to int64 once (gather-ready), cached."""
+        if self._lengths64 is None:
+            self._lengths64 = self.lengths.astype(np.int64)
+        return self._lengths64
+
+    def lookup(self, symbols: np.ndarray) -> np.ndarray:
+        """Alphabet indices of ``symbols`` (any shape).
+
+        Symbols outside the alphabet are a caller error — the codebook was
+        built from different data than it is being asked to encode.
+        """
+        syms = np.asarray(symbols, dtype=np.int64)
+        idx = np.searchsorted(self.alphabet, syms)
+        idx_c = np.minimum(idx, self.alphabet.size - 1)
+        if not (self.alphabet[idx_c] == syms).all():
+            raise CompressionError(
+                "symbols outside the shared codebook alphabet; the codebook "
+                "must be built from the pooled symbols it encodes"
+            )
+        return idx_c
+
+    # -- decode side ---------------------------------------------------
+    def tables(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Flat decode tables ``(table_sym, table_len, max_len)``, cached."""
+        if self._tables is None:
+            self._tables = _flat_tables(self.alphabet, self.lengths)
+        return self._tables
+
+    def fused(self) -> np.ndarray | None:
+        """Fused (symbol<<5 | length) gather table, or ``None`` when the
+        alphabet does not fit 58 bits; cached."""
+        if self._fused is None:
+            table_sym, table_len, _ = self.tables()
+            self._fused = _fused_table(self.alphabet, table_sym, table_len)
+        return self._fused
+
+    def scalar_tables(self, n_symbols: int) -> tuple:
+        """List-or-ndarray tables for the scalar loop (see
+        :func:`_scalar_tables`); the ``tolist`` conversion is cached so a
+        group of many small patches pays it once."""
+        table_sym, table_len, _ = self.tables()
+        if n_symbols * 8 >= table_sym.size:
+            if self._lists is None:
+                self._lists = (table_sym.tolist(), table_len.tolist())
+            return self._lists
+        return table_sym, table_len
+
+    # -- serialization -------------------------------------------------
+    def tobytes(self) -> bytes:
+        """``HUFB`` layout: ``magic | alphabet_size (u32) | alphabet
+        (i64[]) | lengths (u8[])``."""
+        return (
+            _HUFB_HEAD.pack(HUFB_MAGIC, self.alphabet.size)
+            + self.alphabet.tobytes()
+            + self.lengths.tobytes()
+        )
+
+    @classmethod
+    def frombytes(cls, blob) -> "SharedCodebook":
+        """Parse a ``HUFB`` blob (corruption raises
+        :class:`~repro.errors.DecompressionError`)."""
+        if len(blob) < _HUFB_HEAD.size or bytes(blob[:4]) != HUFB_MAGIC:
+            raise DecompressionError("not a shared Huffman codebook (bad magic)")
+        _, alpha_size = _HUFB_HEAD.unpack_from(blob, 0)
+        if not 1 <= alpha_size <= (1 << MAX_CODE_LENGTH):
+            raise DecompressionError(f"codebook alphabet size {alpha_size} invalid")
+        need = _HUFB_HEAD.size + 9 * alpha_size
+        if len(blob) < need:
+            raise DecompressionError("truncated shared Huffman codebook")
+        alphabet = np.frombuffer(blob, dtype=np.int64, count=alpha_size, offset=_HUFB_HEAD.size)
+        lengths = np.frombuffer(
+            blob, dtype=np.uint8, count=alpha_size, offset=_HUFB_HEAD.size + 8 * alpha_size
+        )
+        try:
+            return cls(alphabet, lengths)
+        except CompressionError as exc:
+            raise DecompressionError(f"corrupt shared Huffman codebook: {exc}") from exc
+
+
 # ----------------------------------------------------------------------
 # Encode
 # ----------------------------------------------------------------------
+#: Above this symbol count the byte-accumulation packer beats the
+#: per-bit-position scatter (fewer, cache-friendlier passes); below it the
+#: classic scatter's smaller constant wins (measured on 16^3-patch codes).
+_PACK_BINCOUNT_CUTOFF = 1 << 16
+
+
+def _scatter_pack(
+    sym_codes: np.ndarray,
+    sym_lens: np.ndarray,
+    offsets: np.ndarray,
+    total_bytes: int,
+    max_len: int,
+) -> np.ndarray:
+    """Pack symbols into a byte array, vectorized (no per-symbol loop).
+
+    Two equivalent strategies, picked by input size:
+
+    * **bit-position scatter** (small inputs): one boolean-masked scatter
+      per bit position, <= ``max_len`` <= :data:`MAX_CODE_LENGTH` passes.
+    * **byte accumulation** (large inputs — the level-batched group
+      encoder): every symbol's code occupies a disjoint bit range, so each
+      output byte is the *sum* of the symbols' byte-aligned contributions.
+      A code spans at most ``7 + MAX_CODE_LENGTH = 23 < 24`` bits from its
+      byte-aligned window start, so three :func:`numpy.bincount`
+      accumulations (one per window byte) build the whole stream — ~5
+      passes total instead of ~3 per bit position. The per-byte sums stay
+      < 256 exactly because contributions never overlap.
+
+    Shared by the HUF1/HUF2 encoders and the grouped batch encoder.
+    """
+    n = sym_codes.size
+    if n == 0 or total_bytes == 0:
+        return np.zeros(total_bytes, dtype=np.uint8)
+    if n < _PACK_BINCOUNT_CUTOFF:
+        bits = np.zeros(8 * total_bytes, dtype=np.uint8)
+        for b in range(max_len):
+            active = sym_lens > b
+            if not active.any():
+                break
+            shift = (sym_lens[active] - 1 - b).astype(np.uint32)
+            bits[offsets[active] + b] = (sym_codes[active] >> shift) & 1
+        return np.packbits(bits)
+    # Left-align each code inside the 24-bit window that starts at its
+    # byte; a window's unused low bits are zero, so windows rooted at the
+    # same byte occupy disjoint bits and their SUM equals their OR. One
+    # histogram therefore accumulates every symbol (float64 is exact:
+    # per-byte window sums stay < 2**24), and the final byte stream falls
+    # out of three shifted slice-adds of the per-byte sums. ``ldexp``
+    # builds the float windows bincount wants directly — one ufunc pass
+    # instead of an integer shift plus a float conversion.
+    byte_idx = offsets >> 3
+    shift = 24 - (offsets & 7) - sym_lens
+    codes_f = (
+        sym_codes
+        if sym_codes.dtype == np.float64
+        else sym_codes.astype(np.float64)
+    )
+    windows = np.ldexp(codes_f, shift.astype(np.int32, copy=False))
+    acc = np.bincount(byte_idx, weights=windows, minlength=total_bytes).astype(np.int64)
+    out = acc >> 16
+    out[1:] += (acc[:-1] >> 8) & 0xFF
+    out[2:] += acc[:-2] & 0xFF
+    return out[:total_bytes].astype(np.uint8)
+
+
 def encode(symbols: np.ndarray, k_streams: int | str = "auto") -> bytes:
     """Huffman-encode an int64 symbol array into a self-contained blob.
 
@@ -239,12 +545,11 @@ def encode(symbols: np.ndarray, k_streams: int | str = "auto") -> bytes:
         return _HUF2_HEAD.pack(HUF2_MAGIC, 0, 0, 0)
     n = syms.size
     K = resolve_k_streams(k_streams, n)
-    alphabet, inverse = np.unique(syms, return_inverse=True)
+    alphabet, inverse, freqs = _alphabet_inverse(syms)
     if alphabet.size > (1 << MAX_CODE_LENGTH):
         raise HuffmanAlphabetError(
             f"alphabet of {alphabet.size} symbols exceeds {1 << MAX_CODE_LENGTH}"
         )
-    freqs = np.bincount(inverse)
     lengths = code_lengths(freqs)
     codes = _canonical_codes(lengths)
     sym_codes = codes[inverse]
@@ -261,15 +566,9 @@ def encode(symbols: np.ndarray, k_streams: int | str = "auto") -> bytes:
     stream_bytes = (stream_bits + 7) // 8
     base_bits = 8 * np.concatenate(([0], np.cumsum(stream_bytes)[:-1]))
     offsets = ((csum - lens_mat) + base_bits[None, :]).ravel()[:n]
-    bits = np.zeros(int(8 * stream_bytes.sum()), dtype=np.uint8)
-    # One vectorized scatter per bit position (<= MAX_CODE_LENGTH passes).
-    for b in range(int(lengths.max())):
-        active = sym_lens > b
-        if not active.any():
-            break
-        shift = (sym_lens[active] - 1 - b).astype(np.uint32)
-        bits[offsets[active] + b] = (sym_codes[active] >> shift) & 1
-    packed = np.packbits(bits)
+    packed = _scatter_pack(
+        sym_codes, sym_lens, offsets, int(stream_bytes.sum()), int(lengths.max())
+    )
     out = bytearray()
     out += _HUF2_HEAD.pack(HUF2_MAGIC, n, K, alphabet.size)
     out += alphabet.tobytes()
@@ -277,6 +576,118 @@ def encode(symbols: np.ndarray, k_streams: int | str = "auto") -> bytes:
     out += stream_bits.astype(np.uint64).tobytes()
     out += packed.tobytes()
     return bytes(out)
+
+
+def encode_batch(
+    codes: np.ndarray,
+    codebook: SharedCodebook,
+    k_streams: int | str = "auto",
+    inverse: np.ndarray | None = None,
+) -> list[bytes]:
+    """Encode every row of ``codes`` against one shared codebook.
+
+    Parameters
+    ----------
+    codes:
+        ``(n_members, n_symbols)`` int64 array — one row per group member
+        (same-shape patches of one level). Every symbol must be in the
+        codebook's alphabet.
+    codebook:
+        The group's shared :class:`SharedCodebook`.
+    k_streams:
+        Interleave width per member (resolved once — members share
+        ``n_symbols``, so they share K).
+    inverse:
+        Optional precomputed alphabet indices of ``codes`` (from
+        :meth:`SharedCodebook.from_symbols_with_inverse`), skipping the
+        per-call lookup over the pooled symbols.
+
+    Returns
+    -------
+    list[bytes]
+        One ``HUFS`` payload per row: ``magic b"HUFS" | n_symbols (u64) |
+        k_streams (u32) | stream_bits (u64[K]) | packed bits``. Each
+        payload is exactly what :func:`encode_with_codebook` would produce
+        for that row alone — but the whole group is packed in a *single*
+        scatter pass, which is where the fused batch throughput comes
+        from.
+    """
+    mat = np.ascontiguousarray(codes, dtype=np.int64)
+    if mat.ndim != 2 or mat.shape[1] == 0:
+        raise CompressionError(
+            f"encode_batch expects a non-empty (members, symbols) matrix, "
+            f"got shape {mat.shape}"
+        )
+    P, n = mat.shape
+    if P == 0:
+        return []
+    K = resolve_k_streams(k_streams, n)
+    if inverse is None:
+        inverse = codebook.lookup(mat)
+    elif inverse.shape != mat.shape:
+        raise CompressionError(
+            f"precomputed inverse shape {inverse.shape} does not match "
+            f"codes shape {mat.shape}"
+        )
+    # Offsets fit int32 whenever the whole group's bit span does — always
+    # true for patch-sized groups — which halves the memory traffic of the
+    # cumsum/offset pipeline; huge groups fall back to int64.
+    off_dtype = (
+        np.int32
+        if (P * n * MAX_CODE_LENGTH + 8 * P * K) < (1 << 31)
+        else np.int64
+    )
+    sym_lens = codebook.lengths64[inverse].astype(off_dtype, copy=False)
+    # The large-input packer wants float64 windows (bincount weights); the
+    # small-input packer shifts integers. Gather the right dtype directly.
+    if P * n >= _PACK_BINCOUNT_CUTOFF:
+        sym_codes = codebook.codes_f[inverse]
+    else:
+        sym_codes = codebook.codes[inverse]
+    n_rounds = -(-n // K)
+    if n_rounds * K == n:
+        # K divides the member size (the common patch-shaped case): the
+        # (rounds, K) matrix is a reshape view, no zero-padded copy.
+        lens_mat = sym_lens.reshape(P, n_rounds, K)
+    else:
+        lens_mat = np.zeros((P, n_rounds * K), dtype=off_dtype)
+        lens_mat[:, :n] = sym_lens
+        lens_mat = lens_mat.reshape(P, n_rounds, K)
+    csum = np.cumsum(lens_mat, axis=1)
+    stream_bits = csum[:, -1, :]  # (P, K)
+    stream_bytes = (stream_bits + 7) // 8
+    # Byte layout: member-major, stream-minor — member p's payload is the
+    # contiguous run of its K streams, so per-member slicing is free.
+    flat_bytes = stream_bytes.ravel()
+    byte_starts = np.concatenate(([0], np.cumsum(flat_bytes, dtype=np.int64)))
+    base_bits = (8 * byte_starts[:-1]).astype(off_dtype).reshape(P, K)
+    offsets = ((csum - lens_mat) + base_bits[:, None, :]).reshape(P, n_rounds * K)[:, :n]
+    packed = _scatter_pack(
+        sym_codes.ravel(),
+        sym_lens.ravel(),
+        offsets.ravel(),
+        int(flat_bytes.sum()),
+        int(codebook.lengths.max()),
+    )
+    head = _HUFS_HEAD.pack(HUFS_MAGIC, n, K)
+    headers = stream_bits.astype(np.uint64)
+    member_bytes = stream_bytes.sum(axis=1)
+    out: list[bytes] = []
+    for p in range(P):
+        start = int(byte_starts[p * K])
+        end = start + int(member_bytes[p])
+        out.append(head + headers[p].tobytes() + packed[start:end].tobytes())
+    return out
+
+
+def encode_with_codebook(
+    symbols: np.ndarray, codebook: SharedCodebook, k_streams: int | str = "auto"
+) -> bytes:
+    """Encode one symbol array against a shared codebook (``HUFS``)."""
+    syms = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
+    if syms.size == 0:
+        raise CompressionError("cannot shared-codebook-encode zero symbols")
+    return encode_batch(syms[None, :], codebook, k_streams=k_streams)[0]
 
 
 def _encode_huf1(symbols: np.ndarray) -> bytes:
@@ -300,14 +711,9 @@ def _encode_huf1(symbols: np.ndarray) -> bytes:
     sym_lens = lengths[inverse].astype(np.int64)
     offsets = np.concatenate(([0], np.cumsum(sym_lens)[:-1]))
     total_bits = int(sym_lens.sum())
-    bits = np.zeros(total_bits, dtype=np.uint8)
-    for b in range(int(lengths.max())):
-        active = sym_lens > b
-        if not active.any():
-            break
-        shift = (sym_lens[active] - 1 - b).astype(np.uint32)
-        bits[offsets[active] + b] = (sym_codes[active] >> shift) & 1
-    packed = np.packbits(bits)
+    packed = _scatter_pack(
+        sym_codes, sym_lens, offsets, (total_bits + 7) // 8, int(lengths.max())
+    )
     out = bytearray()
     out += struct.pack("<QI", syms.size, alphabet.size)
     out += alphabet.tobytes()
@@ -325,8 +731,15 @@ def decode(blob) -> np.ndarray:
 
     Accepts any buffer (``bytes`` or a zero-copy ``memoryview`` from the
     mmap container path). Reads both the current ``HUF2`` layout and the
-    legacy single-stream ``HUF1`` layout (kept for one release).
+    legacy single-stream ``HUF1`` layout (kept for one release). ``HUFS``
+    shared-codebook payloads are rejected with a pointer to
+    :func:`decode_with_codebook` — they are not self-contained.
     """
+    if len(blob) >= 4 and bytes(blob[:4]) == HUFS_MAGIC:
+        raise DecompressionError(
+            "HUFS shared-codebook payloads carry no alphabet; decode them "
+            "with decode_with_codebook and their group's HUFB codebook"
+        )
     if len(blob) >= 4 and bytes(blob[:4]) == HUF2_MAGIC:
         return _decode_huf2(blob)
     return _decode_huf1(blob)
@@ -400,15 +813,61 @@ def _decode_huf2(blob) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     if alphabet.size == 1:
         return np.full(n, alphabet[0], dtype=np.int64)
-    if K >= _VECTOR_MIN_STREAMS and n >= _SCALAR_CUTOFF:
-        return _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload)
-    return _decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload)
-
-
-def _decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload) -> np.ndarray:
-    """Per-stream scalar decode + interleave (tiny inputs, narrow K)."""
     table_sym, table_len, max_len = _flat_tables(alphabet, lengths)
+    if K >= _VECTOR_MIN_STREAMS and n >= _SCALAR_CUTOFF:
+        fused = _fused_table(alphabet, table_sym, table_len)
+        return _decode_streams_vector(
+            n, K, stream_bits, payload, table_sym, table_len, max_len, fused
+        )
     tsym, tlen = _scalar_tables(table_sym, table_len, n)
+    return _decode_streams_scalar(n, K, stream_bits, payload, tsym, tlen, max_len)
+
+
+def decode_with_codebook(blob, codebook: SharedCodebook) -> np.ndarray:
+    """Decode a ``HUFS`` shared-codebook payload produced by
+    :func:`encode_batch` / :func:`encode_with_codebook`.
+
+    The codebook's flat decode tables are built lazily and cached on the
+    codebook, so decoding N members of a group costs one table build —
+    the decode-side mirror of the shared tree build on encode.
+    """
+    if len(blob) < _HUFS_HEAD.size or bytes(blob[:4]) != HUFS_MAGIC:
+        raise DecompressionError("not a shared-codebook Huffman payload (bad magic)")
+    _, n_symbols, K = _HUFS_HEAD.unpack_from(blob, 0)
+    if n_symbols == 0:
+        return np.empty(0, dtype=np.int64)
+    if not 1 <= K <= MAX_STREAMS:
+        raise DecompressionError(f"HUFS stream count {K} outside [1, {MAX_STREAMS}]")
+    pos = _HUFS_HEAD.size
+    if len(blob) < pos + 8 * K:
+        raise DecompressionError("truncated shared-codebook payload header")
+    stream_bits = np.frombuffer(blob, dtype=np.uint64, count=K, offset=pos).astype(
+        np.int64
+    )
+    pos += 8 * K
+    if (stream_bits < 0).any():
+        raise DecompressionError("HUFS per-stream bit length overflow")
+    payload_len = len(blob) - pos
+    if int(((stream_bits + 7) // 8).sum()) > payload_len:
+        raise DecompressionError("shared-codebook bitstream truncated")
+    payload = np.frombuffer(blob, dtype=np.uint8, offset=pos)
+    n = int(n_symbols)
+    if codebook.alphabet.size == 1:
+        return np.full(n, codebook.alphabet[0], dtype=np.int64)
+    table_sym, table_len, max_len = codebook.tables()
+    if K >= _VECTOR_MIN_STREAMS and n >= _SCALAR_CUTOFF:
+        return _decode_streams_vector(
+            n, int(K), stream_bits, payload, table_sym, table_len, max_len,
+            codebook.fused(),
+        )
+    tsym, tlen = codebook.scalar_tables(n)
+    return _decode_streams_scalar(n, int(K), stream_bits, payload, tsym, tlen, max_len)
+
+
+def _decode_streams_scalar(
+    n, K, stream_bits, payload, tsym, tlen, max_len
+) -> np.ndarray:
+    """Per-stream scalar decode + interleave (tiny inputs, narrow K)."""
     stream_bytes = (stream_bits + 7) // 8
     starts = np.concatenate(([0], np.cumsum(stream_bytes)[:-1]))
     out = np.empty(n, dtype=np.int64)
@@ -419,14 +878,16 @@ def _decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload) -> np.nda
         out[k::K], consumed = _decode_stream(data, count, tsym, tlen, max_len)
         if consumed != int(stream_bits[k]):
             raise DecompressionError(
-                f"HUF2 stream {k} decoded {consumed} bits, expected "
+                f"interleaved stream {k} decoded {consumed} bits, expected "
                 f"{int(stream_bits[k])} (corrupt bitstream or per-stream "
                 "bit lengths)"
             )
     return out
 
 
-def _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload) -> np.ndarray:
+def _decode_streams_vector(
+    n, K, stream_bits, payload, table_sym, table_len, max_len, fused_table
+) -> np.ndarray:
     """Lockstep vectorized decode: one NumPy gather round per symbol rank.
 
     Each of the K interleaved streams keeps a bit cursor into the shared
@@ -443,7 +904,6 @@ def _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload) -> np.nda
     (an overrunning lane reads zeros), and after the final round every
     lane's cursor must sit exactly at its recorded stream_bits.
     """
-    table_sym, table_len, max_len = _flat_tables(alphabet, lengths)
     stream_bytes = (stream_bits + 7) // 8
     starts = np.concatenate(([0], np.cumsum(stream_bytes)[:-1]))
     # 32-bit big-endian window at every byte offset (zero tail so the last
@@ -456,14 +916,6 @@ def _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload) -> np.nda
     cap = np.int64(windows.size - 1)
     lane_base = 8 * starts
     cursor = lane_base.copy()
-    # Fuse (symbol, length) into one gather when symbols fit 58 bits
-    # (quantization codes always do; arbitrary alphabets get two gathers).
-    # Compare min/max directly: np.abs(INT64_MIN) overflows negative, so an
-    # abs()-based guard would wrongly fuse and corrupt extreme alphabets.
-    # (min/max, not alphabet[0]/[-1]: a doctored blob may be unsorted.)
-    fused = bool(alphabet.min() > -(1 << 57) and alphabet.max() < (1 << 57))
-    if fused:
-        table = (table_sym << 5) | table_len
     q, rmod = divmod(n, K)
     n_rounds = q + (1 if rmod else 0)
     out = np.empty((n_rounds, K), dtype=np.int64)
@@ -475,8 +927,8 @@ def _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload) -> np.nda
             cursor_q = cursor.copy()
         word = windows.take(np.minimum(cursor >> 3, cap))
         win = (word >> (shift_base - (cursor & 7))) & mask
-        if fused:
-            entry = table.take(win)
+        if fused_table is not None:
+            entry = fused_table.take(win)
             out[r] = entry >> 5
             cursor = cursor + (entry & 31)
         else:
@@ -489,7 +941,7 @@ def _decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload) -> np.nda
         final = cursor
     if not np.array_equal(final - lane_base, stream_bits):
         raise DecompressionError(
-            "HUF2 stream lengths inconsistent with decoded symbols "
+            "interleaved stream lengths inconsistent with decoded symbols "
             "(corrupt bitstream or per-stream bit lengths)"
         )
     return out.ravel()[:n]

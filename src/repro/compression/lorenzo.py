@@ -23,7 +23,9 @@ from repro.errors import CompressionError
 __all__ = ["lorenzo_forward", "lorenzo_inverse"]
 
 
-def lorenzo_forward(q: np.ndarray, axes: tuple[int, ...] | None = None) -> np.ndarray:
+def lorenzo_forward(
+    q: np.ndarray, axes: tuple[int, ...] | None = None, overwrite: bool = False
+) -> np.ndarray:
     """Apply the n-D Lorenzo transform to an integer array.
 
     Equivalent to replacing each value by its Lorenzo prediction residual
@@ -36,11 +38,18 @@ def lorenzo_forward(q: np.ndarray, axes: tuple[int, ...] | None = None) -> np.nd
     axes:
         Axes to transform (default: all). Batched use passes the spatial
         axes only, leaving a leading batch axis untouched.
+    overwrite:
+        Transform an int64 input in place instead of copying it first —
+        for callers (the codec hot paths) whose ``q`` is a throwaway
+        prequantization buffer.
     """
     arr = np.asarray(q)
     if arr.dtype.kind not in "iu":
         raise CompressionError(f"Lorenzo transform expects integers, got {arr.dtype}")
-    out = arr.astype(np.int64, copy=True)
+    if overwrite and arr.dtype == np.int64:
+        out = arr
+    else:
+        out = arr.astype(np.int64, copy=True)
     for axis in axes if axes is not None else range(out.ndim):
         # First difference along `axis` with an implicit leading zero.
         view = np.moveaxis(out, axis, 0)

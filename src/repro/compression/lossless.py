@@ -56,9 +56,15 @@ def decompress_bytes(blob: bytes) -> bytes:
     raise DecompressionError(f"unknown lossless backend id {blob[0]}")
 
 
-def pack_ints(values: np.ndarray, backend: str = "deflate") -> bytes:
+def pack_ints(values: np.ndarray, backend: str = "deflate", level: int = 6) -> bytes:
     """Serialize an integer array (dtype narrowed to the smallest that fits)
-    and losslessly compress it."""
+    and losslessly compress it at ``level``.
+
+    Arrays already stored in the narrowest fitting dtype are serialized
+    without the narrowing copy (``astype(..., copy=False)`` is a no-op
+    there), so repeated packing of already-narrow sections is allocation
+    free up to the byte serialization itself.
+    """
     arr = np.ascontiguousarray(values)
     if arr.dtype.kind not in "iu":
         raise CompressionError(f"pack_ints expects integers, got {arr.dtype}")
@@ -68,10 +74,10 @@ def pack_ints(values: np.ndarray, backend: str = "deflate") -> bytes:
         for dtype in (np.int8, np.int16, np.int32, np.int64):
             info = np.iinfo(dtype)
             if info.min <= lo and hi <= info.max:
-                arr = arr.astype(dtype)
+                arr = arr.astype(dtype, copy=False)
                 break
     header = struct.pack("<2sQ", arr.dtype.str[-2:].encode(), arr.size)
-    return header + compress_bytes(arr.tobytes(), backend)
+    return header + compress_bytes(arr.tobytes(), backend, level)
 
 
 def unpack_ints(blob: bytes) -> np.ndarray:

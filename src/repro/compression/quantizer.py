@@ -26,16 +26,25 @@ __all__ = [
 _MAX_SAFE_CODE = 2**52
 
 
-def quantize_residuals(values: np.ndarray, predictions: np.ndarray, eb: float) -> np.ndarray:
+def _check_eb(eb) -> None:
+    """Every quantizer entry point takes a scalar bound or a broadcastable
+    array of per-row bounds (the level-batched path quantizes all patches
+    of a group in one call, each under its own resolved absolute bound)."""
+    if np.any(np.asarray(eb) <= 0):
+        raise CompressionError(f"error bound must be > 0, got {eb}")
+
+
+def quantize_residuals(values: np.ndarray, predictions: np.ndarray, eb) -> np.ndarray:
     """Quantize ``values - predictions`` with pitch ``2 * eb``.
 
-    Returns int64 codes such that ``predictions + 2 * eb * codes`` differs
-    from ``values`` by at most ``eb`` element-wise.
+    ``eb`` is a positive scalar or an array broadcastable against
+    ``values`` (per-block bounds in the batched path). Returns int64 codes
+    such that ``predictions + 2 * eb * codes`` differs from ``values`` by
+    at most ``eb`` element-wise.
     """
-    if eb <= 0:
-        raise CompressionError(f"error bound must be > 0, got {eb}")
-    codes = np.rint((values - predictions) / (2.0 * eb))
-    if np.abs(codes).max(initial=0.0) > _MAX_SAFE_CODE:
+    _check_eb(eb)
+    codes = np.rint((values - predictions) / (2.0 * np.asarray(eb)))
+    if codes.size and max(-codes.min(), codes.max()) > _MAX_SAFE_CODE:
         raise CompressionError(
             "residual / error-bound ratio too large for exact integer codes; "
             "increase the error bound"
@@ -43,24 +52,24 @@ def quantize_residuals(values: np.ndarray, predictions: np.ndarray, eb: float) -
     return codes.astype(np.int64)
 
 
-def reconstruct_from_codes(predictions: np.ndarray, codes: np.ndarray, eb: float) -> np.ndarray:
+def reconstruct_from_codes(predictions: np.ndarray, codes: np.ndarray, eb) -> np.ndarray:
     """Inverse of :func:`quantize_residuals`."""
-    if eb <= 0:
-        raise CompressionError(f"error bound must be > 0, got {eb}")
-    return predictions + (2.0 * eb) * codes.astype(np.float64)
+    _check_eb(eb)
+    return predictions + (2.0 * np.asarray(eb)) * codes.astype(np.float64)
 
 
-def prequantize(data: np.ndarray, eb: float) -> np.ndarray:
+def prequantize(data: np.ndarray, eb) -> np.ndarray:
     """Snap ``data`` to the lattice ``2 * eb * k`` (dual-quant first stage).
 
-    The returned int64 array ``q`` satisfies ``|data - 2 * eb * q| <= eb``.
+    ``eb`` is a positive scalar or broadcastable array of bounds. The
+    returned int64 array ``q`` satisfies ``|data - 2 * eb * q| <= eb``.
     All subsequent prediction/transform arithmetic on ``q`` is exact, which
     is what makes the vectorized Lorenzo codec bit-exact invertible.
     """
-    if eb <= 0:
-        raise CompressionError(f"error bound must be > 0, got {eb}")
-    q = np.rint(np.asarray(data, dtype=np.float64) / (2.0 * eb))
-    if np.abs(q).max(initial=0.0) > _MAX_SAFE_CODE:
+    _check_eb(eb)
+    q = np.asarray(data, dtype=np.float64) / (2.0 * np.asarray(eb))
+    np.rint(q, out=q)
+    if q.size and max(-q.min(), q.max()) > _MAX_SAFE_CODE:
         raise CompressionError(
             "value / error-bound ratio too large for exact integer codes; "
             "increase the error bound"
@@ -68,8 +77,7 @@ def prequantize(data: np.ndarray, eb: float) -> np.ndarray:
     return q.astype(np.int64)
 
 
-def dequantize(q: np.ndarray, eb: float) -> np.ndarray:
+def dequantize(q: np.ndarray, eb) -> np.ndarray:
     """Inverse of :func:`prequantize`."""
-    if eb <= 0:
-        raise CompressionError(f"error bound must be > 0, got {eb}")
-    return q.astype(np.float64) * (2.0 * eb)
+    _check_eb(eb)
+    return q.astype(np.float64) * (2.0 * np.asarray(eb))

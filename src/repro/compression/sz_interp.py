@@ -13,12 +13,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import (
+    GROUPED_STAGE,
+    RAW_SECTION_LEVEL,
+    BatchResult,
     Compressor,
+    SharedEntropy,
     StreamReader,
     StreamWriter,
+    check_backend_level,
     check_entropy_params,
     decode_codes,
     encode_codes,
+    encode_codes_batch,
 )
 from repro.compression.interpolation import InterpPlan, predict_axis
 from repro.compression.lossless import compress_bytes, decompress_bytes
@@ -41,28 +47,45 @@ class SZInterp(Compressor):
     k_streams:
         Huffman interleave width: ``"auto"`` (scales with the input; the
         vectorized-decode default) or an explicit stream count.
+    backend_level:
+        Backend compression level for every section (0-9), or ``None``
+        for the measured per-section defaults (cheap level for
+        already-Huffman-coded sections; see
+        :data:`~repro.compression.base.HUFFMAN_SECTION_LEVEL`).
     """
 
     name = "sz-interp"
+    supports_batch = True
 
     def __init__(
         self,
         entropy: str = "huffman",
         backend: str = "deflate",
         k_streams: int | str = "auto",
+        backend_level: int | None = None,
     ):
         # Constructor misuse is a CompressionError (nothing is being
         # decoded here); this used to raise DecompressionError.
         check_entropy_params(entropy, k_streams)
+        check_backend_level(backend_level)
         self.entropy = entropy
         self.backend = backend
         self.k_streams = k_streams if k_streams == "auto" else int(k_streams)
+        self.backend_level = backend_level
         self.last_stage_times: StageTimes = StageTimes()
 
+    def _raw_level(self) -> int:
+        """Backend level for non-entropy sections."""
+        return RAW_SECTION_LEVEL if self.backend_level is None else self.backend_level
+
     # ------------------------------------------------------------------
-    def _sub_lattice(self, recon: np.ndarray, plan: InterpPlan, stride: int, axis: int) -> np.ndarray:
+    def _sub_lattice(
+        self, recon: np.ndarray, plan: InterpPlan, stride: int, axis: int,
+        batched: bool = False,
+    ) -> np.ndarray:
         """Knot lattice for one interpolation pass: axes before ``axis`` at
-        half spacing, axes after at full spacing, ``axis`` kept dense."""
+        half spacing, axes after at full spacing, ``axis`` kept dense.
+        With ``batched=True`` a leading patch axis passes through whole."""
         half = stride // 2
         grids = []
         for d, n in enumerate(plan.shape):
@@ -72,6 +95,8 @@ class SZInterp(Compressor):
                 grids.append(np.arange(0, n, half))
             else:
                 grids.append(np.arange(0, n, stride))
+        if batched:
+            return recon[(slice(None),) + np.ix_(*grids)]
         return recon[np.ix_(*grids)]
 
     def compress(self, data: np.ndarray, error_bound: float, mode: str = "abs") -> bytes:
@@ -101,7 +126,8 @@ class SZInterp(Compressor):
         )
         with times.measure("entropy"):
             code_blob, entropy_used = encode_codes(
-                all_codes, self.entropy, self.backend, self.k_streams
+                all_codes, self.entropy, self.backend, self.k_streams,
+                level=self.backend_level,
             )
         with times.measure("pack"):
             writer = StreamWriter(
@@ -116,14 +142,89 @@ class SZInterp(Compressor):
                 },
             )
             writer.add_section(
-                "anchors", compress_bytes(np.ascontiguousarray(anchors).tobytes(), self.backend)
+                "anchors",
+                compress_bytes(
+                    np.ascontiguousarray(anchors).tobytes(), self.backend, self._raw_level()
+                ),
             )
             writer.add_section("codes", code_blob)
             blob = writer.tobytes()
         self.last_stage_times = times
         return blob
 
-    def decompress(self, blob: bytes) -> np.ndarray:
+    def compress_batch(self, data: np.ndarray, error_bound, mode: str = "abs") -> BatchResult:
+        """Compress a ``(n_patches, *shape)`` group in one fused run.
+
+        Every interpolation pass operates on the whole batch at once (the
+        predictor slices are axis-generic, so a leading patch axis rides
+        along for free), and all patches' correction codes pool into one
+        shared Huffman codebook. ``error_bound``/``mode`` follow
+        :meth:`~repro.compression.base.Compressor.resolve_error_bounds`.
+        """
+        orig_dtype = np.asarray(data).dtype
+        arr = self._validate_batch(data)
+        n_patches = arr.shape[0]
+        shape = arr.shape[1:]
+        ebs = self.resolve_error_bounds(arr, error_bound, mode)
+        eb_bc = ebs.reshape((n_patches,) + (1,) * len(shape))
+        times = StageTimes()
+        plan = InterpPlan(shape)
+        recon = np.zeros(arr.shape, dtype=np.float64)
+        batch = (slice(None),)
+        anchors = arr[batch + plan.anchor_slices()]
+        recon[batch + plan.anchor_slices()] = anchors
+        code_chunks: list[np.ndarray] = []
+        with times.measure("interp"):
+            for stride, half in plan.levels():
+                for axis in range(len(shape)):
+                    grid = plan.target_grid(stride, axis)
+                    targets = np.arange(half, shape[axis], stride)
+                    if targets.size == 0:
+                        continue
+                    knots = self._sub_lattice(recon, plan, stride, axis, batched=True)
+                    pred = predict_axis(knots, axis + 1, targets, half)
+                    codes = quantize_residuals(arr[batch + grid], pred, eb_bc)
+                    recon[batch + grid] = reconstruct_from_codes(pred, codes, eb_bc)
+                    code_chunks.append(codes.reshape(n_patches, -1))
+        all_codes = (
+            np.concatenate(code_chunks, axis=1)
+            if code_chunks
+            else np.empty((n_patches, 0), dtype=np.int64)
+        )
+        with times.measure("entropy"):
+            codebook, payloads, entropy_used = encode_codes_batch(
+                all_codes, self.entropy, self.backend, self.k_streams,
+                level=self.backend_level,
+            )
+        with times.measure("pack"):
+            streams: list[bytes] = []
+            for i in range(n_patches):
+                params = {
+                    "eb": float(ebs[i]),
+                    "stride": plan.stride,
+                    "entropy": entropy_used,
+                    "k_streams": self.k_streams,
+                }
+                if entropy_used == GROUPED_STAGE:
+                    params["group_member"] = i
+                writer = StreamWriter(self.name, shape, orig_dtype, params)
+                writer.add_section(
+                    "anchors",
+                    compress_bytes(
+                        np.ascontiguousarray(anchors[i]).tobytes(),
+                        self.backend,
+                        self._raw_level(),
+                    ),
+                )
+                if entropy_used != GROUPED_STAGE:
+                    writer.add_section("codes", payloads[i])
+                streams.append(writer.tobytes())
+        self.last_stage_times = times
+        if entropy_used != GROUPED_STAGE:
+            return BatchResult(None, [], streams)
+        return BatchResult(codebook, payloads, streams)
+
+    def decompress(self, blob: bytes, shared: SharedEntropy | None = None) -> np.ndarray:
         reader = StreamReader(blob)
         self._check_stream(reader)
         eb = float(reader.params["eb"])
@@ -134,7 +235,9 @@ class SZInterp(Compressor):
         anchor_view = recon[plan.anchor_slices()]
         anchors = np.frombuffer(anchor_raw, dtype=np.float64).reshape(anchor_view.shape)
         recon[plan.anchor_slices()] = anchors
-        all_codes = decode_codes(reader.section("codes"), reader.params["entropy"])
+        entropy = reader.params["entropy"]
+        section = None if entropy == GROUPED_STAGE else reader.section("codes")
+        all_codes = decode_codes(section, entropy, shared)
         pos = 0
         for stride, half in plan.levels():
             for axis in range(len(shape)):

@@ -11,6 +11,14 @@ Blocks never read across their boundary, which is what yields both the
 random-access property the paper highlights and the *block-wise artifacts*
 it analyzes in Figures 9/11. Streams: per-block mode bits, per-block DC /
 coefficients, and one Huffman+DEFLATE-coded quantization-code array.
+
+Besides the per-array :meth:`SZLR.compress`, the codec implements the
+**level-batched fused path** (:meth:`SZLR.compress_batch`): a whole group
+of same-shape patches runs prediction, quantization, and predictor
+selection as *one* batched kernel invocation, and their quantization codes
+are entropy-coded against one shared canonical Huffman codebook — the
+per-patch tree build, codebook bytes, and most per-call NumPy dispatch are
+paid once per group (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -18,12 +26,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import (
+    GROUPED_STAGE,
+    RAW_SECTION_LEVEL,
+    BatchResult,
     Compressor,
+    SharedEntropy,
     StreamReader,
     StreamWriter,
+    check_backend_level,
     check_entropy_params,
     decode_codes,
     encode_codes,
+    encode_codes_batch,
 )
 from repro.compression.lorenzo import lorenzo_forward, lorenzo_inverse
 from repro.compression.lossless import compress_bytes, decompress_bytes, pack_ints, unpack_ints
@@ -56,9 +70,17 @@ class SZLR(Compressor):
     k_streams:
         Huffman interleave width: ``"auto"`` (scales with the input; the
         vectorized-decode default) or an explicit stream count.
+    backend_level:
+        Lossless-backend compression level for every section (0-9), or
+        ``None`` for the measured per-section defaults: already-Huffman-
+        coded codes sections take the cheap
+        :data:`~repro.compression.base.HUFFMAN_SECTION_LEVEL`, raw
+        sections the backend's usual
+        :data:`~repro.compression.base.RAW_SECTION_LEVEL`.
     """
 
     name = "sz-lr"
+    supports_batch = True
 
     def __init__(
         self,
@@ -67,12 +89,14 @@ class SZLR(Compressor):
         backend: str = "deflate",
         predictor: str = "auto",
         k_streams: int | str = "auto",
+        backend_level: int | None = None,
     ):
         if block_size == "auto":
             pass  # resolved per array at compression time
         elif not isinstance(block_size, int) or block_size < 2:
             raise CompressionError(f"block_size must be >= 2 or 'auto', got {block_size}")
         check_entropy_params(entropy, k_streams)
+        check_backend_level(backend_level)
         if predictor not in ("auto", "lorenzo", "regression"):
             raise CompressionError(f"unknown predictor {predictor!r}")
         self.block_size = block_size if block_size == "auto" else int(block_size)
@@ -80,7 +104,12 @@ class SZLR(Compressor):
         self.backend = backend
         self.predictor = predictor
         self.k_streams = k_streams if k_streams == "auto" else int(k_streams)
+        self.backend_level = backend_level
         self.last_stage_times: StageTimes = StageTimes()
+
+    def _raw_level(self) -> int:
+        """Backend level for non-entropy sections."""
+        return RAW_SECTION_LEVEL if self.backend_level is None else self.backend_level
 
     # ------------------------------------------------------------------
     # Compression
@@ -100,7 +129,7 @@ class SZLR(Compressor):
 
         with times.measure("lorenzo"):
             q = prequantize(blocks.reshape((n_blocks,) + (bs,) * ndim), eb)
-            lor = lorenzo_forward(q.reshape((-1,) + (bs,) * ndim), axes=tuple(range(1, ndim + 1)))
+            lor = lorenzo_forward(q, axes=tuple(range(1, ndim + 1)), overwrite=True)
             lor = lor.reshape(n_blocks, block_cells)
             dc_all = lor[:, 0].copy()
             lor[:, 0] = 0
@@ -118,7 +147,8 @@ class SZLR(Compressor):
 
         with times.measure("entropy"):
             code_blob, entropy_used = encode_codes(
-                codes.ravel(), self.entropy, self.backend, self.k_streams
+                codes.ravel(), self.entropy, self.backend, self.k_streams,
+                level=self.backend_level,
             )
 
         with times.measure("pack"):
@@ -135,14 +165,111 @@ class SZLR(Compressor):
                     "predictor": self.predictor,
                 },
             )
-            writer.add_section("modes", compress_bytes(modes.astype(np.uint8).tobytes(), self.backend))
+            lvl = self._raw_level()
+            writer.add_section(
+                "modes", compress_bytes(modes.astype(np.uint8).tobytes(), self.backend, lvl)
+            )
             lor_sel = modes == MODE_LORENZO
-            writer.add_section("dc", pack_ints(dc_all[lor_sel], self.backend))
-            writer.add_section("coefs", pack_ints(qcoefs[~lor_sel].ravel(), self.backend))
+            writer.add_section("dc", pack_ints(dc_all[lor_sel], self.backend, lvl))
+            writer.add_section("coefs", pack_ints(qcoefs[~lor_sel].ravel(), self.backend, lvl))
             writer.add_section("codes", code_blob)
             blob = writer.tobytes()
         self.last_stage_times = times
         return blob
+
+    def compress_batch(self, data: np.ndarray, error_bound, mode: str = "abs") -> BatchResult:
+        """Compress a ``(n_patches, *shape)`` group as one fused kernel run.
+
+        Every stage that :meth:`compress` runs per patch — blockify,
+        dual-quant Lorenzo, the regression fit, predictor selection —
+        executes once over the whole group, and the quantization codes of
+        all patches are pooled into **one** shared canonical Huffman
+        codebook (see :func:`repro.compression.base.encode_codes_batch`).
+        ``error_bound``/``mode`` follow
+        :meth:`~repro.compression.base.Compressor.resolve_error_bounds`:
+        a scalar spec is resolved per patch, or a pre-resolved
+        ``(n_patches,)`` absolute-bound array is used as-is.
+
+        Returns a :class:`~repro.compression.base.BatchResult`; member
+        streams record :data:`~repro.compression.base.GROUPED_STAGE` and
+        decode through :meth:`decompress` with their group's
+        :class:`~repro.compression.base.SharedEntropy`.
+        """
+        orig_dtype = np.asarray(data).dtype
+        arr = self._validate_batch(data)
+        n_patches = arr.shape[0]
+        shape = arr.shape[1:]
+        ebs = self.resolve_error_bounds(arr, error_bound, mode)
+        bs = self._resolve_block_size(shape)
+        ndim = len(shape)
+        times = StageTimes()
+
+        with times.measure("blockify"):
+            blocks, padded_shape = reg.blockify(arr, bs, batch=True)
+        block_cells = bs**ndim
+        per_patch = blocks.shape[0] // n_patches
+        eb_blocks = np.repeat(ebs, per_patch)
+
+        with times.measure("lorenzo"):
+            q = prequantize(
+                blocks.reshape((-1,) + (bs,) * ndim),
+                eb_blocks.reshape((-1,) + (1,) * ndim),
+            )
+            lor = lorenzo_forward(q, axes=tuple(range(1, ndim + 1)), overwrite=True)
+            lor = lor.reshape(-1, block_cells)
+            dc_all = lor[:, 0].copy()
+            lor[:, 0] = 0
+
+        with times.measure("regression"):
+            coefs = reg.fit_blocks(blocks, bs, ndim)
+            qcoefs = reg.quantize_coefficients(coefs, eb_blocks, bs, ndim)
+            dqcoefs = reg.dequantize_coefficients(qcoefs, eb_blocks, bs, ndim)
+            preds = reg.predict_blocks(dqcoefs, bs, ndim)
+            res = quantize_residuals(blocks, preds, eb_blocks[:, None])
+
+        with times.measure("select"):
+            modes = self._select_modes(lor, res)
+            codes = np.where((modes == MODE_LORENZO)[:, None], lor, res)
+
+        with times.measure("entropy"):
+            codebook, payloads, entropy_used = encode_codes_batch(
+                codes.reshape(n_patches, per_patch * block_cells),
+                self.entropy, self.backend, self.k_streams,
+                level=self.backend_level,
+            )
+
+        with times.measure("pack"):
+            lvl = self._raw_level()
+            streams: list[bytes] = []
+            for i in range(n_patches):
+                params = {
+                    "eb": float(ebs[i]),
+                    "block_size": bs,
+                    "padded_shape": list(padded_shape),
+                    "entropy": entropy_used,
+                    "k_streams": self.k_streams,
+                    "predictor": self.predictor,
+                }
+                if entropy_used == GROUPED_STAGE:
+                    params["group_member"] = i
+                writer = StreamWriter(self.name, shape, orig_dtype, params)
+                rows = slice(i * per_patch, (i + 1) * per_patch)
+                m = modes[rows]
+                lor_sel = m == MODE_LORENZO
+                writer.add_section(
+                    "modes", compress_bytes(m.astype(np.uint8).tobytes(), self.backend, lvl)
+                )
+                writer.add_section("dc", pack_ints(dc_all[rows][lor_sel], self.backend, lvl))
+                writer.add_section(
+                    "coefs", pack_ints(qcoefs[rows][~lor_sel].ravel(), self.backend, lvl)
+                )
+                if entropy_used != GROUPED_STAGE:
+                    writer.add_section("codes", payloads[i])
+                streams.append(writer.tobytes())
+        self.last_stage_times = times
+        if entropy_used != GROUPED_STAGE:
+            return BatchResult(None, [], streams)
+        return BatchResult(codebook, payloads, streams)
 
     def _resolve_block_size(self, shape: tuple[int, ...]) -> int:
         """Concrete block edge for this array.
@@ -182,7 +309,10 @@ class SZLR(Compressor):
     # ------------------------------------------------------------------
     # Decompression
     # ------------------------------------------------------------------
-    def decompress(self, blob: bytes) -> np.ndarray:
+    def decompress(self, blob: bytes, shared: SharedEntropy | None = None) -> np.ndarray:
+        """Reconstruct the array; grouped streams additionally need their
+        group's :class:`~repro.compression.base.SharedEntropy` (the
+        container reader supplies it)."""
         reader = StreamReader(blob)
         self._check_stream(reader)
         params = reader.params
@@ -197,7 +327,7 @@ class SZLR(Compressor):
         n_blocks = modes.size
         dc = unpack_ints(reader.section("dc"))
         qcoefs = unpack_ints(reader.section("coefs")).reshape(-1, 1 + ndim)
-        codes = decode_codes(reader.section("codes"), params["entropy"])
+        codes = self._decode_code_section(reader, params, shared)
         if codes.size != n_blocks * block_cells:
             raise DecompressionError(
                 f"code stream has {codes.size} entries, expected {n_blocks * block_cells}"
@@ -218,15 +348,32 @@ class SZLR(Compressor):
         arr = reg.unblockify(out_blocks, bs, padded_shape, shape)
         return arr.astype(reader.dtype, copy=False)
 
+    @staticmethod
+    def _decode_code_section(
+        reader: StreamReader, params: dict, shared: SharedEntropy | None
+    ) -> np.ndarray:
+        """Decode the quantization codes, from the stream's own codes
+        section or — for grouped streams — from the shared group payload."""
+        entropy = params["entropy"]
+        section = None if entropy == GROUPED_STAGE else reader.section("codes")
+        return decode_codes(section, entropy, shared)
+
     # ------------------------------------------------------------------
     # Random access (paper §3.3: no dependency between blocks)
     # ------------------------------------------------------------------
-    def decompress_block(self, blob: bytes, block_index: int) -> np.ndarray:
+    def decompress_block(
+        self, blob: bytes, block_index: int, shared: SharedEntropy | None = None
+    ) -> np.ndarray:
         """Decode a single ``block_size``-cube without assembling the array.
 
         The entropy stream is decoded once per call; for bulk random access
         decode the full array instead. Demonstrates the independence the
         paper credits SZ-L/R with (partial visualization support).
+
+        For a grouped stream this routes through the *owning patch's*
+        payload extent only (``shared.payload``): the symbols decoded are
+        one patch's codes, never the whole group's — the per-patch extents
+        in the group section are what keep block random access O(patch).
         """
         reader = StreamReader(blob)
         self._check_stream(reader)
@@ -238,7 +385,7 @@ class SZLR(Compressor):
         modes = np.frombuffer(decompress_bytes(reader.section("modes")), dtype=np.uint8)
         if not 0 <= block_index < modes.size:
             raise DecompressionError(f"block index {block_index} out of range [0, {modes.size})")
-        codes = decode_codes(reader.section("codes"), params["entropy"])
+        codes = self._decode_code_section(reader, params, shared)
         block_codes = codes[block_index * block_cells : (block_index + 1) * block_cells].copy()
         if modes[block_index] == MODE_LORENZO:
             dc = unpack_ints(reader.section("dc"))

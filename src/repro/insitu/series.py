@@ -455,13 +455,16 @@ class SeriesReader:
         verify: bool = True,
         parallel: str = "serial",
         workers: int = 2,
+        pool=None,
     ) -> dict[tuple[int, int, str, int], np.ndarray]:
         """Decompress the subset of patches matching the selectors.
 
         ``steps`` / ``levels`` / ``fields`` / ``patches`` accept a scalar,
         an iterable, or ``None`` (no restriction); results are keyed by
         ``(step, level, field, patch)``. Only the selected steps' segment
-        indexes are ever read — unselected segments cost zero payload bytes.
+        indexes are ever read — unselected segments cost zero payload
+        bytes. ``pool`` (a persistent :class:`repro.parallel.WorkerPool`)
+        is reused across every selected segment's decode map.
         """
         want_steps = _normalize_selector(steps, "step")
         out: dict[tuple[int, int, str, int], np.ndarray] = {}
@@ -470,7 +473,7 @@ class SeriesReader:
                 continue
             sub = self.open_step(e.step).select(
                 levels=levels, fields=fields, patches=patches, verify=verify,
-                parallel=parallel, workers=workers,
+                parallel=parallel, workers=workers, pool=pool,
             )
             for (lev, field, p_idx), arr in sub.items():
                 out[(e.step, lev, field, p_idx)] = arr

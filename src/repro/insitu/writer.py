@@ -61,7 +61,7 @@ from repro.insitu.series import (
     SeriesReader,
     SeriesStepEntry,
 )
-from repro.parallel.pool import EXECUTION_MODES, resolve_workers
+from repro.parallel.pool import EXECUTION_MODES, WorkerPool, resolve_workers
 
 __all__ = ["StreamingWriter"]
 
@@ -95,6 +95,12 @@ class StreamingWriter:
     max_pending:
         In-flight patch limit for the parallel modes (default
         ``2 * workers``): the hard bound on buffered raw arrays.
+    pool:
+        Optional persistent :class:`repro.parallel.WorkerPool`. The writer
+        then pipelines through the pool's executor — which survives across
+        timesteps *and across writers* — instead of building its own, and
+        leaves it running at :meth:`close` (the caller's ``with`` block
+        owns it). Overrides ``parallel``/``workers``.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class StreamingWriter:
         parallel: str = "serial",
         workers: int | None = 2,
         max_pending: int | None = None,
+        pool: WorkerPool | None = None,
         _resume: tuple[int, list[SeriesStepEntry]] | None = None,
     ):
         if mode not in ("abs", "rel"):
@@ -125,11 +132,20 @@ class StreamingWriter:
         self._owns = False
         self._closed = False
         self._in_step = False
-        self._pool: Executor | None = None
-        if parallel != "serial":
+        self._owns_pool = False
+        self._pool: Executor | WorkerPool | None = None
+        if pool is not None:
+            if pool.closed:
+                raise CompressionError("worker pool is closed")
+            # A serial pool runs inline — same as no pool at all.
+            self._pool = pool if pool.mode != "serial" else None
+            n = pool.workers
+        elif parallel != "serial":
             n = resolve_workers(workers)
             pool_cls = ThreadPoolExecutor if parallel == "thread" else ProcessPoolExecutor
             self._pool = pool_cls(max_workers=n)
+            self._owns_pool = True
+        if self._pool is not None:
             self._max_pending = int(max_pending) if max_pending else 2 * n
             if self._max_pending < 1:
                 raise CompressionError(f"max_pending must be >= 1, got {max_pending}")
@@ -158,6 +174,7 @@ class StreamingWriter:
         workers: int | None = 2,
         max_pending: int | None = None,
         overwrite: bool = False,
+        pool: WorkerPool | None = None,
     ) -> "StreamingWriter":
         """Create a fresh series file (writer owns the handle)."""
         target = Path(path)
@@ -168,7 +185,7 @@ class StreamingWriter:
             writer = cls(
                 fileobj, codec, error_bound, mode=mode, fields=fields,
                 exclude_covered=exclude_covered, parallel=parallel,
-                workers=workers, max_pending=max_pending,
+                workers=workers, max_pending=max_pending, pool=pool,
             )
         except Exception:
             fileobj.close()
@@ -183,6 +200,7 @@ class StreamingWriter:
         parallel: str = "serial",
         workers: int | None = 2,
         max_pending: int | None = None,
+        pool: WorkerPool | None = None,
     ) -> "StreamingWriter":
         """Reopen an existing series for appending more timesteps.
 
@@ -209,6 +227,7 @@ class StreamingWriter:
                 parallel=parallel,
                 workers=workers,
                 max_pending=max_pending,
+                pool=pool,
                 _resume=(resume_pos, rows),
             )
             fileobj.seek(resume_pos)
@@ -475,11 +494,13 @@ class StreamingWriter:
         self.abort()
 
     def abort(self) -> None:
-        """Release the pool and file handle without finalizing the index."""
+        """Release the executor and file handle without finalizing the
+        index. A shared :class:`~repro.parallel.WorkerPool` is left
+        running — its owning ``with`` block decides its lifetime."""
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
+        if self._pool is not None and self._owns_pool:
             self._pool.shutdown(wait=True)
         if self._owns:
             self._file.close()

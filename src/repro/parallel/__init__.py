@@ -1,6 +1,6 @@
 """Parallel execution: ordered pools, chunking, blockwise compression."""
 
-from repro.parallel.pool import parallel_map, resolve_workers, EXECUTION_MODES
+from repro.parallel.pool import WorkerPool, parallel_map, resolve_workers, EXECUTION_MODES
 from repro.parallel.chunking import chunk_boxes, aligned_chunk_boxes
 from repro.parallel.blockwise import (
     ChunkedStream,
@@ -10,6 +10,7 @@ from repro.parallel.blockwise import (
 )
 
 __all__ = [
+    "WorkerPool",
     "parallel_map",
     "resolve_workers",
     "EXECUTION_MODES",

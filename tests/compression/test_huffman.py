@@ -158,8 +158,15 @@ class TestHUF2Layout:
         syms = rng.integers(-100, 100, size=20_000).astype(np.int64)
         blob = huffman.encode(syms, k_streams=64)
         n, K, alphabet, lengths, stream_bits, payload = huffman._parse_huf2(blob)
-        vec = huffman._decode_huf2_vector(n, K, alphabet, lengths, stream_bits, payload)
-        scl = huffman._decode_huf2_scalar(n, K, alphabet, lengths, stream_bits, payload)
+        table_sym, table_len, max_len = huffman._flat_tables(alphabet, lengths)
+        fused = huffman._fused_table(alphabet, table_sym, table_len)
+        vec = huffman._decode_streams_vector(
+            n, K, stream_bits, payload, table_sym, table_len, max_len, fused
+        )
+        tsym, tlen = huffman._scalar_tables(table_sym, table_len, n)
+        scl = huffman._decode_streams_scalar(
+            n, K, stream_bits, payload, tsym, tlen, max_len
+        )
         assert np.array_equal(vec, syms)
         assert np.array_equal(scl, syms)
 

@@ -77,3 +77,20 @@ class TestPackInts:
     def test_boundary_values(self):
         arr = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max, 0])
         assert np.array_equal(unpack_ints(pack_ints(arr)), arr)
+
+    def test_already_narrow_dtype_kept(self, rng):
+        """An input already stored in the narrowest fitting dtype packs to
+        the same bytes (the astype is now a no-op, not a copy)."""
+        arr8 = rng.integers(-100, 100, size=4096).astype(np.int8)
+        assert pack_ints(arr8) == pack_ints(arr8.astype(np.int64))
+        assert np.array_equal(unpack_ints(pack_ints(arr8)), arr8)
+
+    def test_level_reachable_and_roundtrips(self, rng):
+        """The backend level threads through; any level decodes (the blob
+        self-describes its backend, not its level)."""
+        arr = rng.integers(-5, 5, size=50_000)
+        fast = pack_ints(arr, "deflate", 1)
+        slow = pack_ints(arr, "deflate", 9)
+        assert np.array_equal(unpack_ints(fast), arr)
+        assert np.array_equal(unpack_ints(slow), arr)
+        assert len(slow) <= len(fast)

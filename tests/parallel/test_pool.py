@@ -1,4 +1,4 @@
-"""Tests for the ordered parallel map."""
+"""Tests for the ordered parallel map and the persistent worker pool."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ import os
 import pytest
 
 from repro.errors import ReproError
-from repro.parallel import EXECUTION_MODES, parallel_map
+from repro.parallel import EXECUTION_MODES, WorkerPool, parallel_map
 
 
 def square(x: int) -> int:
@@ -44,3 +44,75 @@ class TestModes:
 
         with pytest.raises(ValueError):
             parallel_map(boom, [1, 2], mode="thread", workers=2)
+
+
+def boom(x):
+    raise ValueError("boom")
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_map_order_preserved(self, mode):
+        with WorkerPool(mode, workers=3) as pool:
+            assert pool.map(square, range(20)) == [x * x for x in range(20)]
+
+    def test_process_pool(self):
+        with WorkerPool("process", workers=2) as pool:
+            assert pool.map(square, range(8)) == [x * x for x in range(8)]
+
+    def test_reused_across_parallel_map_calls(self):
+        """The executor survives across maps — the churn fix."""
+        with WorkerPool("thread", workers=2) as pool:
+            for _ in range(3):
+                out = parallel_map(square, range(10), pool=pool)
+                assert out == [x * x for x in range(10)]
+            # pool still open after repeated use
+            assert not pool.closed
+
+    def test_parallel_map_pool_overrides_mode(self):
+        """With pool=, the historical mode/workers args are ignored."""
+        with WorkerPool("serial") as pool:
+            out = parallel_map(square, range(5), mode="process", workers=64, pool=pool)
+            assert out == [x * x for x in range(5)]
+
+    def test_submit_serial_runs_inline(self):
+        with WorkerPool("serial") as pool:
+            fut = pool.submit(square, 7)
+            assert fut.result() == 49
+            fut = pool.submit(boom, 1)
+            with pytest.raises(ValueError):
+                fut.result()
+
+    def test_submit_threaded(self):
+        with WorkerPool("thread", workers=2) as pool:
+            futs = [pool.submit(square, i) for i in range(6)]
+            assert [f.result() for f in futs] == [i * i for i in range(6)]
+
+    def test_closed_pool_rejected(self):
+        pool = WorkerPool("thread", workers=1)
+        pool.close()
+        assert pool.closed
+        with pytest.raises(ReproError):
+            pool.map(square, [1])
+        with pytest.raises(ReproError):
+            pool.submit(square, 1)
+        pool.close()  # idempotent
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ReproError):
+            WorkerPool("gpu")
+        with pytest.raises(ReproError):
+            WorkerPool("thread", chunksize=0)
+
+    def test_workers_resolution(self):
+        with WorkerPool("thread", workers=None) as pool:
+            assert pool.workers == max(1, os.cpu_count() or 1)
+        with WorkerPool("serial", workers=7) as pool:
+            assert pool.workers == 1
+
+    def test_exception_propagates_from_map(self):
+        with WorkerPool("thread", workers=2) as pool:
+            with pytest.raises(ValueError):
+                pool.map(boom, [1, 2])
+            # the pool survives a failed map
+            assert pool.map(square, [3]) == [9]

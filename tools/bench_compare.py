@@ -20,11 +20,19 @@ overriding the default threshold.
 Direction comes from the metric's ``higher_is_better`` flag: throughput
 and speedup regress downward, RSS and latency regress upward.
 
+Refreshing baselines is one command — ``--write-baseline`` copies the
+run's artifacts into ``benchmarks/baselines/`` (commit the result) instead
+of hand-editing JSON. ``--consolidate PATH`` additionally merges every
+artifact of the run into a single ``BENCH_perf.json`` document (the CI
+perf-smoke job uploads it as the run's one-stop perf record).
+
 Usage::
 
     REPRO_BENCH_JSON=bench-out PYTHONPATH=src pytest benchmarks/bench_entropy.py
     python tools/bench_compare.py --current bench-out
     python tools/bench_compare.py --current bench-out --threshold 0.1
+    python tools/bench_compare.py --current bench-out --write-baseline
+    python tools/bench_compare.py --current bench-out --consolidate bench-out/BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -37,6 +45,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 DEFAULT_THRESHOLD = 0.20
+
+#: Filename of the consolidated artifact; excluded from the comparison
+#: scan so a consolidated file sitting in --current is never diffed.
+CONSOLIDATED_NAME = "BENCH_perf.json"
 
 
 def load_artifact(path: Path) -> dict:
@@ -114,12 +126,55 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_THRESHOLD,
         help="default allowed fractional regression (default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="copy the run's artifacts into the baseline directory (the "
+        "documented way to refresh baselines) instead of comparing",
+    )
+    parser.add_argument(
+        "--consolidate",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also merge every artifact into one consolidated JSON document "
+        f"(conventionally {CONSOLIDATED_NAME})",
+    )
     args = parser.parse_args(argv)
 
-    artifacts = sorted(args.current.glob("BENCH_*.json"))
+    artifacts = sorted(
+        p for p in args.current.glob("BENCH_*.json") if p.name != CONSOLIDATED_NAME
+    )
     if not artifacts:
         print(f"bench_compare: no BENCH_*.json artifacts in {args.current}")
         return 1
+
+    if args.consolidate is not None:
+        benches: dict = {}
+        for path in artifacts:
+            doc = load_artifact(path)
+            name = doc["bench"]
+            if name in benches:
+                raise SystemExit(
+                    f"bench_compare: two artifacts both claim bench {name!r}"
+                )
+            benches[name] = doc
+        merged = {"format": "bench-perf", "benches": benches}
+        args.consolidate.parent.mkdir(parents=True, exist_ok=True)
+        args.consolidate.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"bench_compare: consolidated {len(artifacts)} artifact(s) -> {args.consolidate}")
+
+    if args.write_baseline:
+        args.baseline.mkdir(parents=True, exist_ok=True)
+        for path in artifacts:
+            target = args.baseline / path.name
+            target.write_text(path.read_text())
+            print(f"bench_compare: baseline written {target}")
+        print(
+            f"bench_compare: {len(artifacts)} baseline(s) refreshed — commit "
+            f"{args.baseline} to start tracking them"
+        )
+        return 0
 
     failures: list[str] = []
     notes: list[str] = []
