@@ -39,6 +39,7 @@ __all__ = [
     "write_series",
     "append_step",
     "open_series",
+    "recover_series",
 ]
 
 _FORMAT_NAME = "repro-amr-plotfile"
@@ -185,6 +186,7 @@ def write_series(
     overwrite: bool = False,
     parallel: str = "serial",
     workers: int | None = 2,
+    durability: str = "close",
 ) -> Path:
     """Stream an iterable of timesteps into an ``RPH2S`` series at ``path``.
 
@@ -192,13 +194,15 @@ def write_series(
     step number) or objects with ``hierarchy`` / ``index`` / ``time``
     attributes (e.g. :class:`repro.sims.streams.SimStep`). The iterable is
     consumed lazily — pass a generator and peak memory stays O(snapshot).
+    ``durability="step"`` fsyncs every sealed step (crash loses at most the
+    step in flight); the default syncs at close only.
     """
     from repro.insitu.writer import StreamingWriter
 
     with StreamingWriter.create(
         path, codec, error_bound, mode=mode, fields=fields,
         exclude_covered=exclude_covered, parallel=parallel, workers=workers,
-        overwrite=overwrite,
+        overwrite=overwrite, durability=durability,
     ) as writer:
         for item in steps:
             if hasattr(item, "hierarchy"):
@@ -214,7 +218,7 @@ def write_series(
 
 def append_step(path: str | Path, hierarchy, time: float | None = None,
                 step: int | None = None, parallel: str = "serial",
-                workers: int | None = 2):
+                workers: int | None = 2, durability: str = "close"):
     """Append one timestep to an existing ``RPH2S`` series file.
 
     Reopens the series (its recorded codec/bound/fields are authoritative),
@@ -223,7 +227,8 @@ def append_step(path: str | Path, hierarchy, time: float | None = None,
     """
     from repro.insitu.writer import StreamingWriter
 
-    with StreamingWriter.append_to(path, parallel=parallel, workers=workers) as writer:
+    with StreamingWriter.append_to(path, parallel=parallel, workers=workers,
+                                   durability=durability) as writer:
         return writer.append_step(hierarchy, time=time, step=step)
 
 
@@ -239,3 +244,20 @@ def open_series(path: str | Path):
     from repro.insitu.series import SeriesReader
 
     return SeriesReader.open(path)
+
+
+def recover_series(path: str | Path, commit: bool = False,
+                   output: str | Path | None = None):
+    """Diagnose (and optionally repair) an interrupted ``RPH2S`` write.
+
+    Dry run by default: returns a
+    :class:`~repro.insitu.recovery.RecoveryReport` describing every
+    fully-sealed step still salvageable from ``path`` without modifying the
+    file. With ``commit=True`` trailing garbage is truncated and a fresh
+    timestep index + footer appended, after which the series opens
+    normally; ``output`` redirects the rewrite to a new file. See
+    :mod:`repro.insitu.recovery` for the scan semantics.
+    """
+    from repro.insitu.recovery import recover_series as _recover
+
+    return _recover(path, commit=commit, output=output)

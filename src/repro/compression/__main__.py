@@ -17,6 +17,8 @@ Usage::
     python -m repro.compression inspect run.rph2s
     python -m repro.compression extract run.rph2s --step 7 --level 1 \\
         --field baryon_density --patch 0 -o patch.npy
+    python -m repro.compression recover run.rph2s            # dry-run report
+    python -m repro.compression recover run.rph2s --commit   # rewrite index
 
 ``info`` prints the self-describing header (codec, shape, parameters,
 section sizes) without decompressing. ``inspect`` walks a seekable
@@ -24,7 +26,10 @@ container's patch index — or a series' timestep index — without touching
 the payload; ``extract`` decodes a selection of patches via random access
 (O(selection) bytes read). ``stream`` compresses timesteps *as they are
 produced* (plotfile directories read one at a time, or a built-in synthetic
-campaign) into an appendable RPH2S series.
+campaign) into an appendable RPH2S series; ``--durability step`` fsyncs
+every sealed step. ``recover`` salvages a series whose footer was lost to
+a killed writer: dry run reports every fully-sealed step, ``--commit``
+truncates trailing garbage and appends a fresh timestep index + footer.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.compression.amr_codec import (
 )
 from repro.compression.base import StreamReader
 from repro.compression.registry import available_codecs, decompress_any, make_codec
+from repro.insitu.writer import DURABILITY_MODES
 from repro.parallel.pool import EXECUTION_MODES, resolve_workers
 
 __all__ = ["main"]
@@ -202,6 +208,36 @@ def _cmd_extract(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    from repro.amr.io import recover_series
+
+    if args.output is not None and not args.commit:
+        print("recover: -o/--output has no effect without --commit",
+              file=sys.stderr)
+    report = recover_series(args.input)  # dry run: never modifies the file
+    print(report.describe())
+    if report.intact:
+        if args.commit and args.output is not None:
+            recover_series(args.input, commit=True, output=args.output)
+            print(f"copied intact series -> {args.output}")
+        return 0
+    if not report.steps:
+        print("recover: no fully-sealed steps; refusing to commit an empty "
+              "series", file=sys.stderr)
+        return 1
+    if args.commit:
+        # All mutation goes through the library path (one code path for
+        # the CLI and repro.amr.io.recover_series).
+        recover_series(args.input, commit=True, output=args.output)
+        target = args.output if args.output is not None else args.input
+        print(f"committed: {target} now carries a fresh timestep index "
+              f"({len(report.steps)} step(s))")
+    else:
+        print("dry run — pass --commit to truncate trailing garbage and "
+              "append a fresh timestep index + footer")
+    return 0
+
+
 def _cmd_stream(args) -> int:
     from repro.insitu.writer import StreamingWriter
 
@@ -215,6 +251,7 @@ def _cmd_stream(args) -> int:
         out, args.codec, args.eb, mode=args.mode, fields=fields,
         exclude_covered=args.exclude_covered, parallel=args.parallel,
         workers=resolve_workers(args.workers), overwrite=args.overwrite,
+        durability=args.durability,
     ) as writer:
         if args.inputs:
             # One plotfile in memory at a time: the streaming contract.
@@ -320,7 +357,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--overwrite", action="store_true")
     p.add_argument("--parallel", choices=EXECUTION_MODES, default="serial")
     p.add_argument("--workers", type=int, default=0, help="0 = one per CPU core")
+    p.add_argument(
+        "--durability", choices=DURABILITY_MODES, default="close",
+        help="fsync placement: 'step' makes every sealed step crash-durable, "
+             "'close' (default) syncs the final index commit, 'none' never syncs",
+    )
     p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser(
+        "recover",
+        help="salvage an .rph2s series whose footer/index was lost to a "
+             "killed writer (dry-run report; --commit rewrites the index)",
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("--commit", action="store_true",
+                   help="truncate trailing garbage and append a fresh "
+                        "timestep index + footer")
+    p.add_argument("-o", "--output", type=Path, default=None,
+                   help="with --commit, write the repaired series here and "
+                        "leave the damaged original untouched")
+    p.set_defaults(fn=_cmd_recover)
 
     args = parser.parse_args(argv)
     return args.fn(args)

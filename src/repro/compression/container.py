@@ -100,10 +100,13 @@ __all__ = [
     "GroupHandle",
     "group_handle_from_bytes",
     "ContainerReader",
+    "HEADER_SIZE",
+    "FOOTER_SIZE",
     "pack_container",
     "pack_group",
     "pack_header",
     "pack_footer",
+    "unpack_footer",
     "build_index_bytes",
 ]
 
@@ -116,6 +119,10 @@ CONTAINER_VERSION = 1
 _VERSION = CONTAINER_VERSION
 _HEADER = struct.Struct("<4sB")
 _FOOTER = struct.Struct("<QQI8s")
+#: Fixed framing sizes, public for tools that walk raw container bytes
+#: (the series recovery scanner, crashsim).
+HEADER_SIZE = _HEADER.size
+FOOTER_SIZE = _FOOTER.size
 #: Fixed prefix of a group section: magic, n_patches (u32),
 #: codebook_length (u32), payload_length (u64).
 _GROUP_HEAD = struct.Struct("<4sIIQ")
@@ -346,6 +353,22 @@ def pack_footer(index_offset: int, index_length: int, index_crc32: int) -> bytes
     return _FOOTER.pack(index_offset, index_length, index_crc32, FOOTER_MAGIC)
 
 
+def unpack_footer(blob: bytes) -> tuple[int, int, int]:
+    """Parse a 28-byte container footer into ``(index_offset, index_length,
+    index_crc32)``. Raises :class:`FormatError` on a short read or bad
+    footer magic — the two signatures of a truncated container."""
+    if len(blob) != FOOTER_SIZE:
+        raise FormatError(
+            f"container footer truncated ({len(blob)} of {FOOTER_SIZE} bytes)"
+        )
+    index_offset, index_length, index_crc, footer_magic = _FOOTER.unpack(blob)
+    if footer_magic != FOOTER_MAGIC:
+        raise FormatError(
+            f"bad container footer magic {footer_magic!r} (truncated file?)"
+        )
+    return index_offset, index_length, index_crc
+
+
 def build_index_bytes(
     meta: Mapping[str, Any],
     n_levels: int,
@@ -549,13 +572,9 @@ class ContainerReader:
             )
         if version != _VERSION:
             raise FormatError(f"unsupported container version {version}")
-        index_offset, index_length, index_crc, footer_magic = _FOOTER.unpack(
+        index_offset, index_length, index_crc = unpack_footer(
             self._read_at(total - _FOOTER.size, _FOOTER.size)
         )
-        if footer_magic != FOOTER_MAGIC:
-            raise FormatError(
-                f"bad container footer magic {footer_magic!r} (truncated file?)"
-            )
         if index_offset + index_length > total - _FOOTER.size:
             raise FormatError("container index extends past end of file (truncated?)")
         index_bytes = self._read_at(index_offset, index_length)

@@ -14,6 +14,7 @@ __all__ = [
     "CompressionError",
     "DecompressionError",
     "FormatError",
+    "TruncatedSeriesError",
     "VisualizationError",
     "MetricError",
     "ExperimentError",
@@ -42,6 +43,13 @@ class DecompressionError(ReproError):
 
 class FormatError(ReproError):
     """Malformed on-disk or in-memory container (plotfile, codec stream)."""
+
+
+class TruncatedSeriesError(FormatError):
+    """An RPH2S series whose footer or timestep index is missing or damaged
+    — the signature of an interrupted write. Sealed segments are usually
+    salvageable: open with ``SeriesReader.open(..., recover=True)`` or run
+    ``python -m repro.compression recover``."""
 
 
 class VisualizationError(ReproError):

@@ -9,27 +9,47 @@ solver produces it, timestep after timestep, with bounded memory:
   pool, and appends each finished step as a self-contained RPH2 segment;
 * :class:`~repro.insitu.series.SeriesReader` — footer-located timestep
   index giving ``(step, level, field, patch)`` random access that reads
-  O(selection) bytes.
+  O(selection) bytes;
+* :mod:`~repro.insitu.recovery` — crash recovery for interrupted writes:
+  every finished step is sealed on disk before the writer advances, so a
+  killed campaign loses at most the step in flight
+  (``SeriesReader.open(..., recover=True)``, :func:`recover_series`, and
+  the CLI ``recover`` verb rebuild the timestep index from the seals).
 
 High-level helpers live in :mod:`repro.amr.io` (``write_series`` /
-``append_step`` / ``open_series``); the format spec is in
-``docs/container_format.md``.
+``append_step`` / ``open_series`` / ``recover_series``); the format spec
+is in ``docs/container_format.md``.
 """
 
+from repro.insitu.recovery import (
+    RecoveryReport,
+    commit_recovery,
+    recover_series,
+    scan_segments,
+)
 from repro.insitu.series import (
+    SEAL_MAGIC,
+    SEAL_SIZE,
     SERIES_FOOTER_MAGIC,
     SERIES_MAGIC,
     SERIES_VERSION,
     SeriesReader,
     SeriesStepEntry,
 )
-from repro.insitu.writer import StreamingWriter
+from repro.insitu.writer import DURABILITY_MODES, StreamingWriter
 
 __all__ = [
     "SERIES_MAGIC",
     "SERIES_FOOTER_MAGIC",
     "SERIES_VERSION",
+    "SEAL_MAGIC",
+    "SEAL_SIZE",
+    "DURABILITY_MODES",
     "SeriesReader",
     "SeriesStepEntry",
     "StreamingWriter",
+    "RecoveryReport",
+    "scan_segments",
+    "recover_series",
+    "commit_recovery",
 ]

@@ -12,7 +12,10 @@ both by reusing the RPH2 snapshot container as its segment type:
     offset 5   u8       series version (currently 1)
     offset 6   segments, back to back; each segment is a complete,
                self-contained RPH2 container (internal offsets relative
-               to the segment start)
+               to the segment start), immediately followed by a 64-byte
+               crc-protected *seal record* (magic b"RPH2SEAL") restating
+               the step's index row — the durability anchor crash
+               recovery rebuilds the timestep index from
     ...        series index: JSON document (see below)
     EOF-28     footer: u64 index_offset, u64 index_length,
                u32 crc32(index bytes), footer magic b"RPH2SIDX"
@@ -38,6 +41,11 @@ open), the simulation ``time``, and size accounting. Random access to one
 patch of one step costs O(series footer + series index + segment footer +
 segment index + that stream) bytes, never O(file).
 
+A file whose footer is missing or damaged (a killed writer) raises
+:class:`~repro.errors.TruncatedSeriesError`; every fully-sealed step is
+still recoverable through :meth:`SeriesReader.open` with ``recover=True``
+or :mod:`repro.insitu.recovery`.
+
 Written by :class:`repro.insitu.writer.StreamingWriter`; the format spec
 lives in ``docs/container_format.md``.
 """
@@ -60,14 +68,19 @@ from repro.compression.container import (
     ContainerReader,
     _normalize_selector,
 )
-from repro.errors import CompressionError, FormatError
+from repro.errors import CompressionError, FormatError, TruncatedSeriesError
 
 __all__ = [
     "SERIES_MAGIC",
     "SERIES_FOOTER_MAGIC",
     "SERIES_VERSION",
+    "SEAL_MAGIC",
+    "SEAL_SIZE",
     "SeriesStepEntry",
     "SeriesReader",
+    "pack_seal",
+    "unpack_seal",
+    "build_series_index_bytes",
 ]
 
 SERIES_MAGIC = b"RPH2S"
@@ -76,8 +89,26 @@ SERIES_VERSION = 1
 _SERIES_HEADER = struct.Struct("<5sB")
 _SERIES_FOOTER = struct.Struct("<QQI8s")
 
+#: Magic prefix of a step seal record (written right after each segment).
+SEAL_MAGIC = b"RPH2SEAL"
+#: Seal record body: magic, step (i64), time (f64), absolute segment offset
+#: (u64), segment length (u64), crc32 of the segment bytes (u32), segment
+#: container version (u16), n_levels (u16), n_patches (u32),
+#: original_bytes (u64). A crc32 of the body (u32) follows.
+_SEAL_BODY = struct.Struct("<8sqdQQIHHIQ")
+_SEAL_CRC = struct.Struct("<I")
+#: Total on-disk size of one seal record.
+SEAL_SIZE = _SEAL_BODY.size + _SEAL_CRC.size
+
 #: Series-level meta keys serialized into the index besides the step rows.
 _SERIES_META_KEYS = ("codec", "error_bound", "mode", "fields", "exclude_covered")
+
+#: Appended to truncation/damage errors so an interrupted campaign points
+#: straight at the salvage path.
+_RECOVERY_HINT = (
+    "; fully-sealed steps are recoverable: run `python -m repro.compression "
+    "recover <file>` or open with SeriesReader.open(..., recover=True)"
+)
 
 
 @dataclass(frozen=True)
@@ -106,6 +137,67 @@ class SeriesStepEntry:
             self.container_version, self.time, self.n_levels,
             self.n_patches, self.original_bytes,
         ]
+
+
+def pack_seal(entry: SeriesStepEntry) -> bytes:
+    """Serialize one step's 64-byte seal record.
+
+    The seal restates the step's timestep-index row (plus the whole-segment
+    crc32) in a fixed-size, crc-protected record written *immediately after*
+    the segment it describes. It is what makes a killed writer survivable:
+    the series footer may never be written, but every sealed step can be
+    found, validated, and re-indexed by :mod:`repro.insitu.recovery`.
+    """
+    body = _SEAL_BODY.pack(
+        SEAL_MAGIC, entry.step, entry.time, entry.offset, entry.length,
+        entry.crc32, entry.container_version, entry.n_levels,
+        entry.n_patches, entry.original_bytes,
+    )
+    return body + _SEAL_CRC.pack(zlib.crc32(body))
+
+
+def unpack_seal(blob: bytes) -> SeriesStepEntry | None:
+    """Parse a candidate seal record; ``None`` unless it is bit-perfect.
+
+    Recovery scans treat any magic hit whose record crc does not validate
+    as a payload coincidence or a torn write, so this returns ``None``
+    instead of raising.
+    """
+    if len(blob) != SEAL_SIZE or blob[:8] != SEAL_MAGIC:
+        return None
+    (crc,) = _SEAL_CRC.unpack_from(blob, _SEAL_BODY.size)
+    if zlib.crc32(blob[: _SEAL_BODY.size]) != crc:
+        return None
+    magic, step, time, offset, length, seg_crc, cver, n_levels, n_patches, ob = (
+        _SEAL_BODY.unpack_from(blob, 0)
+    )
+    return SeriesStepEntry(
+        step=step, offset=offset, length=length, crc32=seg_crc,
+        container_version=cver, time=time, n_levels=n_levels,
+        n_patches=n_patches, original_bytes=ob,
+    )
+
+
+def build_series_index_bytes(
+    meta: dict, steps: "list[SeriesStepEntry]"
+) -> bytes:
+    """Serialize the series timestep index JSON (canonical key order).
+
+    Shared by :meth:`StreamingWriter.close` and the recovery committer so a
+    recovered-and-committed file carries an index byte-identical to what an
+    uninterrupted writer would have produced for the same steps.
+    """
+    index = {
+        "format": "rph2s",
+        "version": SERIES_VERSION,
+        "codec": str(meta["codec"]),
+        "error_bound": float(meta["error_bound"]),
+        "mode": str(meta["mode"]),
+        "fields": list(meta["fields"]),
+        "exclude_covered": bool(meta["exclude_covered"]),
+        "steps": [e.row() for e in steps],
+    }
+    return json.dumps(index, separators=(",", ":")).encode()
 
 
 class _SegmentWindow:
@@ -170,11 +262,22 @@ class SeriesReader:
         intermediate copy). :meth:`open` with ``mmap=True`` builds the
         zero-copy mode over a memory-mapped file. The reader does not own
         a file-like source unless constructed through :meth:`open`.
+    _recovery:
+        A :class:`repro.insitu.recovery.RecoveryReport` to serve instead of
+        parsing the series footer — the salvage path behind
+        ``open(..., recover=True)``. The reader then exposes the report on
+        :attr:`recovery` and sets :attr:`recovered`.
     """
 
-    def __init__(self, source):
+    def __init__(self, source, _recovery=None):
         self._owns = False
         self._mmap: _mmap.mmap | None = None
+        #: True when this reader was built from a recovery scan instead of
+        #: the series footer (``None``-footer salvage path).
+        self.recovered = _recovery is not None
+        #: The :class:`~repro.insitu.recovery.RecoveryReport` this reader
+        #: was built from, or ``None`` for a normal footer-indexed open.
+        self.recovery = _recovery
         # mmap objects are file-likes too (they grow seek/read), so the
         # buffer check must come first or zero-copy mode silently degrades
         # to the copying file path.
@@ -200,7 +303,10 @@ class SeriesReader:
         # ``mapping.close()`` raises BufferError and masks the real error
         # (the in-flight traceback pins this frame's ``self``).
         try:
-            self._parse_index(total)
+            if _recovery is not None:
+                self._install_recovery(_recovery)
+            else:
+                self._parse_index(total)
         except BaseException:
             if self._view is not None:
                 self._view.release()
@@ -209,6 +315,15 @@ class SeriesReader:
 
     def _parse_index(self, total: int) -> None:
         if total < _SERIES_HEADER.size + _SERIES_FOOTER.size:
+            # A valid magic on a too-short file is an interrupted write,
+            # not an alien format — keep the two failure classes distinct.
+            if total >= len(SERIES_MAGIC) and (
+                self._read_at(0, len(SERIES_MAGIC)) == SERIES_MAGIC
+            ):
+                raise TruncatedSeriesError(
+                    f"series truncated to {total} bytes, shorter than the "
+                    f"RPH2S framing{_RECOVERY_HINT}"
+                )
             raise FormatError(f"series too short ({total} bytes) for RPH2S framing")
         magic, version = _SERIES_HEADER.unpack(self._read_at(0, _SERIES_HEADER.size))
         if magic != SERIES_MAGIC:
@@ -217,28 +332,36 @@ class SeriesReader:
             )
         if version != SERIES_VERSION:
             raise FormatError(f"unsupported series version {version}")
+        footer_blob = self._read_at(total - _SERIES_FOOTER.size, _SERIES_FOOTER.size)
         index_offset, index_length, index_crc, footer_magic = _SERIES_FOOTER.unpack(
-            self._read_at(total - _SERIES_FOOTER.size, _SERIES_FOOTER.size)
+            footer_blob
         )
         if footer_magic != SERIES_FOOTER_MAGIC:
-            raise FormatError(
-                f"bad series footer magic {footer_magic!r} (truncated file?)"
+            raise TruncatedSeriesError(
+                f"bad series footer magic {footer_magic!r}: the file was "
+                f"truncated mid-write or never finalized{_RECOVERY_HINT}"
             )
         if index_offset + index_length > total - _SERIES_FOOTER.size:
-            raise FormatError("series index extends past end of file (truncated?)")
+            raise TruncatedSeriesError(
+                f"series index extends past end of file (truncated?){_RECOVERY_HINT}"
+            )
         index_bytes = self._read_at(index_offset, index_length)
         if len(index_bytes) != index_length or zlib.crc32(index_bytes) != index_crc:
-            raise FormatError("series index checksum mismatch (corrupt timestep index)")
+            raise TruncatedSeriesError(
+                "series index checksum mismatch (corrupt timestep index)"
+                f"{_RECOVERY_HINT}"
+            )
         try:
             index = json.loads(index_bytes.decode())
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise FormatError(f"corrupt series index: {exc}") from exc
+            raise TruncatedSeriesError(
+                f"corrupt series index: {exc}{_RECOVERY_HINT}"
+            ) from exc
         try:
             if index["format"] != "rph2s":
                 raise FormatError(f"unexpected index format {index['format']!r}")
-            self._meta = {k: index[k] for k in _SERIES_META_KEYS}
-            self._index_offset = index_offset
-            self.step_entries: list[SeriesStepEntry] = [
+            meta = {k: index[k] for k in _SERIES_META_KEYS}
+            entries = [
                 SeriesStepEntry(
                     int(s), int(off), int(ln), int(crc), int(cver),
                     float(t), int(nl), int(np_), int(ob),
@@ -247,6 +370,15 @@ class SeriesReader:
             ]
         except (KeyError, ValueError, TypeError) as exc:
             raise FormatError(f"malformed series index: {exc!r}") from exc
+        self._install(meta, index_offset, entries)
+
+    def _install(
+        self, meta: dict, index_offset: int, entries: list[SeriesStepEntry]
+    ) -> None:
+        """Validate and adopt a timestep index (footer-parsed or rebuilt)."""
+        self._meta = dict(meta)
+        self._index_offset = index_offset
+        self.step_entries: list[SeriesStepEntry] = list(entries)
         versions = {e.container_version for e in self.step_entries}
         if len(versions) > 1:
             raise FormatError(
@@ -266,11 +398,21 @@ class SeriesReader:
                 )
             last = e.step
             if e.offset < _SERIES_HEADER.size or e.offset + e.length > index_offset:
-                raise FormatError(
+                raise TruncatedSeriesError(
                     f"series segment {e.describe()} points outside the payload "
-                    "(truncated segment?)"
+                    f"(truncated segment?){_RECOVERY_HINT}"
                 )
         self._by_step = {e.step: e for e in self.step_entries}
+
+    def _install_recovery(self, report) -> None:
+        """Adopt a :class:`~repro.insitu.recovery.RecoveryReport` as this
+        reader's timestep index (the ``recover=True`` salvage path)."""
+        if report.meta is None or not report.entries:
+            raise TruncatedSeriesError(
+                "recovery scan found no fully-sealed steps; nothing to serve"
+            )
+        meta = {k: report.meta[k] for k in _SERIES_META_KEYS}
+        self._install(meta, report.data_end, report.entries)
 
     # ------------------------------------------------------------------
     # Construction / lifecycle
@@ -288,14 +430,43 @@ class SeriesReader:
         return self._view is not None
 
     @classmethod
-    def open(cls, path: str | Path, *, mmap: bool = False) -> "SeriesReader":
+    def open(
+        cls, path: str | Path, *, mmap: bool = False, recover: bool = False
+    ) -> "SeriesReader":
         """Open a series file for random access (reader owns the handle).
 
         With ``mmap=True`` the file is memory-mapped and every segment is
         opened as a buffer-mode
         :class:`~repro.compression.container.ContainerReader`, so patch
         streams reach the codecs as zero-copy ``memoryview`` slices.
+
+        With ``recover=True``, a series whose footer or timestep index is
+        missing or damaged (a killed writer) is salvaged instead of raising:
+        the file is scanned for sealed segments
+        (:func:`repro.insitu.recovery.scan_segments`) and the reader serves
+        every fully-sealed step, read-only, without modifying the file. An
+        intact series takes the normal footer path — no rebuild is
+        triggered — so ``recover=True`` is always safe to pass.
         """
+        try:
+            return cls._open(path, mmap=mmap)
+        except TruncatedSeriesError:
+            if not recover:
+                raise
+        from repro.insitu.recovery import scan_segments
+
+        report = scan_segments(path)
+        if not report.entries:
+            raise TruncatedSeriesError(
+                f"{path}: damaged series holds no fully-sealed steps; "
+                "nothing to recover"
+            )
+        return cls._open(path, mmap=mmap, _recovery=report)
+
+    @classmethod
+    def _open(
+        cls, path: str | Path, *, mmap: bool = False, _recovery=None
+    ) -> "SeriesReader":
         fileobj = Path(path).open("rb")
         try:
             if mmap:
@@ -304,14 +475,14 @@ class SeriesReader:
                 except (ValueError, OSError) as exc:
                     raise FormatError(f"cannot memory-map {path}: {exc}") from exc
                 try:
-                    reader = cls(mapping)
+                    reader = cls(mapping, _recovery=_recovery)
                 except Exception:
                     mapping.close()
                     raise
                 reader._mmap = mapping
                 reader._file = fileobj
             else:
-                reader = cls(fileobj)
+                reader = cls(fileobj, _recovery=_recovery)
         except Exception:
             fileobj.close()
             raise

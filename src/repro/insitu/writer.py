@@ -28,7 +28,8 @@ output for the same data.
 
 from __future__ import annotations
 
-import json
+import io
+import os
 import zlib
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -60,10 +61,18 @@ from repro.insitu.series import (
     _SERIES_HEADER,
     SeriesReader,
     SeriesStepEntry,
+    build_series_index_bytes,
+    pack_seal,
 )
 from repro.parallel.pool import EXECUTION_MODES, WorkerPool, resolve_workers
 
-__all__ = ["StreamingWriter"]
+__all__ = ["StreamingWriter", "DURABILITY_MODES"]
+
+#: How aggressively the writer pushes sealed bytes to stable storage.
+#: ``"step"`` fsyncs on every segment boundary (each sealed step survives a
+#: crash), ``"close"`` fsyncs only around the final index/footer commit,
+#: ``"none"`` never fsyncs (benchmarks, tmpfs, tests).
+DURABILITY_MODES = ("step", "close", "none")
 
 
 class StreamingWriter:
@@ -101,6 +110,13 @@ class StreamingWriter:
         timesteps *and across writers* — instead of building its own, and
         leaves it running at :meth:`close` (the caller's ``with`` block
         owns it). Overrides ``parallel``/``workers``.
+    durability:
+        Crash-durability mode (see :data:`DURABILITY_MODES`). Every mode
+        seals each finished segment with a crc-protected seal record — the
+        structural guarantee recovery relies on; ``durability`` only
+        controls *fsync* placement: ``"step"`` syncs every segment
+        boundary, ``"close"`` (default) syncs only the final index/footer
+        commit, ``"none"`` never syncs.
     """
 
     def __init__(
@@ -115,10 +131,16 @@ class StreamingWriter:
         workers: int | None = 2,
         max_pending: int | None = None,
         pool: WorkerPool | None = None,
+        durability: str = "close",
         _resume: tuple[int, list[SeriesStepEntry]] | None = None,
     ):
         if mode not in ("abs", "rel"):
             raise CompressionError(f"unknown error-bound mode {mode!r}")
+        if durability not in DURABILITY_MODES:
+            raise CompressionError(
+                f"unknown durability mode {durability!r} (have {DURABILITY_MODES})"
+            )
+        self._durability = durability
         if parallel not in EXECUTION_MODES:
             raise CompressionError(
                 f"unknown execution mode {parallel!r} (have {EXECUTION_MODES})"
@@ -175,6 +197,7 @@ class StreamingWriter:
         max_pending: int | None = None,
         overwrite: bool = False,
         pool: WorkerPool | None = None,
+        durability: str = "close",
     ) -> "StreamingWriter":
         """Create a fresh series file (writer owns the handle)."""
         target = Path(path)
@@ -186,6 +209,7 @@ class StreamingWriter:
                 fileobj, codec, error_bound, mode=mode, fields=fields,
                 exclude_covered=exclude_covered, parallel=parallel,
                 workers=workers, max_pending=max_pending, pool=pool,
+                durability=durability,
             )
         except Exception:
             fileobj.close()
@@ -201,6 +225,7 @@ class StreamingWriter:
         workers: int | None = 2,
         max_pending: int | None = None,
         pool: WorkerPool | None = None,
+        durability: str = "close",
     ) -> "StreamingWriter":
         """Reopen an existing series for appending more timesteps.
 
@@ -228,6 +253,7 @@ class StreamingWriter:
                 workers=workers,
                 max_pending=max_pending,
                 pool=pool,
+                durability=durability,
                 _resume=(resume_pos, rows),
             )
             fileobj.seek(resume_pos)
@@ -266,6 +292,18 @@ class StreamingWriter:
             [level, field, p_idx, rel, len(blob), self._comp.name, zlib.crc32(blob)]
         )
         self._write(blob)
+
+    def _sync(self) -> None:
+        """Flush and fsync the underlying file, best effort.
+
+        Non-file sinks (BytesIO in tests, pipes) have no fd to sync; the
+        durability contract is only as strong as the sink allows.
+        """
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except (AttributeError, OSError, io.UnsupportedOperation):
+            pass
 
     def _drain(self, down_to: int) -> None:
         """Retire finished compression futures (FIFO keeps disk order
@@ -398,8 +436,16 @@ class StreamingWriter:
             n_patches=len(self._entries),
             original_bytes=self._orig_bytes,
         )
-        self._steps.append(entry)
+        # Seal the step before advancing: the seal record restates the
+        # index row after the segment bytes it describes, so a crash at any
+        # later point can rebuild this step without the series footer. The
+        # seal is not part of the segment (entry.length excludes it), which
+        # keeps segments byte-identical to batch compress_hierarchy output.
         self._in_step = False
+        self._write(pack_seal(entry))
+        if self._durability == "step":
+            self._sync()
+        self._steps.append(entry)
         return entry
 
     def append_step(
@@ -472,25 +518,32 @@ class StreamingWriter:
             return
         if self._in_step:
             raise CompressionError("cannot close with an open step; call end_step() first")
-        index = {
-            "format": "rph2s",
-            "version": SERIES_VERSION,
+        meta = {
             "codec": self._comp.name,
             "error_bound": self._eb,
             "mode": self._mode,
             "fields": list(self._fields) if self._fields is not None else [],
             "exclude_covered": self._exclude_covered,
-            "steps": [e.row() for e in self._steps],
         }
-        index_bytes = json.dumps(index, separators=(",", ":")).encode()
+        index_bytes = build_series_index_bytes(meta, self._steps)
         index_offset = self._pos
         self._write(index_bytes)
+        # Two-phase commit: make the index (and every sealed segment before
+        # it) durable *before* the footer that points at it goes out. A
+        # crash between the syncs leaves a footerless file, which recovery
+        # rebuilds from the seals; a torn footer write is caught by the
+        # footer magic / index crc checks at open.
+        if self._durability != "none":
+            self._sync()
         self._write(
             _SERIES_FOOTER.pack(
                 index_offset, len(index_bytes), zlib.crc32(index_bytes), SERIES_FOOTER_MAGIC
             )
         )
-        self._file.flush()
+        if self._durability != "none":
+            self._sync()
+        else:
+            self._file.flush()
         self.abort()
 
     def abort(self) -> None:

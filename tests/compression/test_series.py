@@ -259,8 +259,10 @@ class TestSelection:
 class TestCorruption:
     def test_truncated_segment_detected(self, series_path):
         payload, index_bytes = _split(series_path.read_bytes())
+        # Cut past the trailing 64-byte seal record and into the last
+        # segment proper, so the index row points outside the payload.
         with pytest.raises(FormatError, match="outside the payload"):
-            SeriesReader(io.BytesIO(_join(payload[:-16], index_bytes)))
+            SeriesReader(io.BytesIO(_join(payload[:-80], index_bytes)))
 
     def test_bad_timestep_index_crc(self, series_path):
         raw = bytearray(series_path.read_bytes())
