@@ -1,0 +1,131 @@
+"""Sharded multi-writer campaigns: write throughput and value identity.
+
+Acceptance gates for the sharded RPHM path (ISSUE 6):
+
+* a 4-shard campaign (one writer lane per shard) must reach **>= 2x** the
+  single-writer write throughput on a multi-core host — the lanes
+  overlap compression (NumPy/zlib release the GIL) and I/O across
+  shards. On a single-core runner the ratio is recorded but the floor is
+  not asserted (there is no parallelism to win);
+* the union read of the sharded campaign must be value-identical to the
+  single-writer series — sharding changes placement, never bytes' worth
+  of data;
+* reading one step through the manifest must touch only its owning
+  shard.
+
+Metrics land in ``BENCH_bench_sharded.json`` via :mod:`perf_harness`, and
+``tools/bench_compare.py`` gates regressions against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+from conftest import bench_scale, emit, once
+
+import perf_harness
+from repro.amr.io import open_series, write_series, write_sharded_series
+from repro.sims import NyxConfig, nyx_step_stream
+
+STEPS = 8
+N_SHARDS = 4
+FIELD = "baryon_density"
+MIN_SPEEDUP = 2.0
+
+
+@dataclass(frozen=True)
+class Row:
+    path: str
+    shards: int
+    wall_s: float
+    mb_s: float
+    speedup: float
+
+
+def _config() -> NyxConfig:
+    return NyxConfig(coarse_n=max(8, int(32 * bench_scale())))
+
+
+def _steps(cfg):
+    # Materialized once: both writers must compress identical inputs.
+    return [s for s in nyx_step_stream(STEPS, cfg)]
+
+
+def _best_of(fn, n=3) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_sharded_write_throughput_and_identity(benchmark, tmp_path):
+    cfg = _config()
+    steps = _steps(cfg)
+    mb = sum(s.hierarchy.nbytes(FIELD) for s in steps) / 1e6
+    single = tmp_path / "single.rph2s"
+    manifest = tmp_path / "camp.rphm"
+
+    def write_single():
+        write_series(single, steps, codec="sz-lr", error_bound=1e-3,
+                     fields=[FIELD], overwrite=True)
+
+    def write_sharded():
+        write_sharded_series(manifest, steps, n_shards=N_SHARDS,
+                             codec="sz-lr", error_bound=1e-3, fields=[FIELD],
+                             parallel="thread", overwrite=True)
+
+    single_s = _best_of(write_single)
+    once(benchmark, write_sharded)
+    sharded_s = _best_of(write_sharded)
+    speedup = single_s / sharded_s
+
+    # Sharding must never change data: the union read equals the
+    # single-writer read, key for key, bit for bit.
+    with open_series(single) as mono, open_series(manifest) as sh:
+        assert sh.is_sharded and sh.n_shards == N_SHARDS
+        assert sh.steps == mono.steps
+        ref, got = mono.select(), sh.select()
+    assert set(got) == set(ref)
+    for key, want in ref.items():
+        assert np.array_equal(got[key], want), key
+
+    # Selective read: one step costs one shard, not the campaign.
+    shard_bytes = {
+        name: Path(name).stat().st_size
+        for name in (str(manifest.parent / n.name)
+                     for n in manifest.parent.glob("*.shard*.rph2s"))
+    }
+    with open_series(manifest) as sh:
+        owner = sh.shard_of(3)
+        sh.select(steps=3)
+    assert owner in shard_bytes
+
+    perf_harness.record(
+        "bench_sharded", "sharded_write_speedup_4shard", speedup, "x",
+        higher_is_better=True, tolerance=0.5,
+    )
+    perf_harness.record(
+        "bench_sharded", "sharded_write_throughput", mb / sharded_s, "MB/s",
+        higher_is_better=True, tolerance=0.5,
+    )
+    emit(
+        f"Sharded vs single-writer campaign write ({STEPS}-step Nyx, "
+        f"{N_SHARDS} shards)",
+        [
+            Row("single", 1, single_s, mb / single_s, 1.0),
+            Row("sharded", N_SHARDS, sharded_s, mb / sharded_s, speedup),
+        ],
+    )
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert speedup >= MIN_SPEEDUP, (
+            f"4-shard write only {speedup:.2f}x the single writer on "
+            f"{cores} cores (need >= {MIN_SPEEDUP}x)"
+        )

@@ -37,6 +37,7 @@ __all__ = [
     "read_container",
     "open_container",
     "write_series",
+    "write_sharded_series",
     "append_step",
     "open_series",
     "recover_series",
@@ -216,6 +217,48 @@ def write_series(
     return Path(path)
 
 
+def write_sharded_series(
+    path: str | Path,
+    steps,
+    codec: str = "sz-lr",
+    error_bound: float = 1e-3,
+    mode: str = "rel",
+    n_shards: int = 4,
+    fields=None,
+    exclude_covered: bool = False,
+    overwrite: bool = False,
+    parallel: str = "thread",
+    durability="close",
+    backend=None,
+) -> Path:
+    """Stream timesteps into an N-shard campaign behind an RPHM manifest.
+
+    Same ``steps`` contract as :func:`write_series`, but the campaign fans
+    out across ``n_shards`` shard files written concurrently (one writer
+    lane per shard); ``path`` is the manifest, and :func:`open_series` on
+    it reads the union transparently. ``durability`` may be one mode or a
+    per-shard sequence; ``backend`` redirects all bytes through a
+    :class:`repro.storage.StorageBackend`.
+    """
+    from repro.insitu.sharded import ShardedSeriesWriter
+
+    with ShardedSeriesWriter.create(
+        path, codec, error_bound, mode=mode, n_shards=n_shards, fields=fields,
+        exclude_covered=exclude_covered, parallel=parallel,
+        durability=durability, overwrite=overwrite, backend=backend,
+    ) as writer:
+        for item in steps:
+            if hasattr(item, "hierarchy"):
+                writer.append_step(
+                    item.hierarchy,
+                    time=getattr(item, "time", None),
+                    step=getattr(item, "index", None),
+                )
+            else:
+                writer.append_step(item)
+    return Path(path)
+
+
 def append_step(path: str | Path, hierarchy, time: float | None = None,
                 step: int | None = None, parallel: str = "serial",
                 workers: int | None = 2, durability: str = "close"):
@@ -232,7 +275,7 @@ def append_step(path: str | Path, hierarchy, time: float | None = None,
         return writer.append_step(hierarchy, time=time, step=step)
 
 
-def open_series(path: str | Path):
+def open_series(path: str | Path, backend=None):
     """Open an ``RPH2S`` series for random access and return a
     :class:`~repro.insitu.series.SeriesReader`.
 
@@ -240,10 +283,15 @@ def open_series(path: str | Path):
     reader's :meth:`~repro.insitu.series.SeriesReader.select` /
     :meth:`~repro.insitu.series.SeriesReader.read_patch` for
     O(selection)-byte access to ``(step, level, field, patch)``.
+
+    A path holding a sharded campaign's ``RPHM`` manifest is opened
+    transparently as a :class:`~repro.insitu.sharded.ShardedSeriesReader`
+    serving the union of its shards; ``backend`` redirects reads through
+    a :class:`repro.storage.StorageBackend`.
     """
     from repro.insitu.series import SeriesReader
 
-    return SeriesReader.open(path)
+    return SeriesReader.open(path, backend=backend)
 
 
 def recover_series(path: str | Path, commit: bool = False,
@@ -257,7 +305,25 @@ def recover_series(path: str | Path, commit: bool = False,
     timestep index + footer appended, after which the series opens
     normally; ``output`` redirects the rewrite to a new file. See
     :mod:`repro.insitu.recovery` for the scan semantics.
+
+    A sharded campaign's ``RPHM`` manifest routes to
+    :func:`repro.insitu.sharded.recover_sharded`: every shard is salvaged
+    independently and the manifest rebuilt from the surviving indexes
+    (``output`` is not supported there — recovery is per shard, in place).
     """
     from repro.insitu.recovery import recover_series as _recover
+    from repro.insitu.sharded import MANIFEST_MAGIC, recover_sharded
 
+    try:
+        with Path(path).open("rb") as probe:
+            head = probe.read(len(MANIFEST_MAGIC))
+    except OSError:
+        head = b""
+    if head == MANIFEST_MAGIC:
+        if output is not None:
+            raise FormatError(
+                "recover_series(output=...) is not supported for sharded "
+                "manifests; shards are recovered in place"
+            )
+        return recover_sharded(path, commit=commit)
     return _recover(path, commit=commit, output=output)

@@ -127,7 +127,7 @@ def _cmd_info_plotfile(args) -> int:
 def _cmd_inspect(args) -> int:
     with Path(args.input).open("rb") as probe:
         magic = probe.read(5)
-    if magic == b"RPH2S":
+    if magic == b"RPH2S" or magic[:4] == b"RPHM":
         return _inspect_series(args.input)
     with open_container(args.input) as reader:
         print(f"codec:    {reader.codec}")
@@ -149,7 +149,14 @@ def _inspect_series(path: Path) -> int:
     from repro.amr.io import open_series
 
     with open_series(path) as reader:
-        print("RPH2S time series")
+        if getattr(reader, "is_sharded", False):
+            print(f"RPHM sharded campaign ({reader.n_shards} shards)")
+            for name in reader.shards:
+                owned = [e.step for e in reader.step_entries
+                         if reader.shard_of(e.step) == name]
+                print(f"  {Path(name).name}: steps {owned}")
+        else:
+            print("RPH2S time series")
         print(f"codec:    {reader.codec}")
         print(f"eb:       {reader.error_bound:g} ({reader.mode})")
         print(f"fields:   {list(reader.fields)}")
@@ -210,11 +217,21 @@ def _cmd_extract(args) -> int:
 
 def _cmd_recover(args) -> int:
     from repro.amr.io import recover_series
+    from repro.errors import TruncatedSeriesError
 
     if args.output is not None and not args.commit:
         print("recover: -o/--output has no effect without --commit",
               file=sys.stderr)
-    report = recover_series(args.input)  # dry run: never modifies the file
+    try:
+        report = recover_series(args.input)  # dry run: never modifies the file
+    except TruncatedSeriesError as exc:
+        # A sharded campaign where no shard holds a sealed step.
+        print(f"recover: {exc}", file=sys.stderr)
+        return 1
+    if getattr(report, "shard_reports", None) is not None and args.output:
+        print("recover: -o/--output is not supported for sharded manifests "
+              "(shards are recovered in place)", file=sys.stderr)
+        return 2
     print(report.describe())
     if report.intact:
         if args.commit and args.output is not None:
@@ -245,28 +262,49 @@ def _cmd_stream(args) -> int:
         print("stream: pass plotfile directories OR --sim, not both/neither",
               file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("stream: --shards must be >= 1", file=sys.stderr)
+        return 2
     fields = args.fields.split(",") if args.fields else None
     out = Path(args.output)
+
+    def step_source():
+        if args.inputs:
+            # One plotfile in memory at a time: the streaming contract.
+            for i, plt_dir in enumerate(args.inputs):
+                yield read_plotfile(plt_dir), float(i), None
+        else:
+            from repro.sims.streams import nyx_step_stream, warpx_step_stream
+
+            stream_fn = {"nyx": nyx_step_stream, "warpx": warpx_step_stream}[args.sim]
+            for s in stream_fn(args.steps):
+                yield s.hierarchy, s.time, s.index
+
+    if args.shards > 1:
+        from repro.insitu.sharded import ShardedSeriesWriter
+
+        with ShardedSeriesWriter.create(
+            out, args.codec, args.eb, mode=args.mode, n_shards=args.shards,
+            fields=fields, exclude_covered=args.exclude_covered,
+            overwrite=args.overwrite, durability=args.durability,
+        ) as writer:
+            for hierarchy, time, step in step_source():
+                n = writer.append_step(hierarchy, time=time, step=step)
+                print(f"  step {n} -> shard "
+                      f"{Path(writer.shards[writer._route[n]]).name}")
+            n_steps = writer.n_steps
+        print(f"{out}: {n_steps} steps across {args.shards} shards")
+        return 0
     with StreamingWriter.create(
         out, args.codec, args.eb, mode=args.mode, fields=fields,
         exclude_covered=args.exclude_covered, parallel=args.parallel,
         workers=resolve_workers(args.workers), overwrite=args.overwrite,
         durability=args.durability,
     ) as writer:
-        if args.inputs:
-            # One plotfile in memory at a time: the streaming contract.
-            for i, plt_dir in enumerate(args.inputs):
-                entry = writer.append_step(read_plotfile(plt_dir), time=float(i))
-                print(f"  step {entry.step}: {plt_dir} -> {entry.length} bytes "
-                      f"(ratio {entry.original_bytes / entry.length:.2f}x)")
-        else:
-            from repro.sims.streams import nyx_step_stream, warpx_step_stream
-
-            stream_fn = {"nyx": nyx_step_stream, "warpx": warpx_step_stream}[args.sim]
-            for s in stream_fn(args.steps):
-                entry = writer.append_step(s.hierarchy, time=s.time, step=s.index)
-                print(f"  step {entry.step}: t={entry.time:g} -> {entry.length} bytes "
-                      f"(ratio {entry.original_bytes / entry.length:.2f}x)")
+        for hierarchy, time, step in step_source():
+            entry = writer.append_step(hierarchy, time=time, step=step)
+            print(f"  step {entry.step}: t={entry.time:g} -> {entry.length} bytes "
+                  f"(ratio {entry.original_bytes / entry.length:.2f}x)")
         n_steps = writer.n_steps
     print(f"{out}: {n_steps} steps written")
     return 0
@@ -361,6 +399,11 @@ def main(argv: list[str] | None = None) -> int:
         "--durability", choices=DURABILITY_MODES, default="close",
         help="fsync placement: 'step' makes every sealed step crash-durable, "
              "'close' (default) syncs the final index commit, 'none' never syncs",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="fan the campaign across N shard files behind an RPHM manifest "
+             "(steps assigned round-robin; -o names the manifest)",
     )
     p.set_defaults(fn=_cmd_stream)
 

@@ -637,11 +637,12 @@ def decompress_selection(
         ``(level, field, patch) -> np.ndarray`` for snapshot sources, or
         ``(step, level, field, patch) -> np.ndarray`` for series sources.
     """
-    # The series reader lives in repro.insitu, which imports this module —
-    # resolve it lazily to keep the import graph acyclic.
+    # The series readers live in repro.insitu, which imports this module —
+    # resolve them lazily to keep the import graph acyclic.
     from repro.insitu.series import SERIES_MAGIC, SeriesReader
+    from repro.insitu.sharded import MANIFEST_MAGIC, ShardedSeriesReader
 
-    if isinstance(source, SeriesReader):
+    if isinstance(source, (SeriesReader, ShardedSeriesReader)):
         return source.select(
             steps=steps, levels=levels, fields=fields, patches=patches,
             verify=verify, parallel=parallel, workers=workers, pool=pool,
@@ -662,6 +663,11 @@ def decompress_selection(
         # Buffer (zero-copy) mode: the readers slice memoryviews straight
         # off the caller's buffer — no BytesIO staging copy, no per-stream
         # bytes copy (select() still copies once for process-mode pickling).
+        if bytes(source[: len(MANIFEST_MAGIC)]) == MANIFEST_MAGIC:
+            raise CompressionError(
+                "RPHM manifests reference sibling shard files; pass the "
+                "manifest path (or an open ShardedSeriesReader), not bytes"
+            )
         if bytes(source[: len(SERIES_MAGIC)]) == SERIES_MAGIC:
             return SeriesReader(source).select(
                 steps=steps, levels=levels, fields=fields, patches=patches,
@@ -674,7 +680,17 @@ def decompress_selection(
         )
     if isinstance(source, (str, Path)):
         with Path(source).open("rb") as fileobj:
-            if _sniff_magic(fileobj) == SERIES_MAGIC:
+            magic = _sniff_magic(fileobj)
+            if magic[: len(MANIFEST_MAGIC)] == MANIFEST_MAGIC:
+                # Sharded campaign: the manifest's sibling shard files are
+                # resolved from the path, each step read from its shard.
+                with SeriesReader.open(source) as reader:
+                    return reader.select(
+                        steps=steps, levels=levels, fields=fields,
+                        patches=patches, verify=verify, parallel=parallel,
+                        workers=workers, pool=pool,
+                    )
+            if magic == SERIES_MAGIC:
                 return SeriesReader(fileobj).select(
                     steps=steps, levels=levels, fields=fields, patches=patches,
                     verify=verify, parallel=parallel, workers=workers,
@@ -685,7 +701,14 @@ def decompress_selection(
                 parallel=parallel, workers=workers, pool=pool,
             )
     if hasattr(source, "seek") and hasattr(source, "read"):
-        if _sniff_magic(source) == SERIES_MAGIC:
+        magic = _sniff_magic(source)
+        if magic[: len(MANIFEST_MAGIC)] == MANIFEST_MAGIC:
+            raise CompressionError(
+                "RPHM manifests reference sibling shard files; pass the "
+                "manifest path (or an open ShardedSeriesReader), not a "
+                "file object"
+            )
+        if magic == SERIES_MAGIC:
             return SeriesReader(source).select(
                 steps=steps, levels=levels, fields=fields, patches=patches,
                 verify=verify, parallel=parallel, workers=workers, pool=pool,

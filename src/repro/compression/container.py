@@ -663,14 +663,33 @@ class ContainerReader:
         return self._view is not None
 
     @classmethod
-    def open(cls, path: str | Path, *, mmap: bool = False) -> "ContainerReader":
+    def open(
+        cls, path: str | Path, *, mmap: bool = False, backend=None
+    ) -> "ContainerReader":
         """Open a container file for random access (reader owns the handle).
 
         With ``mmap=True`` the file is memory-mapped and the reader runs in
         zero-copy mode: :meth:`read_stream` (and therefore :meth:`select` /
         ``decompress_selection``) hands the codecs ``memoryview`` slices of
         the mapping instead of copied ``bytes``.
+
+        ``backend`` (a :class:`repro.storage.StorageBackend`) redirects all
+        byte reads through the backend — e.g. a
+        :class:`repro.storage.RangedBackend` serving retried, readahead
+        ranged GETs — instead of the local filesystem; mutually exclusive
+        with ``mmap``.
         """
+        if backend is not None:
+            if mmap:
+                raise FormatError("backend= and mmap=True are mutually exclusive")
+            fileobj = backend.open_read(str(path))
+            try:
+                reader = cls(fileobj)
+            except Exception:
+                fileobj.close()
+                raise
+            reader._owns = True
+            return reader
         fileobj = Path(path).open("rb")
         try:
             if mmap:

@@ -15,6 +15,8 @@ __all__ = [
     "DecompressionError",
     "FormatError",
     "TruncatedSeriesError",
+    "StorageError",
+    "TransientStorageError",
     "VisualizationError",
     "MetricError",
     "ExperimentError",
@@ -50,6 +52,17 @@ class TruncatedSeriesError(FormatError):
     — the signature of an interrupted write. Sealed segments are usually
     salvageable: open with ``SeriesReader.open(..., recover=True)`` or run
     ``python -m repro.compression recover``."""
+
+
+class StorageError(ReproError):
+    """Failure in a :mod:`repro.storage` byte backend (missing object,
+    exhausted retries, backend-specific I/O fault)."""
+
+
+class TransientStorageError(StorageError):
+    """A retryable backend fault (timeout, throttle, connection reset).
+    :class:`repro.storage.RangedBackend` retries these with backoff before
+    giving up and re-raising."""
 
 
 class VisualizationError(ReproError):

@@ -10,6 +10,10 @@ solver produces it, timestep after timestep, with bounded memory:
 * :class:`~repro.insitu.series.SeriesReader` — footer-located timestep
   index giving ``(step, level, field, patch)`` random access that reads
   O(selection) bytes;
+* :mod:`~repro.insitu.sharded` — multi-writer campaigns: a
+  :class:`~repro.insitu.sharded.ShardedSeriesWriter` fans steps across N
+  shard files behind a crc-protected RPHM manifest, and
+  ``SeriesReader.open`` on the manifest reads the union transparently;
 * :mod:`~repro.insitu.recovery` — crash recovery for interrupted writes:
   every finished step is sealed on disk before the writer advances, so a
   killed campaign loses at most the step in flight
@@ -26,6 +30,13 @@ from repro.insitu.recovery import (
     commit_recovery,
     recover_series,
     scan_segments,
+)
+from repro.insitu.sharded import (
+    MANIFEST_MAGIC,
+    ShardedRecoveryReport,
+    ShardedSeriesReader,
+    ShardedSeriesWriter,
+    recover_sharded,
 )
 from repro.insitu.series import (
     SEAL_MAGIC,
@@ -52,4 +63,9 @@ __all__ = [
     "scan_segments",
     "recover_series",
     "commit_recovery",
+    "MANIFEST_MAGIC",
+    "ShardedSeriesWriter",
+    "ShardedSeriesReader",
+    "ShardedRecoveryReport",
+    "recover_sharded",
 ]

@@ -429,9 +429,19 @@ class SeriesReader:
         """True when the reader serves zero-copy views of a byte buffer."""
         return self._view is not None
 
+    #: Overridden by :class:`repro.insitu.sharded.ShardedSeriesReader`;
+    #: lets callers (and the append path) tell a federated manifest reader
+    #: from a single-file series without importing the sharded module.
+    is_sharded = False
+
     @classmethod
     def open(
-        cls, path: str | Path, *, mmap: bool = False, recover: bool = False
+        cls,
+        path: str | Path,
+        *,
+        mmap: bool = False,
+        recover: bool = False,
+        backend=None,
     ) -> "SeriesReader":
         """Open a series file for random access (reader owns the handle).
 
@@ -447,26 +457,70 @@ class SeriesReader:
         every fully-sealed step, read-only, without modifying the file. An
         intact series takes the normal footer path — no rebuild is
         triggered — so ``recover=True`` is always safe to pass.
+
+        ``backend`` (a :class:`repro.storage.StorageBackend`) redirects all
+        byte reads through the backend instead of the local filesystem;
+        mutually exclusive with ``mmap``.
+
+        A path holding an ``RPHM`` sharded-campaign manifest
+        (:mod:`repro.insitu.sharded`) is opened transparently: the returned
+        reader federates every shard's timestep index and serves the union
+        through this same API (its :attr:`is_sharded` is True).
         """
+        if backend is not None and mmap:
+            raise CompressionError("backend= and mmap=True are mutually exclusive")
+        # Sharded-manifest dispatch: sniff the magic before committing to
+        # the single-file parse. Lazy import — sharded imports this module.
+        from repro.insitu.sharded import MANIFEST_MAGIC, ShardedSeriesReader
+
+        if backend is not None:
+            probe = backend.open_read(str(path))
+            try:
+                head = probe.read(len(MANIFEST_MAGIC))
+            finally:
+                probe.close()
+        else:
+            with Path(path).open("rb") as probe:
+                head = probe.read(len(MANIFEST_MAGIC))
+        if head == MANIFEST_MAGIC:
+            return ShardedSeriesReader.open(
+                path, mmap=mmap, recover=recover, backend=backend
+            )
         try:
-            return cls._open(path, mmap=mmap)
+            return cls._open(path, mmap=mmap, backend=backend)
         except TruncatedSeriesError:
             if not recover:
                 raise
         from repro.insitu.recovery import scan_segments
 
-        report = scan_segments(path)
+        if backend is not None:
+            handle = backend.open_read(str(path))
+            try:
+                report = scan_segments(handle)
+            finally:
+                handle.close()
+        else:
+            report = scan_segments(path)
         if not report.entries:
             raise TruncatedSeriesError(
                 f"{path}: damaged series holds no fully-sealed steps; "
                 "nothing to recover"
             )
-        return cls._open(path, mmap=mmap, _recovery=report)
+        return cls._open(path, mmap=mmap, _recovery=report, backend=backend)
 
     @classmethod
     def _open(
-        cls, path: str | Path, *, mmap: bool = False, _recovery=None
+        cls, path: str | Path, *, mmap: bool = False, _recovery=None, backend=None
     ) -> "SeriesReader":
+        if backend is not None:
+            fileobj = backend.open_read(str(path))
+            try:
+                reader = cls(fileobj, _recovery=_recovery)
+            except Exception:
+                fileobj.close()
+                raise
+            reader._owns = True
+            return reader
         fileobj = Path(path).open("rb")
         try:
             if mmap:

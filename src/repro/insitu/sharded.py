@@ -1,0 +1,935 @@
+"""Sharded multi-writer campaigns: N shard files + one RPHM manifest.
+
+The paper's in-situ setting is many ranks compressing and writing
+*concurrently*. A single :class:`~repro.insitu.writer.StreamingWriter`
+serializes every segment through one file handle; this module fans a
+campaign out across ``N`` shard files — one serial ``StreamingWriter`` and
+one single-worker :class:`~repro.parallel.WorkerPool` lane per shard, so
+steps on different shards compress and hit storage concurrently while each
+shard stays strictly append-ordered — and federates them behind a small
+crc-protected **RPHM manifest**:
+
+.. code-block:: text
+
+    offset 0   magic    b"RPHM"                                  (4 bytes)
+    offset 4   u8       manifest version (currently 1)
+    offset 5   u32      body length
+    offset 9   body: JSON document (see below)
+    ...        u32      crc32(body)
+
+Manifest body schema (JSON)::
+
+    {
+      "format": "rphm", "version": 1, "final": bool,
+      "codec": str, "error_bound": float, "mode": str,
+      "fields": [str, ...], "exclude_covered": bool,
+      "shards": [{"name": str, "durability": str,
+                  "steps": [int, ...]}, ...]
+    }
+
+Shard ``name`` is a basename; shards always live next to the manifest
+(``<stem>.shard<k:03d>.rph2s``). The manifest is written twice: once at
+:meth:`ShardedSeriesWriter.create` with ``final=false`` (so a killed
+campaign still names its shards for recovery) and once at
+:meth:`~ShardedSeriesWriter.close` with ``final=true`` and the full step
+routing. Each shard is an ordinary, self-contained RPH2S series — every
+durability/seal/recovery property of the single-writer format holds
+per shard.
+
+Reading is transparent: :meth:`SeriesReader.open` sniffs the RPHM magic
+and returns a :class:`ShardedSeriesReader`, which exposes the
+single-series API over the union of the per-shard timestep indexes and
+routes each step to its owning shard — ``decompress_selection(steps=...)``
+still reads O(selection) bytes. Crash recovery runs *per shard*
+(:func:`recover_sharded`): ``scan_segments`` salvages each shard
+independently and the manifest is rebuilt from the surviving indexes, so
+killing one shard's writer mid-step cannot touch the other shards' steps.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.compression.container import ContainerReader, _normalize_selector
+from repro.errors import (
+    CompressionError,
+    FormatError,
+    StorageError,
+    TruncatedSeriesError,
+)
+from repro.insitu.series import (
+    _SERIES_META_KEYS,
+    SeriesReader,
+    SeriesStepEntry,
+)
+from repro.insitu.writer import DURABILITY_MODES, StreamingWriter
+from repro.parallel.pool import WorkerPool
+from repro.storage import LocalFileBackend, StorageBackend
+
+__all__ = [
+    "MANIFEST_MAGIC",
+    "MANIFEST_VERSION",
+    "ShardedSeriesWriter",
+    "ShardedSeriesReader",
+    "ShardedRecoveryReport",
+    "pack_manifest",
+    "parse_manifest",
+    "shard_names",
+    "recover_sharded",
+]
+
+MANIFEST_MAGIC = b"RPHM"
+MANIFEST_VERSION = 1
+_MANIFEST_HEAD = struct.Struct("<4sBI")
+_MANIFEST_CRC = struct.Struct("<I")
+
+_RECOVERY_HINT = (
+    "; surviving shards are recoverable: run `python -m repro.compression "
+    "recover <manifest>` or open with SeriesReader.open(..., recover=True)"
+)
+
+
+def shard_names(manifest: str | Path, n_shards: int) -> list[str]:
+    """Full shard object names for a manifest name (same directory)."""
+    root, _ = os.path.splitext(str(manifest))
+    return [f"{root}.shard{k:03d}.rph2s" for k in range(n_shards)]
+
+
+def pack_manifest(meta: dict, shards: list[dict], final: bool) -> bytes:
+    """Serialize an RPHM manifest (head + JSON body + body crc)."""
+    body = json.dumps(
+        {
+            "format": "rphm",
+            "version": MANIFEST_VERSION,
+            "final": bool(final),
+            "codec": str(meta["codec"]),
+            "error_bound": float(meta["error_bound"]),
+            "mode": str(meta["mode"]),
+            "fields": list(meta["fields"]),
+            "exclude_covered": bool(meta["exclude_covered"]),
+            "shards": [
+                {
+                    "name": str(s["name"]),
+                    "durability": str(s["durability"]),
+                    "steps": [int(n) for n in s["steps"]],
+                }
+                for s in shards
+            ],
+        },
+        separators=(",", ":"),
+    ).encode()
+    return (
+        _MANIFEST_HEAD.pack(MANIFEST_MAGIC, MANIFEST_VERSION, len(body))
+        + body
+        + _MANIFEST_CRC.pack(zlib.crc32(body))
+    )
+
+
+def parse_manifest(blob: bytes) -> dict:
+    """Parse and validate an RPHM manifest; returns the JSON body.
+
+    Alien bytes raise :class:`~repro.errors.FormatError`; a manifest that
+    is too short or fails its crc is classified as
+    :class:`~repro.errors.TruncatedSeriesError` — the shards it referenced
+    are still recoverable by discovery.
+    """
+    if blob[: len(MANIFEST_MAGIC)] != MANIFEST_MAGIC:
+        raise FormatError(
+            f"not an RPHM manifest (magic {blob[:4]!r}, expected {MANIFEST_MAGIC!r})"
+        )
+    if len(blob) < _MANIFEST_HEAD.size:
+        raise TruncatedSeriesError(
+            f"manifest truncated to {len(blob)} bytes{_RECOVERY_HINT}"
+        )
+    _, version, body_len = _MANIFEST_HEAD.unpack_from(blob, 0)
+    if version != MANIFEST_VERSION:
+        raise FormatError(f"unsupported RPHM manifest version {version}")
+    end = _MANIFEST_HEAD.size + body_len
+    if len(blob) < end + _MANIFEST_CRC.size:
+        raise TruncatedSeriesError(
+            f"manifest body truncated ({len(blob)} bytes, need "
+            f"{end + _MANIFEST_CRC.size}){_RECOVERY_HINT}"
+        )
+    body = blob[_MANIFEST_HEAD.size : end]
+    (crc,) = _MANIFEST_CRC.unpack_from(blob, end)
+    if zlib.crc32(body) != crc:
+        raise TruncatedSeriesError(
+            f"manifest checksum mismatch{_RECOVERY_HINT}"
+        )
+    try:
+        man = json.loads(body.decode())
+        if man["format"] != "rphm":
+            raise FormatError(f"unexpected manifest format {man['format']!r}")
+        for key in ("final", "shards", *_SERIES_META_KEYS):
+            man[key]  # noqa: B018 - presence check
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as exc:
+        raise TruncatedSeriesError(
+            f"corrupt manifest body: {exc!r}{_RECOVERY_HINT}"
+        ) from exc
+    return man
+
+
+def _shard_path(manifest: str | Path, basename: str) -> str:
+    base_dir = os.path.dirname(str(manifest))
+    return os.path.join(base_dir, basename) if base_dir else basename
+
+
+class ShardedSeriesWriter:
+    """Fan an in-situ campaign out across N shard files.
+
+    Each shard gets a serial :class:`~repro.insitu.writer.StreamingWriter`
+    plus (in ``parallel="thread"`` mode) a dedicated single-worker
+    :class:`~repro.parallel.WorkerPool` lane, so appends on different
+    shards overlap — compression and storage writes run concurrently
+    across shards — while each shard file stays strictly append-ordered.
+    Step numbers are globally strictly increasing; arrival order assigns
+    shards round-robin unless the caller pins a shard (``shard=rank``),
+    the MPI-style placement.
+
+    Use :meth:`create`; the campaign is finalized by :meth:`close`, which
+    drains every lane, closes every shard (writing its index/footer), and
+    rewrites the RPHM manifest with ``final=true``.
+
+    .. code-block:: python
+
+        from repro.insitu.sharded import ShardedSeriesWriter
+
+        with ShardedSeriesWriter.create("run.rphm", "sz-lr", 1e-3,
+                                        n_shards=4) as w:
+            for s in nyx_step_stream(16):
+                w.append_step(s.hierarchy, time=s.time, step=s.index)
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        writers: list[StreamingWriter],
+        lanes: list[WorkerPool] | None,
+        durabilities: list[str],
+        meta: dict,
+        backend: StorageBackend,
+        max_pending_steps: int,
+    ):
+        self._path = str(path)
+        self._writers = writers
+        self._lanes = lanes
+        self._durabilities = durabilities
+        self._meta = meta
+        self._backend = backend
+        self._max_pending = max_pending_steps
+        self._inflight: deque = deque()
+        self._route: dict[int, int] = {}
+        self._rr = 0
+        self._next = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        codec: str,
+        error_bound: float,
+        mode: str = "rel",
+        n_shards: int = 4,
+        fields: Sequence[str] | None = None,
+        exclude_covered: bool = False,
+        parallel: str = "thread",
+        durability: str | Sequence[str] = "close",
+        max_pending_steps: int | None = None,
+        overwrite: bool = False,
+        backend: StorageBackend | None = None,
+    ) -> "ShardedSeriesWriter":
+        """Create a fresh sharded campaign at manifest ``path``.
+
+        ``durability`` is one mode for every shard, or a per-shard
+        sequence (rank 0 can run ``"step"`` while bulk ranks run
+        ``"none"``). ``parallel`` is ``"thread"`` (one lane per shard,
+        concurrent appends) or ``"serial"`` (inline appends, deterministic
+        — what the value-identity tests use). ``max_pending_steps`` bounds
+        in-flight appends across all lanes (default ``2 * n_shards``).
+        """
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise CompressionError(f"n_shards must be >= 1, got {n_shards}")
+        if parallel not in ("serial", "thread"):
+            raise CompressionError(
+                f"sharded parallel mode must be 'serial' or 'thread', got {parallel!r}"
+            )
+        if isinstance(durability, str):
+            durabilities = [durability] * n_shards
+        else:
+            durabilities = [str(d) for d in durability]
+            if len(durabilities) != n_shards:
+                raise CompressionError(
+                    f"per-shard durability needs {n_shards} entries, got "
+                    f"{len(durabilities)}"
+                )
+        for d in durabilities:
+            if d not in DURABILITY_MODES:
+                raise CompressionError(
+                    f"unknown durability mode {d!r} (have {DURABILITY_MODES})"
+                )
+        pending = int(max_pending_steps) if max_pending_steps else 2 * n_shards
+        if pending < 1:
+            raise CompressionError(
+                f"max_pending_steps must be >= 1, got {max_pending_steps}"
+            )
+        backend = backend or LocalFileBackend()
+        manifest_name = str(path)
+        if backend.exists(manifest_name) and not overwrite:
+            raise FormatError(
+                f"campaign manifest {manifest_name!r} already exists "
+                "(pass overwrite=True)"
+            )
+        names = shard_names(manifest_name, n_shards)
+        meta = {
+            "codec": str(codec),
+            "error_bound": float(error_bound),
+            "mode": str(mode),
+            "fields": list(fields) if fields is not None else [],
+            "exclude_covered": bool(exclude_covered),
+        }
+        # Write the non-final manifest BEFORE any shard exists: a campaign
+        # killed at any later point still names its shards for recovery.
+        rows = [
+            {"name": os.path.basename(n), "durability": d, "steps": []}
+            for n, d in zip(names, durabilities)
+        ]
+        _write_manifest(backend, manifest_name, meta, rows, final=False)
+        writers: list[StreamingWriter] = []
+        lanes: list[WorkerPool] | None = (
+            [] if parallel == "thread" else None
+        )
+        try:
+            for name, dur in zip(names, durabilities):
+                writers.append(
+                    StreamingWriter.create(
+                        name, codec, error_bound, mode=mode, fields=fields,
+                        exclude_covered=exclude_covered, parallel="serial",
+                        overwrite=overwrite, durability=dur, backend=backend,
+                    )
+                )
+                if lanes is not None:
+                    lanes.append(WorkerPool("thread", workers=1))
+        except Exception:
+            for w in writers:
+                w.abort()
+            for lane in lanes or []:
+                lane.close()
+            raise
+        return cls(
+            manifest_name, writers, lanes, durabilities, meta, backend, pending
+        )
+
+    def __enter__(self) -> "ShardedSeriesWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            try:
+                self.close()
+            except BaseException:
+                self.abort()
+                raise
+        else:
+            self.abort()
+
+    # ------------------------------------------------------------------
+    # Step protocol
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of shard files this campaign fans out across."""
+        return len(self._writers)
+
+    @property
+    def n_steps(self) -> int:
+        """Steps appended so far (including any still in flight)."""
+        return len(self._route)
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Full shard object names, in shard order."""
+        return shard_names(self._path, self.n_shards)  # type: ignore[return-value]
+
+    def append_step(
+        self,
+        hierarchy,
+        time: float | None = None,
+        step: int | None = None,
+        shard: int | None = None,
+    ) -> int:
+        """Append one hierarchy as the next timestep; returns its number.
+
+        ``shard`` pins the step to a shard (a rank id); otherwise arrival
+        order assigns shards round-robin. In ``"thread"`` mode the append
+        runs on the shard's lane and this returns as soon as the in-flight
+        window has room — a failed append surfaces on the next
+        ``append_step`` / :meth:`flush` / :meth:`close`.
+        """
+        if self._closed:
+            raise CompressionError("sharded writer is closed")
+        n = self._next if step is None else int(step)
+        if n < self._next:
+            raise CompressionError(
+                f"step numbers must be strictly increasing across the "
+                f"campaign: got {n} after {self._next - 1}"
+            )
+        self._next = n + 1
+        if shard is None:
+            k = self._rr
+            self._rr = (self._rr + 1) % self.n_shards
+        else:
+            k = int(shard)
+            if not 0 <= k < self.n_shards:
+                raise CompressionError(
+                    f"shard {k} out of range (campaign has {self.n_shards})"
+                )
+        self._route[n] = k
+        t = float(n) if time is None else float(time)
+        if self._lanes is None:
+            self._writers[k].append_step(hierarchy, time=t, step=n)
+        else:
+            self._drain(self._max_pending - 1)
+            self._inflight.append(
+                self._lanes[k].submit(self._writers[k].append_step, hierarchy, t, n)
+            )
+        return n
+
+    def _drain(self, down_to: int) -> None:
+        while len(self._inflight) > down_to:
+            self._inflight.popleft().result()
+
+    def flush(self) -> None:
+        """Block until every in-flight append has been sealed on its shard
+        (raising the first lane failure, if any)."""
+        self._drain(0)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the lanes, close every shard (index + footer), and write
+        the final manifest. The campaign is not readable until this runs
+        (except through recovery)."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        fields = self._meta["fields"]
+        try:
+            for w in self._writers:
+                if not fields and w._fields is not None:
+                    fields = list(w._fields)
+                w.close()
+        except BaseException:
+            for w in self._writers:
+                w.abort()  # idempotent; releases the not-yet-closed shards
+            raise
+        finally:
+            if self._lanes is not None:
+                for lane in self._lanes:
+                    lane.close()
+        meta = dict(self._meta, fields=fields)
+        rows = []
+        for k, (name, dur) in enumerate(
+            zip(self.shards, self._durabilities)
+        ):
+            rows.append({
+                "name": os.path.basename(name),
+                "durability": dur,
+                "steps": sorted(n for n, kk in self._route.items() if kk == k),
+            })
+        _write_manifest(self._backend, self._path, meta, rows, final=True)
+
+    def abort(self) -> None:
+        """Release every lane and shard writer without finalizing. The
+        manifest stays non-final — exactly the on-disk state of a killed
+        campaign, which :func:`recover_sharded` repairs."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._lanes is not None:
+            for lane in self._lanes:
+                lane.close()
+        for w in self._writers:
+            w.abort()
+
+
+def _write_manifest(
+    backend: StorageBackend, name: str, meta: dict, rows: list[dict], final: bool
+) -> None:
+    handle = backend.open_write(name)
+    try:
+        handle.write(pack_manifest(meta, rows, final=final))
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except (AttributeError, OSError, io.UnsupportedOperation):
+            pass  # manifest is rebuildable from the shards; best effort
+    finally:
+        handle.close()
+
+
+@dataclass
+class ShardedRecoveryReport:
+    """What :func:`recover_sharded` found (and possibly repaired)."""
+
+    #: Manifest object name.
+    manifest: str
+    #: True when the manifest was final and every shard was intact.
+    intact: bool
+    #: Per-shard :class:`~repro.insitu.recovery.RecoveryReport`, keyed by
+    #: full shard name, in shard order.
+    shard_reports: dict[str, Any]
+    #: Shards that could not be salvaged at all: ``(name, reason)``.
+    dropped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def steps(self) -> tuple[int, ...]:
+        """Union of salvageable step numbers across shards, ascending."""
+        out: list[int] = []
+        for report in self.shard_reports.values():
+            out.extend(e.step for e in report.entries)
+        return tuple(sorted(out))
+
+    def describe(self) -> str:
+        """Human-readable per-shard summary."""
+        lines = [
+            f"{self.manifest}: campaign "
+            + ("intact" if self.intact else "recovered")
+            + f", {len(self.shard_reports)} shard(s), "
+            f"{len(self.steps)} step(s) salvageable"
+        ]
+        for name, report in self.shard_reports.items():
+            state = "intact" if report.intact else "recovered"
+            lines.append(
+                f"  {os.path.basename(name)}: {state}, steps "
+                f"{[e.step for e in report.entries]}"
+            )
+        for name, reason in self.dropped:
+            lines.append(f"  {os.path.basename(name)}: DROPPED — {reason}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _ShardedRecovery:
+    """Recovery context a salvaged :class:`ShardedSeriesReader` exposes."""
+
+    #: Per-shard recovery report (``None`` for shards that opened clean).
+    shards: dict[str, Any]
+    #: Shards dropped entirely: ``(name, reason)``.
+    dropped: list[tuple[str, str]]
+
+
+class ShardedSeriesReader:
+    """Random access over a sharded campaign through its RPHM manifest.
+
+    Exposes the :class:`~repro.insitu.series.SeriesReader` API surface
+    over the union of the per-shard timestep indexes; every accessor
+    routes the step to its owning shard, so selective reads stay
+    O(selection) bytes. Step entries come from the shard indexes (their
+    ``offset`` is relative to the owning shard file — use
+    :meth:`shard_of` to resolve which one).
+
+    Construct through :meth:`open` (or transparently through
+    :meth:`SeriesReader.open` on a manifest path). With ``recover=True``,
+    damaged shards are salvaged independently — each through its own seal
+    scan — and shards with nothing salvageable are dropped (listed on
+    :attr:`recovery`).
+    """
+
+    is_sharded = True
+
+    def __init__(
+        self,
+        path: str,
+        meta: dict,
+        readers: dict[str, SeriesReader],
+        recovery: _ShardedRecovery | None = None,
+    ):
+        self._path = path
+        self._meta = dict(meta)
+        self._readers = readers
+        #: True when any shard (or the manifest) needed the salvage path.
+        self.recovered = recovery is not None
+        #: Per-shard recovery context, or ``None`` for a clean open.
+        self.recovery = recovery
+        entries: list[tuple[SeriesStepEntry, str]] = []
+        by_step: dict[int, str] = {}
+        for name, reader in readers.items():
+            for e in reader.step_entries:
+                if e.step in by_step:
+                    raise FormatError(
+                        f"step {e.step} appears in both "
+                        f"{os.path.basename(by_step[e.step])} and "
+                        f"{os.path.basename(name)}: shards must partition "
+                        "the campaign's steps"
+                    )
+                by_step[e.step] = name
+                entries.append((e, name))
+        entries.sort(key=lambda pair: pair[0].step)
+        #: Union timestep index, ascending by step (offsets shard-relative).
+        self.step_entries = [e for e, _ in entries]
+        self._owner = by_step
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        mmap: bool = False,
+        recover: bool = False,
+        backend: StorageBackend | None = None,
+    ) -> "ShardedSeriesReader":
+        """Open a campaign manifest for federated random access.
+
+        A non-final manifest (killed campaign) raises
+        :class:`~repro.errors.TruncatedSeriesError` unless ``recover=True``,
+        which opens every shard through its own recovery path and rebuilds
+        the union from whatever survived. A damaged or missing manifest is
+        itself recoverable: the shards are discovered by name next to the
+        manifest.
+        """
+        if backend is not None and mmap:
+            raise CompressionError("backend= and mmap=True are mutually exclusive")
+        backend_ = backend or LocalFileBackend()
+        manifest_name = str(path)
+        man: dict | None = None
+        try:
+            handle = backend_.open_read(manifest_name)
+            try:
+                man = parse_manifest(handle.read())
+            finally:
+                handle.close()
+        except (TruncatedSeriesError, StorageError):
+            if not recover:
+                raise
+        if man is not None and not man["final"] and not recover:
+            raise TruncatedSeriesError(
+                f"{manifest_name}: campaign manifest is not final — the "
+                f"writer was killed before close(){_RECOVERY_HINT}"
+            )
+        if man is not None:
+            full_names = [
+                _shard_path(manifest_name, row["name"]) for row in man["shards"]
+            ]
+        else:
+            # Manifest unreadable: discover shards by naming convention.
+            root, _ = os.path.splitext(manifest_name)
+            full_names = [
+                n for n in backend_.list(f"{root}.shard")
+                if n.endswith(".rph2s")
+            ]
+            if not full_names:
+                raise TruncatedSeriesError(
+                    f"{manifest_name}: manifest unreadable and no shard "
+                    "files found; nothing to recover"
+                )
+        readers: dict[str, SeriesReader] = {}
+        salvage: dict[str, Any] = {}
+        dropped: list[tuple[str, str]] = []
+        try:
+            for name in full_names:
+                try:
+                    reader = SeriesReader.open(
+                        name, mmap=mmap, recover=recover, backend=backend
+                    )
+                except TruncatedSeriesError as exc:
+                    if recover:
+                        dropped.append((name, str(exc)))
+                        continue
+                    raise TruncatedSeriesError(
+                        f"shard {os.path.basename(name)}: {exc}"
+                    ) from exc
+                except (FormatError, StorageError, OSError) as exc:
+                    if recover:
+                        dropped.append((name, str(exc)))
+                        continue
+                    raise
+                readers[name] = reader
+                if reader.recovered:
+                    salvage[name] = reader.recovery
+        except BaseException:
+            for reader in readers.values():
+                reader.close()
+            raise
+        if not readers:
+            raise TruncatedSeriesError(
+                f"{manifest_name}: no shard holds any fully-sealed step; "
+                "nothing to recover"
+            )
+        clean = (
+            man is not None and man["final"] and not salvage and not dropped
+        )
+        if man is not None and man["final"] and not recover:
+            meta = {k: man[k] for k in _SERIES_META_KEYS}
+        else:
+            # Salvage path: the shard indexes are authoritative (the
+            # initial manifest may predate field inference).
+            meta = next(iter(readers.values())).meta()
+            meta = {k: meta[k] for k in _SERIES_META_KEYS}
+        recovery = None if clean else _ShardedRecovery(salvage, dropped)
+        return cls(manifest_name, meta, readers, recovery)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every shard reader."""
+        for reader in self._readers.values():
+            reader.close()
+
+    def __enter__(self) -> "ShardedSeriesReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Metadata (mirrors SeriesReader)
+    # ------------------------------------------------------------------
+    @property
+    def codec(self) -> str:
+        """Default codec name recorded at write time."""
+        return str(self._meta["codec"])
+
+    @property
+    def error_bound(self) -> float:
+        """Error bound the campaign was compressed under."""
+        return float(self._meta["error_bound"])
+
+    @property
+    def mode(self) -> str:
+        """Error-bound mode (``"abs"`` or ``"rel"``)."""
+        return str(self._meta["mode"])
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Compressed field names (identical across steps and shards)."""
+        return tuple(self._meta["fields"])
+
+    @property
+    def exclude_covered(self) -> bool:
+        """Whether the covered-cell optimization was applied."""
+        return bool(self._meta["exclude_covered"])
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shard files serving this campaign."""
+        return len(self._readers)
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Full shard object names, in manifest order."""
+        return tuple(self._readers)
+
+    @property
+    def n_steps(self) -> int:
+        """Total timesteps across all shards."""
+        return len(self.step_entries)
+
+    @property
+    def steps(self) -> tuple[int, ...]:
+        """Stored timestep numbers, ascending, across all shards."""
+        return tuple(e.step for e in self.step_entries)
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """Simulation times, one per stored step."""
+        return tuple(e.time for e in self.step_entries)
+
+    @property
+    def original_bytes(self) -> int:
+        """Uncompressed size of the stored fields across all steps."""
+        return sum(e.original_bytes for e in self.step_entries)
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total segment size across all steps and shards."""
+        return sum(e.length for e in self.step_entries)
+
+    def meta(self) -> dict[str, Any]:
+        """Copy of the campaign-level metadata."""
+        return dict(self._meta)
+
+    # ------------------------------------------------------------------
+    # Random access (routes each step to its owning shard)
+    # ------------------------------------------------------------------
+    def shard_of(self, step: int) -> str:
+        """Full name of the shard file owning ``step``."""
+        return self._owner[self.entry(step).step]
+
+    def _reader_for(self, step: int) -> SeriesReader:
+        return self._readers[self._owner[self.entry(step).step]]
+
+    def entry(self, step: int) -> SeriesStepEntry:
+        """The owning shard's timestep-index entry for one step (its
+        ``offset`` is relative to that shard file)."""
+        step = int(step)
+        if step not in self._owner:
+            raise FormatError(
+                f"campaign has no step {step} (have {list(self.steps)})"
+            )
+        return self._readers[self._owner[step]].entry(step)
+
+    def open_step(self, step: int) -> ContainerReader:
+        """Open one timestep's embedded RPH2 segment (on its shard)."""
+        return self._reader_for(step).open_step(step)
+
+    def verify_step(self, step: int) -> None:
+        """Check a whole segment's crc32 against its shard's index."""
+        self._reader_for(step).verify_step(step)
+
+    def read_patch(
+        self, step: int, level: int, field: str, patch: int, verify: bool = True
+    ) -> np.ndarray:
+        """Decompress one ``(step, level, field, patch)`` from its shard."""
+        return self._reader_for(step).read_patch(
+            step, level, field, patch, verify=verify
+        )
+
+    def select(
+        self,
+        steps=None,
+        levels=None,
+        fields=None,
+        patches=None,
+        verify: bool = True,
+        parallel: str = "serial",
+        workers: int = 2,
+        pool=None,
+    ) -> dict[tuple[int, int, str, int], np.ndarray]:
+        """Decompress the subset of patches matching the selectors.
+
+        Same contract as :meth:`SeriesReader.select`: results are keyed
+        ``(step, level, field, patch)``. Each selected step is served by
+        its owning shard; unselected shards cost zero bytes.
+        """
+        want_steps = _normalize_selector(steps, "step")
+        per_shard: dict[str, list[int]] = {}
+        for e in self.step_entries:
+            if want_steps is not None and e.step not in want_steps:
+                continue
+            per_shard.setdefault(self._owner[e.step], []).append(e.step)
+        out: dict[tuple[int, int, str, int], np.ndarray] = {}
+        for name, shard_steps in per_shard.items():
+            out.update(
+                self._readers[name].select(
+                    steps=shard_steps, levels=levels, fields=fields,
+                    patches=patches, verify=verify, parallel=parallel,
+                    workers=workers, pool=pool,
+                )
+            )
+        return dict(sorted(out.items()))
+
+
+def recover_sharded(
+    path: str | Path,
+    commit: bool = False,
+    backend: StorageBackend | None = None,
+) -> ShardedRecoveryReport:
+    """Diagnose (and optionally repair) an interrupted sharded campaign.
+
+    Runs single-series recovery (:func:`repro.insitu.recovery.recover_series`)
+    *independently on every shard* — one shard's damage cannot affect
+    another's steps — then, with ``commit=True``, commits each shard's
+    rebuilt index and rewrites the manifest as ``final`` from the
+    surviving shard indexes. Shards with nothing salvageable are dropped
+    from the rewritten manifest (and listed on the report). Dry-run by
+    default: nothing is modified.
+
+    Only the local filesystem backend supports ``commit`` (remote commits
+    would need an atomic swap protocol the model backends don't promise).
+    """
+    from repro.insitu.recovery import recover_series
+
+    if backend is not None and commit and not isinstance(backend, LocalFileBackend):
+        raise StorageError(
+            "recover_sharded(commit=True) requires a local backend; "
+            "open with recover=True for read-only salvage instead"
+        )
+    backend_ = backend or LocalFileBackend()
+    manifest_name = str(path)
+    man: dict | None = None
+    manifest_final = False
+    try:
+        handle = backend_.open_read(manifest_name)
+        try:
+            man = parse_manifest(handle.read())
+        finally:
+            handle.close()
+        manifest_final = bool(man["final"])
+    except (TruncatedSeriesError, StorageError):
+        man = None
+    if man is not None:
+        full_names = [
+            _shard_path(manifest_name, row["name"]) for row in man["shards"]
+        ]
+        durabilities = {
+            _shard_path(manifest_name, row["name"]): row["durability"]
+            for row in man["shards"]
+        }
+    else:
+        root, _ = os.path.splitext(manifest_name)
+        full_names = [
+            n for n in backend_.list(f"{root}.shard") if n.endswith(".rph2s")
+        ]
+        durabilities = {}
+        if not full_names:
+            raise TruncatedSeriesError(
+                f"{manifest_name}: manifest unreadable and no shard files "
+                "found; nothing to recover"
+            )
+    reports: dict[str, Any] = {}
+    dropped: list[tuple[str, str]] = []
+    for name in full_names:
+        try:
+            reports[name] = recover_series(name, commit=commit)
+        except (FormatError, OSError, StorageError) as exc:
+            dropped.append((name, str(exc)))
+    if not reports:
+        raise TruncatedSeriesError(
+            f"{manifest_name}: no shard holds any fully-sealed step; "
+            "nothing to recover"
+        )
+    intact = (
+        manifest_final
+        and not dropped
+        and all(r.intact for r in reports.values())
+    )
+    if commit:
+        # Rebuild the manifest from the *surviving* shard indexes: after
+        # per-shard commit each shard opens normally, so the routing can
+        # be read straight back out.
+        meta = None
+        rows = []
+        for name, report in reports.items():
+            with SeriesReader.open(name, backend=backend) as reader:
+                if meta is None:
+                    meta = {k: reader.meta()[k] for k in _SERIES_META_KEYS}
+                rows.append({
+                    "name": os.path.basename(name),
+                    "durability": durabilities.get(name, "close"),
+                    "steps": list(reader.steps),
+                })
+        _write_manifest(backend_, manifest_name, meta, rows, final=True)
+    return ShardedRecoveryReport(
+        manifest=manifest_name,
+        intact=intact,
+        shard_reports=reports,
+        dropped=dropped,
+    )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import io
 import os
+import warnings
 import zlib
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -153,6 +154,7 @@ class StreamingWriter:
         self._file = fileobj
         self._owns = False
         self._closed = False
+        self._degraded = False
         self._in_step = False
         self._owns_pool = False
         self._pool: Executor | WorkerPool | None = None
@@ -198,12 +200,30 @@ class StreamingWriter:
         overwrite: bool = False,
         pool: WorkerPool | None = None,
         durability: str = "close",
+        backend=None,
     ) -> "StreamingWriter":
-        """Create a fresh series file (writer owns the handle)."""
-        target = Path(path)
-        if target.exists() and not overwrite:
-            raise FormatError(f"series path {target} already exists (pass overwrite=True)")
-        fileobj = target.open("wb")
+        """Create a fresh series file (writer owns the handle).
+
+        ``backend`` (a :class:`repro.storage.StorageBackend`) redirects the
+        byte sink: the series is written through ``backend.open_write``
+        instead of the local filesystem. Backends without a file
+        descriptor (e.g. :class:`repro.storage.MemoryBackend`) cannot
+        fsync; the writer then reports :attr:`degraded`.
+        """
+        if backend is not None:
+            name = str(path)
+            if backend.exists(name) and not overwrite:
+                raise FormatError(
+                    f"series object {name!r} already exists (pass overwrite=True)"
+                )
+            fileobj = backend.open_write(name)
+        else:
+            target = Path(path)
+            if target.exists() and not overwrite:
+                raise FormatError(
+                    f"series path {target} already exists (pass overwrite=True)"
+                )
+            fileobj = target.open("wb")
         try:
             writer = cls(
                 fileobj, codec, error_bound, mode=mode, fields=fields,
@@ -226,6 +246,7 @@ class StreamingWriter:
         max_pending: int | None = None,
         pool: WorkerPool | None = None,
         durability: str = "close",
+        backend=None,
     ) -> "StreamingWriter":
         """Reopen an existing series for appending more timesteps.
 
@@ -233,12 +254,29 @@ class StreamingWriter:
         existing segments are left untouched and the timestep index is
         rewritten on :meth:`close`. This is the in-situ restart path: a
         resumed simulation keeps extending the same container.
+
+        The old index/footer bytes beyond the resume point are truncated
+        *eagerly*, before the first new byte is written: the on-disk state
+        between truncation and the next sealed step is exactly the
+        footerless-but-fully-sealed shape crash recovery is built for, so
+        a writer killed at any point during the append session loses at
+        most the step in flight (``tools/crashsim.py`` injects this as the
+        ``append-resume`` class).
         """
-        with SeriesReader.open(path) as reader:
+        with SeriesReader.open(path, backend=backend) as reader:
+            if getattr(reader, "is_sharded", False):
+                raise CompressionError(
+                    f"{path} is a sharded-campaign manifest; append through "
+                    "repro.insitu.sharded.ShardedSeriesWriter, not append_to"
+                )
             meta = reader.meta()
             rows = list(reader.step_entries)
             resume_pos = reader._index_offset
-        fileobj = Path(path).open("r+b")
+        if backend is not None:
+            fileobj = backend.open_append(str(path))
+        else:
+            fileobj = Path(path).open("r+b")
+        writer = None
         try:
             # Construct (and validate every argument) BEFORE truncating: a
             # bad parallel/workers value must not destroy a valid series.
@@ -259,6 +297,8 @@ class StreamingWriter:
             fileobj.seek(resume_pos)
             fileobj.truncate()
         except Exception:
+            if writer is not None:
+                writer.abort()  # releases an owned executor, not just the fd
             fileobj.close()
             raise
         writer._owns = True
@@ -294,16 +334,40 @@ class StreamingWriter:
         self._write(blob)
 
     def _sync(self) -> None:
-        """Flush and fsync the underlying file, best effort.
+        """Flush and fsync the underlying file.
 
-        Non-file sinks (BytesIO in tests, pipes) have no fd to sync; the
-        durability contract is only as strong as the sink allows.
+        Non-file sinks (BytesIO, memory backends, pipes) have no fd to
+        sync; those mark the writer :attr:`degraded` — the durability
+        contract is only as strong as the sink allows. A *failing* fsync
+        on a real fd is different: the kernel refused to make sealed bytes
+        stable, so under ``durability="step"`` swallowing it would silently
+        void the per-step crash guarantee. That raises
+        :class:`~repro.errors.CompressionError`; other modes degrade with
+        a warning instead.
         """
         self._file.flush()
         try:
-            os.fsync(self._file.fileno())
-        except (AttributeError, OSError, io.UnsupportedOperation):
-            pass
+            # io.UnsupportedOperation subclasses OSError, so the no-fd
+            # cases must be separated out BEFORE fsync-failure handling.
+            fd = self._file.fileno()
+        except (AttributeError, io.UnsupportedOperation):
+            self._degraded = True
+            return
+        try:
+            os.fsync(fd)
+        except OSError as exc:
+            self._degraded = True
+            if self._durability == "step":
+                raise CompressionError(
+                    f"fsync failed under durability='step': {exc}; sealed "
+                    "bytes may not be stable — the per-step crash guarantee "
+                    "does not hold for this writer"
+                ) from exc
+            warnings.warn(
+                f"fsync failed; writer durability degraded: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _drain(self, down_to: int) -> None:
         """Retire finished compression futures (FIFO keeps disk order
@@ -315,6 +379,14 @@ class StreamingWriter:
     # ------------------------------------------------------------------
     # Step protocol
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once a requested fsync could not be performed (sink has no
+        file descriptor, or fsync failed under a non-``"step"`` mode): the
+        bytes written are intact, but the crash-durability contract no
+        longer holds for this writer."""
+        return self._degraded
+
     @property
     def n_steps(self) -> int:
         """Timesteps recorded so far (including any resumed from disk)."""

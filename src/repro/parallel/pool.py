@@ -24,6 +24,7 @@ parallelism on multi-core hosts.
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -83,6 +84,7 @@ class WorkerPool:
         self._workers = resolve_workers(workers)
         self._chunksize = int(chunksize)
         self._closed = False
+        self._pid = os.getpid()
         self._executor: Executor | None = None
         if mode == "thread":
             self._executor = ThreadPoolExecutor(max_workers=self._workers)
@@ -107,6 +109,15 @@ class WorkerPool:
     def _check_open(self) -> None:
         if self._closed:
             raise ReproError("worker pool is closed")
+        if self._mode == "process" and os.getpid() != self._pid:
+            # A forked child inherits the executor object but not its
+            # worker processes or queue threads — using it deadlocks or
+            # silently targets the parent's workers. Refuse loudly.
+            raise ReproError(
+                f"process-mode worker pool created in pid {self._pid} used "
+                f"from forked pid {os.getpid()}: executor handles do not "
+                "survive os.fork(); create a new pool in the child"
+            )
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, preserving order (see
@@ -134,12 +145,23 @@ class WorkerPool:
         return fut
 
     def close(self) -> None:
-        """Shut the executor down (idempotent); the pool is unusable after."""
+        """Shut the executor down (idempotent); the pool is unusable after.
+
+        Waits for running tasks but *cancels* queued-not-yet-started ones
+        (their futures raise ``CancelledError``): once :attr:`closed`
+        reports True, no task can still start. Without ``cancel_futures``
+        a task submitted from another thread just before close would run
+        *after* the pool reported closed. On Python < 3.9 (no
+        ``cancel_futures``) the legacy drain-the-queue behavior applies.
+        """
         if self._closed:
             return
         self._closed = True
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            if sys.version_info >= (3, 9):
+                self._executor.shutdown(wait=True, cancel_futures=True)
+            else:  # pragma: no cover - the repo's floor is 3.10
+                self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self

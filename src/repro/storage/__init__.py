@@ -1,0 +1,376 @@
+"""Pluggable byte backends for container and series I/O.
+
+Every reader/writer in :mod:`repro.compression.container` and
+:mod:`repro.insitu` ultimately needs four byte operations: open a named
+object for reading, for writing, or for in-place append, and ask whether /
+how large it is. This module extracts that surface into a
+:class:`StorageBackend` interface so a campaign can target something other
+than the local filesystem without the formats knowing:
+
+* :class:`LocalFileBackend` — plain files under a root directory; the
+  default, byte-identical to the historical direct-``Path`` paths.
+* :class:`MemoryBackend` — an in-process object store (``name -> bytes``).
+  Handy for tests and for staging a shard before upload; write handles
+  have no file descriptor, so durability degrades explicitly (see
+  :attr:`repro.insitu.StreamingWriter.degraded`).
+* :class:`RangedBackend` — a read-path decorator modeling an object store:
+  every read becomes a *ranged GET* against the wrapped backend, with
+  readahead (requests are rounded up to a window, so footer+index parsing
+  costs a handful of GETs instead of hundreds) and retry/backoff on
+  :class:`~repro.errors.TransientStorageError`. Write/append/metadata
+  calls pass straight through.
+
+Readers and writers take ``backend=`` at their ``open``/``create`` entry
+points (:meth:`ContainerReader.open`, :meth:`SeriesReader.open`,
+:meth:`StreamingWriter.create` / :meth:`append_to`, and the sharded
+campaign API in :mod:`repro.insitu.sharded`). Object *names* are plain
+strings; :class:`LocalFileBackend` resolves relative names against its
+root, and backends are free to treat them as flat keys.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from pathlib import Path
+from typing import BinaryIO, Callable, Iterable
+
+from repro.errors import StorageError, TransientStorageError
+
+__all__ = [
+    "StorageBackend",
+    "LocalFileBackend",
+    "MemoryBackend",
+    "RangedBackend",
+    "StorageError",
+    "TransientStorageError",
+]
+
+
+class StorageBackend:
+    """Abstract byte backend: named objects with read/write/append access.
+
+    Implementations must provide seekable binary handles. ``open_read``
+    handles may be plain file objects or any object with ``seek`` /
+    ``tell`` / ``read`` / ``close``; the readers never write through them.
+    ``open_write`` truncates/creates; ``open_append`` opens an existing
+    object positioned at 0 with read+write access (the resume path seeks
+    itself). Callers own the returned handles and must close them.
+    """
+
+    def open_read(self, name: str) -> BinaryIO:
+        """Open an existing object for reading."""
+        raise NotImplementedError
+
+    def open_write(self, name: str) -> BinaryIO:
+        """Create (or truncate) an object and open it for writing."""
+        raise NotImplementedError
+
+    def open_append(self, name: str) -> BinaryIO:
+        """Open an existing object read+write without truncating it."""
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        """Whether an object of that name is stored."""
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        """Byte size of a stored object."""
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove an object (missing objects raise :class:`StorageError`)."""
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Names of stored objects starting with ``prefix``, sorted."""
+        raise NotImplementedError
+
+
+class LocalFileBackend(StorageBackend):
+    """Plain local files; relative names resolve against ``root``.
+
+    This is the default backend everywhere a ``backend=`` parameter is
+    accepted — passing ``LocalFileBackend()`` explicitly is byte-identical
+    to passing nothing. Absolute names bypass the root.
+    """
+
+    def __init__(self, root: str | Path = "."):
+        self._root = Path(root)
+
+    def _resolve(self, name: str) -> Path:
+        p = Path(name)
+        return p if p.is_absolute() else self._root / p
+
+    def open_read(self, name: str) -> BinaryIO:
+        try:
+            return self._resolve(name).open("rb")
+        except OSError as exc:
+            raise StorageError(f"cannot open {name!r} for reading: {exc}") from exc
+
+    def open_write(self, name: str) -> BinaryIO:
+        target = self._resolve(name)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            return target.open("wb")
+        except OSError as exc:
+            raise StorageError(f"cannot open {name!r} for writing: {exc}") from exc
+
+    def open_append(self, name: str) -> BinaryIO:
+        try:
+            return self._resolve(name).open("r+b")
+        except OSError as exc:
+            raise StorageError(f"cannot open {name!r} for append: {exc}") from exc
+
+    def exists(self, name: str) -> bool:
+        return self._resolve(name).exists()
+
+    def size(self, name: str) -> int:
+        try:
+            return self._resolve(name).stat().st_size
+        except OSError as exc:
+            raise StorageError(f"cannot stat {name!r}: {exc}") from exc
+
+    def delete(self, name: str) -> None:
+        try:
+            self._resolve(name).unlink()
+        except OSError as exc:
+            raise StorageError(f"cannot delete {name!r}: {exc}") from exc
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Objects under the *directory part* of ``prefix`` whose names
+        start with ``prefix`` (how the sharded reader discovers shard
+        files when a campaign's manifest is lost)."""
+        directory = self._resolve(os.path.dirname(prefix)) if prefix else self._root
+        if not directory.is_dir():
+            return []
+        absolute = bool(prefix) and Path(prefix).is_absolute()
+        out = []
+        for entry in directory.iterdir():
+            if not entry.is_file():
+                continue
+            name = str(entry) if absolute else str(entry.relative_to(self._root))
+            if name.startswith(prefix):
+                out.append(name)
+        return sorted(out)
+
+
+class _MemoryFile(io.BytesIO):
+    """A BytesIO whose contents publish back to the owning store.
+
+    ``flush`` snapshots the buffer into the backend (so a writer's
+    two-phase index/footer commit is observable mid-write), and ``close``
+    publishes one final time. There is no file descriptor: ``fileno()``
+    raises, which the streaming writer reports as degraded durability.
+    """
+
+    def __init__(self, store: dict, name: str, initial: bytes = b""):
+        super().__init__()
+        self._store = store
+        self._name = name
+        if initial:
+            self.write(initial)
+            self.seek(0)
+
+    def flush(self) -> None:
+        super().flush()
+        self._store[self._name] = self.getvalue()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._store[self._name] = self.getvalue()
+        super().close()
+
+
+class MemoryBackend(StorageBackend):
+    """An in-process object store mapping names to immutable byte strings.
+
+    Reads serve :class:`io.BytesIO` copies; writes go through a buffer
+    that publishes to the store on ``flush``/``close``. Useful for tests,
+    for modeling remote stores (wrap it in :class:`RangedBackend`), and
+    for staging campaign shards without touching disk.
+    """
+
+    def __init__(self):
+        self._objects: dict[str, bytes] = {}
+
+    def open_read(self, name: str) -> BinaryIO:
+        try:
+            return io.BytesIO(self._objects[name])
+        except KeyError:
+            raise StorageError(f"no stored object {name!r}") from None
+
+    def open_write(self, name: str) -> BinaryIO:
+        return _MemoryFile(self._objects, name)
+
+    def open_append(self, name: str) -> BinaryIO:
+        try:
+            return _MemoryFile(self._objects, name, self._objects[name])
+        except KeyError:
+            raise StorageError(f"no stored object {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._objects
+
+    def size(self, name: str) -> int:
+        try:
+            return len(self._objects[name])
+        except KeyError:
+            raise StorageError(f"no stored object {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        try:
+            del self._objects[name]
+        except KeyError:
+            raise StorageError(f"no stored object {name!r}") from None
+
+    def list(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._objects if n.startswith(prefix))
+
+
+class _RangedReader:
+    """Seekable read handle that fetches via retried, readahead ranged GETs.
+
+    Serves ``read`` calls from a single readahead window; a miss issues one
+    GET of ``max(requested, readahead)`` bytes through
+    :meth:`RangedBackend._fetch` (which retries transient faults). The
+    container/series readers' access pattern — footer, then index, then a
+    few streams — therefore costs a handful of GETs, not one per ``read``.
+    """
+
+    closed = False
+
+    def __init__(self, backend: "RangedBackend", name: str, size: int):
+        self._backend = backend
+        self._name = name
+        self._size = size
+        self._pos = 0
+        self._buf = b""
+        self._buf_start = 0
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            pos = offset
+        elif whence == io.SEEK_CUR:
+            pos = self._pos + offset
+        elif whence == io.SEEK_END:
+            pos = self._size + offset
+        else:  # pragma: no cover - mirrors io semantics
+            raise ValueError(f"invalid whence {whence}")
+        if pos < 0:
+            raise ValueError("negative seek position")
+        self._pos = pos
+        return pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, size: int = -1) -> bytes:
+        if self._pos >= self._size:
+            return b""
+        budget = self._size - self._pos
+        n = budget if size is None or size < 0 else min(size, budget)
+        lo = self._pos - self._buf_start
+        if not (0 <= lo and lo + n <= len(self._buf)):
+            want = max(n, self._backend.readahead)
+            want = min(want, self._size - self._pos)
+            self._buf = self._backend._fetch(self._name, self._pos, want)
+            self._buf_start = self._pos
+            lo = 0
+        out = self._buf[lo : lo + n]
+        self._pos += len(out)
+        return out
+
+    def close(self) -> None:
+        self.closed = True
+        self._buf = b""
+
+
+class RangedBackend(StorageBackend):
+    """Read-path decorator modeling an object store's ranged-GET protocol.
+
+    Wraps any backend; ``open_read`` returns a handle whose reads become
+    bounded byte-range requests with *readahead* (each GET fetches at
+    least ``readahead`` bytes) and *retry with exponential backoff*: a GET
+    that raises :class:`~repro.errors.TransientStorageError` (from the
+    inner backend or an injected ``fault`` hook) is retried up to
+    ``max_retries`` times, sleeping ``backoff * 2**attempt`` seconds
+    between tries, before the error propagates as-is. All other
+    operations delegate to the wrapped backend unchanged.
+
+    ``stats`` counts ``requests`` (GETs issued), ``bytes_fetched``, and
+    ``retries`` — what the benchmarks assert readahead against. ``fault``
+    is a test hook called as ``fault(name, offset, length, attempt)``
+    before every GET attempt; ``sleep`` is injectable so retry tests need
+    no wall-clock delay.
+    """
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        readahead: int = 1 << 16,
+        max_retries: int = 3,
+        backoff: float = 0.01,
+        sleep: Callable[[float], None] = time.sleep,
+        fault: Callable[[str, int, int, int], None] | None = None,
+    ):
+        if readahead < 1:
+            raise StorageError(f"readahead must be >= 1 byte, got {readahead}")
+        if max_retries < 0:
+            raise StorageError(f"max_retries must be >= 0, got {max_retries}")
+        self._inner = inner
+        self.readahead = int(readahead)
+        self._max_retries = int(max_retries)
+        self._backoff = float(backoff)
+        self._sleep = sleep
+        self._fault = fault
+        self.stats = {"requests": 0, "bytes_fetched": 0, "retries": 0}
+
+    def _fetch(self, name: str, offset: int, length: int) -> bytes:
+        """One ranged GET, retried with exponential backoff."""
+        last: Exception | None = None
+        for attempt in range(self._max_retries + 1):
+            if attempt:
+                self.stats["retries"] += 1
+                self._sleep(self._backoff * (2 ** (attempt - 1)))
+            try:
+                if self._fault is not None:
+                    self._fault(name, offset, length, attempt)
+                handle = self._inner.open_read(name)
+                try:
+                    handle.seek(offset)
+                    blob = handle.read(length)
+                finally:
+                    handle.close()
+            except TransientStorageError as exc:
+                last = exc
+                continue
+            self.stats["requests"] += 1
+            self.stats["bytes_fetched"] += len(blob)
+            return blob
+        raise StorageError(
+            f"ranged read of {name!r} [{offset}:{offset + length}] failed "
+            f"after {self._max_retries + 1} attempts: {last}"
+        ) from last
+
+    def open_read(self, name: str) -> BinaryIO:
+        return _RangedReader(self, name, self._inner.size(name))  # type: ignore[return-value]
+
+    def open_write(self, name: str) -> BinaryIO:
+        return self._inner.open_write(name)
+
+    def open_append(self, name: str) -> BinaryIO:
+        return self._inner.open_append(name)
+
+    def exists(self, name: str) -> bool:
+        return self._inner.exists(name)
+
+    def size(self, name: str) -> int:
+        return self._inner.size(name)
+
+    def delete(self, name: str) -> None:
+        self._inner.delete(name)
+
+    def list(self, prefix: str = "") -> list[str]:
+        return self._inner.list(prefix)

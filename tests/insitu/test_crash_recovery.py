@@ -96,7 +96,7 @@ class TestCrashMatrix:
         # The matrix must exercise every documented offset class.
         assert classes == {
             "mid-payload", "mid-segment-footer", "mid-seal", "step-boundary",
-            "mid-index", "mid-footer", "post-footer-garbage",
+            "append-resume", "mid-index", "mid-footer", "post-footer-garbage",
             "index-bitflip", "footer-bitflip", "payload-bitflip",
             "seal-bitflip", "adjacent-seal-bitflip",
         }
@@ -259,6 +259,65 @@ class TestDurability:
         with pytest.raises(CompressionError, match="durability"):
             StreamingWriter.create(tmp_path / "x.rph2s", "sz-lr", 1e-3,
                                    durability="paranoid")
+
+    def test_fsync_failure_raises_under_step(self, tmp_path, monkeypatch):
+        """A failing fsync must not silently void ``durability="step"``."""
+        path = tmp_path / "sync.rph2s"
+        writer = StreamingWriter.create(path, "sz-lr", 1e-3, durability="step")
+        try:
+            def boom(fd):
+                raise OSError(5, "Input/output error")
+
+            monkeypatch.setattr(os, "fsync", boom)
+            with pytest.raises(CompressionError, match="fsync"):
+                writer.append_step(make_sphere_hierarchy(8))
+            assert writer.degraded
+        finally:
+            monkeypatch.undo()
+            writer.abort()
+
+    def test_fsync_failure_warns_under_close(self, tmp_path, monkeypatch):
+        """Under ``durability="close"`` a failing fsync degrades loudly —
+        warn, flag the writer, keep the (flushed) file readable."""
+        path = tmp_path / "warned.rph2s"
+        writer = StreamingWriter.create(path, "sz-lr", 1e-3, durability="close")
+        writer.append_step(make_sphere_hierarchy(8))
+
+        def boom(fd):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.warns(RuntimeWarning, match="fsync"):
+            writer.close()
+        monkeypatch.undo()
+        assert writer.degraded
+        with open_series(path) as reader:
+            assert reader.n_steps == 1
+
+    def test_append_to_truncates_stale_index_eagerly(self, campaign, tmp_path):
+        """``append_to`` must cut the old index/footer the moment it takes
+        over the file — a crash before the first new step must leave the
+        append-resume shape (all seals intact, zero stale bytes), never a
+        stale index whose entries lie about the file's contents."""
+        path = tmp_path / "resume.rph2s"
+        path.write_bytes(campaign.raw)
+        with open_series(path) as reader:
+            resume_pos = reader._index_offset
+        writer = StreamingWriter.append_to(path)
+        try:
+            assert path.stat().st_size == resume_pos
+            assert path.read_bytes() == campaign.raw[:resume_pos]
+        finally:
+            writer.abort()
+        # The aborted shape is exactly crashsim's append-resume class:
+        # every original step salvageable, bit-exactly.
+        report = scan_segments(path)
+        assert [e.step for e in report.entries] == sorted(campaign.entries)
+        recover_series(path, commit=True)
+        with open_series(path) as reader:
+            _assert_bit_exact(
+                campaign, reader, tuple(sorted(campaign.entries)), "resume"
+            )
 
     @pytest.mark.parametrize("durability,min_syncs", [("step", 4), ("none", 0)])
     def test_fsync_placement(self, tmp_path, monkeypatch, durability, min_syncs):

@@ -1,0 +1,308 @@
+"""Sharded multi-writer campaigns: RPHM manifests, routing, recovery.
+
+The contract under test: a campaign fanned across N shard files is
+indistinguishable, to a reader, from the same steps written by one
+:class:`StreamingWriter` — same values, same selective-read semantics —
+and killing one shard's writer mid-step loses at most that shard's
+in-flight step while every other shard stays bit-exact.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.amr.io import (
+    open_series,
+    recover_series,
+    write_series,
+    write_sharded_series,
+)
+from repro.compression.amr_codec import decompress_selection
+from repro.errors import CompressionError, FormatError, TruncatedSeriesError
+from repro.insitu import (
+    MANIFEST_MAGIC,
+    SeriesReader,
+    ShardedRecoveryReport,
+    ShardedSeriesReader,
+    ShardedSeriesWriter,
+    StreamingWriter,
+    recover_sharded,
+)
+from repro.insitu.sharded import (
+    _SERIES_META_KEYS,
+    pack_manifest,
+    parse_manifest,
+    shard_names,
+)
+from tests.conftest import make_sphere_hierarchy
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+_spec = importlib.util.spec_from_file_location("crashsim_sharded", _TOOLS / "crashsim.py")
+crashsim = importlib.util.module_from_spec(_spec)
+sys.modules["crashsim_sharded"] = crashsim
+_spec.loader.exec_module(crashsim)
+
+N_STEPS = 6
+N_SHARDS = 3
+
+
+def _steps(n=N_STEPS):
+    base = make_sphere_hierarchy(8)
+    return [
+        base.map_fields(lambda lev, name, d, i=i: d * (1.0 + 0.25 * i))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """A finished 3-shard campaign plus its single-writer reference."""
+    root = tmp_path_factory.mktemp("sharded")
+    steps = _steps()
+    manifest = root / "camp.rphm"
+    write_sharded_series(manifest, steps, n_shards=N_SHARDS, parallel="serial",
+                         durability="step")
+    single = root / "single.rph2s"
+    write_series(single, steps, durability="step")
+    with open_series(single) as reader:
+        ref = reader.select()
+    return manifest, single, ref
+
+
+class TestShardedWrite:
+    def test_union_is_value_identical_to_single_writer(self, campaign):
+        manifest, _, ref = campaign
+        with open_series(manifest) as reader:
+            assert reader.is_sharded and reader.n_shards == N_SHARDS
+            assert reader.steps == tuple(range(N_STEPS))
+            got = reader.select()
+        assert set(got) == set(ref)
+        for key, want in ref.items():
+            assert np.array_equal(got[key], want), key
+
+    def test_round_robin_routing_and_o_selection_reads(self, campaign):
+        manifest, _, _ = campaign
+        with SeriesReader.open(manifest) as reader:
+            # Arrival order fans out round-robin: step s lives on shard s%N.
+            for s in range(N_STEPS):
+                assert reader.shard_of(s).endswith(
+                    f".shard{s % N_SHARDS:03d}.rph2s"
+                )
+            only = reader.select(steps=4)
+            assert {k[0] for k in only} == {4}
+            reader.verify_step(4)
+            assert reader.entry(4).step == 4
+
+    def test_decompress_selection_routes_through_manifest(self, campaign):
+        manifest, _, ref = campaign
+        got = decompress_selection(str(manifest), steps=[1, 5])
+        assert {k[0] for k in got} == {1, 5}
+        for key, arr in got.items():
+            assert np.array_equal(arr, ref[key])
+
+    def test_explicit_shard_pinning(self, tmp_path):
+        manifest = tmp_path / "pinned.rphm"
+        steps = _steps(4)
+        with ShardedSeriesWriter.create(manifest, "sz-lr", 1e-3, n_shards=2,
+                                        parallel="serial") as writer:
+            for i, h in enumerate(steps):
+                writer.append_step(h, shard=i // 2)  # ranks 0,0,1,1
+        with open_series(manifest) as reader:
+            assert reader.shard_of(0) == reader.shard_of(1)
+            assert reader.shard_of(2) == reader.shard_of(3)
+            assert reader.shard_of(0) != reader.shard_of(2)
+
+    def test_step_numbers_strictly_increasing_campaign_wide(self, tmp_path):
+        with ShardedSeriesWriter.create(tmp_path / "x.rphm", "sz-lr", 1e-3,
+                                        n_shards=2, parallel="serial") as writer:
+            writer.append_step(make_sphere_hierarchy(8), step=3)
+            with pytest.raises(CompressionError, match="strictly increasing"):
+                writer.append_step(make_sphere_hierarchy(8), step=3)
+            writer.append_step(make_sphere_hierarchy(8), step=7)
+
+    def test_threaded_lanes_match_serial(self, tmp_path):
+        steps = _steps(4)
+        a = tmp_path / "threaded.rphm"
+        b = tmp_path / "serial.rphm"
+        write_sharded_series(a, steps, n_shards=2, parallel="thread")
+        write_sharded_series(b, steps, n_shards=2, parallel="serial")
+        with open_series(a) as ra, open_series(b) as rb:
+            ga, gb = ra.select(), rb.select()
+        assert set(ga) == set(gb)
+        for key in ga:
+            assert np.array_equal(ga[key], gb[key])
+
+    def test_append_to_refuses_manifests(self, campaign):
+        manifest, _, _ = campaign
+        with pytest.raises(CompressionError, match="sharded"):
+            StreamingWriter.append_to(manifest)
+
+
+class TestManifest:
+    def test_shard_files_named_from_manifest_stem(self, tmp_path):
+        names = shard_names(str(tmp_path / "runX.rphm"), 2)
+        assert [Path(n).name for n in names] == [
+            "runX.shard000.rph2s", "runX.shard001.rph2s",
+        ]
+
+    def test_manifest_records_per_shard_durability(self, tmp_path):
+        manifest = tmp_path / "mixed.rphm"
+        write_sharded_series(manifest, _steps(4), n_shards=2, parallel="serial",
+                             durability=("step", "none"))
+        man = parse_manifest(manifest.read_bytes())
+        assert man["final"] is True
+        assert [r["durability"] for r in man["shards"]] == ["step", "none"]
+        assert [r["steps"] for r in man["shards"]] == [[0, 2], [1, 3]]
+
+    def test_crc_catches_manifest_bit_rot(self, campaign, tmp_path):
+        manifest, _, _ = campaign
+        raw = bytearray(manifest.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        bad = tmp_path / "rotten.rphm"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(TruncatedSeriesError, match="checksum"):
+            parse_manifest(bytes(raw))
+
+    def test_alien_magic_is_not_recoverable_class(self):
+        with pytest.raises(FormatError) as exc:
+            parse_manifest(b"NOPE" + b"\x00" * 64)
+        assert not isinstance(exc.value, TruncatedSeriesError)
+
+    def test_nonfinal_manifest_refused_without_recover(self, tmp_path):
+        manifest = tmp_path / "killed.rphm"
+        writer = ShardedSeriesWriter.create(manifest, "sz-lr", 1e-3,
+                                            n_shards=2, parallel="serial")
+        writer.append_step(make_sphere_hierarchy(8))
+        writer.abort()
+        assert manifest.read_bytes()[:4] == MANIFEST_MAGIC
+        with pytest.raises(TruncatedSeriesError, match="final"):
+            open_series(manifest)
+
+
+class TestKilledWriter:
+    def test_crashsim_matrix_union_oracle(self, campaign, tmp_path):
+        """Every deterministic kill: normal open refuses, recovery serves
+        exactly the union oracle, survivors bit-exact, commit repairs."""
+        manifest, _, ref = campaign
+        points = crashsim.sharded_injection_points(manifest)
+        assert len(points) == 2 + N_SHARDS * len(crashsim.DEFAULT_FRACS)
+        assert {p.manifest for p in points} == {"nonfinal", "torn"}
+        for i, pt in enumerate(points):
+            ctx = f"[sharded point {i}: {pt.label}]"
+            vman = crashsim.apply_sharded(manifest, pt, tmp_path / f"v{i}")
+            with pytest.raises(TruncatedSeriesError):
+                SeriesReader.open(vman)
+            with SeriesReader.open(vman, recover=True) as reader:
+                assert reader.recovered, ctx
+                assert reader.steps == pt.expect_steps, ctx
+                got = reader.select()
+            for key, want in ref.items():
+                if key[0] in pt.expect_steps:
+                    assert np.array_equal(got[key], want), (ctx, key)
+
+            report = recover_sharded(vman, commit=True)
+            assert isinstance(report, ShardedRecoveryReport)
+            assert report.steps == pt.expect_steps, ctx
+            with open_series(vman) as reader:  # normal open after commit
+                assert not reader.recovered, ctx
+                assert reader.steps == pt.expect_steps, ctx
+
+    def test_mixed_durability_per_shard_survivor_oracles(self, tmp_path):
+        """Shard A at durability="step", shard B at "none"; kill B mid-step.
+        The per-shard oracles differ: A keeps everything it ever sealed, B
+        loses exactly the in-flight step."""
+        manifest = tmp_path / "mixed.rphm"
+        write_sharded_series(manifest, _steps(6), n_shards=2, parallel="serial",
+                             durability=("step", "none"))
+        names = [Path(n).name for n in shard_names(str(manifest), 2)]
+        points = crashsim.sharded_injection_points(manifest)
+        victims = [p for p in points if p.victim == names[1]]
+        assert victims, "no kill point for the durability='none' shard"
+        pt = victims[0]
+        vman = crashsim.apply_sharded(manifest, pt, tmp_path / "killed")
+
+        report = recover_sharded(vman, commit=True)
+        per_shard = {
+            Path(name).name: tuple(e.step for e in rep.entries)
+            for name, rep in report.shard_reports.items()
+        }
+        assert per_shard[names[0]] == (0, 2, 4)  # "step" shard: all sealed
+        assert per_shard[names[1]] == (1, 3)     # "none" victim: lost step 5
+        assert not report.dropped
+        # Durability modes survive the manifest rebuild.
+        man = parse_manifest(vman.read_bytes())
+        assert [r["durability"] for r in man["shards"]] == ["step", "none"]
+        assert "recovered" in report.describe()
+
+    def test_shard_lost_entirely_is_dropped_not_fatal(self, campaign, tmp_path):
+        manifest, _, _ = campaign
+        pt = crashsim.sharded_injection_points(manifest)[0]
+        vdir = tmp_path / "gone"
+        vman = crashsim.apply_sharded(manifest, pt, vdir)
+        victim = shard_names(str(vman), N_SHARDS)[1]
+        Path(victim).write_bytes(b"NOPE")  # shard overwritten by alien bytes
+        with SeriesReader.open(vman, recover=True) as reader:
+            assert reader.recovery is not None
+            assert [Path(n).name for n, _ in reader.recovery.dropped] == [
+                Path(victim).name
+            ]
+            # Union drops shard 1's steps (1, 4); everything else survives.
+            assert reader.steps == (0, 2, 3, 5)
+
+    def test_recover_series_routes_manifests(self, campaign, tmp_path):
+        manifest, _, _ = campaign
+        pt = crashsim.sharded_injection_points(manifest)[0]
+        vman = crashsim.apply_sharded(manifest, pt, tmp_path / "route")
+        report = recover_series(vman)  # dry run: nothing modified
+        assert isinstance(report, ShardedRecoveryReport) and not report.intact
+        with pytest.raises(TruncatedSeriesError):
+            open_series(vman)
+        with pytest.raises(FormatError, match="output"):
+            recover_series(vman, output=tmp_path / "elsewhere.rphm")
+
+    def test_intact_campaign_reports_intact(self, campaign):
+        manifest, _, _ = campaign
+        report = recover_sharded(manifest)
+        assert report.intact and report.steps == tuple(range(N_STEPS))
+        assert "intact" in report.describe()
+
+
+class TestShardedReaderApi:
+    def test_meta_and_stats_aggregate(self, campaign):
+        manifest, single, _ = campaign
+        with open_series(manifest) as sh, open_series(single) as mono:
+            assert sh.codec == mono.codec == "sz-lr"
+            assert sh.error_bound == mono.error_bound
+            assert sh.fields == mono.fields
+            assert sh.times == mono.times
+            assert sh.original_bytes == mono.original_bytes
+            assert sh.meta()["codec"] == "sz-lr"
+            assert len(sh.shards) == N_SHARDS
+
+    def test_open_step_and_read_patch_route(self, campaign):
+        manifest, _, ref = campaign
+        with open_series(manifest) as reader:
+            with reader.open_step(2) as step_reader:
+                assert step_reader.n_levels > 0 and step_reader.entries
+            key = next(k for k in ref if k[0] == 3)
+            got = reader.read_patch(*key)
+            assert np.array_equal(got, ref[key])
+
+    def test_duplicate_step_across_shards_refused(self, tmp_path):
+        """Two shards both claiming a step is corruption, not a tie to
+        break silently."""
+        manifest = tmp_path / "dup.rphm"
+        write_sharded_series(manifest, _steps(2), n_shards=2, parallel="serial")
+        names = shard_names(str(manifest), 2)
+        # Clone shard 0 over shard 1: both now hold step 0.
+        Path(names[1]).write_bytes(Path(names[0]).read_bytes())
+        man = parse_manifest(manifest.read_bytes())
+        meta = {k: man[k] for k in _SERIES_META_KEYS}
+        manifest.write_bytes(pack_manifest(meta, man["shards"], final=True))
+        with pytest.raises(FormatError, match="shard"):
+            open_series(manifest)

@@ -116,3 +116,69 @@ class TestWorkerPool:
                 pool.map(boom, [1, 2])
             # the pool survives a failed map
             assert pool.map(square, [3]) == [9]
+
+
+class TestShutdownSemantics:
+    def test_close_cancels_queued_futures(self):
+        """Once ``closed`` reports True no queued task may still start:
+        close() must pass cancel_futures so tasks submitted behind a
+        running one are cancelled, not drained."""
+        import threading
+        from concurrent.futures import CancelledError
+
+        release = threading.Event()
+        started = threading.Event()
+        ran = []
+
+        def blocker():
+            started.set()
+            release.wait(timeout=30)
+
+        def queued():
+            ran.append(True)
+
+        pool = WorkerPool("thread", workers=1)
+        first = pool.submit(blocker)
+        assert started.wait(timeout=30)
+        second = pool.submit(queued)  # stuck behind the blocker
+
+        closer = threading.Thread(target=pool.close)
+        closer.start()
+        release.set()  # let the running task finish; close() then returns
+        closer.join(timeout=30)
+        assert pool.closed and first.result(timeout=30) is None
+        assert second.cancelled()
+        with pytest.raises(CancelledError):
+            second.result(timeout=1)
+        assert not ran, "a queued task ran after the pool reported closed"
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only semantics")
+    def test_process_pool_refuses_use_after_fork(self):
+        """A forked child inherits the executor object but not its worker
+        processes; using it would deadlock. The pool must refuse loudly."""
+        pool = WorkerPool("process", workers=1)
+        try:
+            assert pool.map(square, [3, 4]) == [9, 16]  # parent: fine
+            pid = os.fork()
+            if pid == 0:  # child
+                code = 1
+                try:
+                    pool.submit(square, 1)
+                except ReproError as exc:
+                    code = 0 if "fork" in str(exc) else 2
+                except BaseException:
+                    code = 3
+                finally:
+                    os._exit(code)
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+            # The parent's handle keeps working after the fork.
+            assert pool.map(square, [5]) == [25]
+        finally:
+            pool.close()
+
+    def test_thread_pools_survive_fork_check(self):
+        """The fork guard is process-mode only; thread pools recreate their
+        workers lazily and stay usable by contract in the same process."""
+        with WorkerPool("thread", workers=1) as pool:
+            assert pool.map(square, [2]) == [4]

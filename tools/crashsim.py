@@ -14,6 +14,8 @@ mid-payload          killed while streaming a segment's patch bytes
 mid-segment-footer   killed while writing a segment's own RPH2 footer
 mid-seal             killed while writing the 64-byte step seal record
 step-boundary        killed exactly on a sealed step boundary (clean crash)
+append-resume        killed right after ``append_to``'s eager truncation
+                     of the old index/footer (all seals intact, no index)
 mid-index            killed while writing the series timestep index
 mid-footer           killed while writing the 28-byte series footer
 post-footer-garbage  a partial rewrite appended bytes after a valid footer
@@ -33,11 +35,21 @@ recovery scan MUST return for the damaged variant — the oracle the
 crash-injection CI matrix asserts against
 (``tests/insitu/test_crash_recovery.py``).
 
+**Sharded mode** (:func:`sharded_injection_points` / :func:`apply_sharded`)
+models killing one writer of a multi-shard RPHM campaign mid-step: every
+shard is truncated to its crash shape (footerless, all steps sealed — the
+real on-disk state when ``close()`` never ran), the victim shard is
+additionally cut inside its in-flight step's payload, and the manifest is
+reverted to its non-final form (or torn). The oracle is the union of the
+per-shard survivor sets; every non-victim shard must keep *all* its steps
+bit-exactly.
+
 Usage::
 
     PYTHONPATH=src python tools/crashsim.py list run.rph2s
     PYTHONPATH=src python tools/crashsim.py apply run.rph2s --point 3 -o broken.rph2s
     PYTHONPATH=src python tools/crashsim.py all run.rph2s -o variants/
+    PYTHONPATH=src python tools/crashsim.py sharded run.rphm -o variants/
 """
 
 from __future__ import annotations
@@ -181,6 +193,11 @@ def injection_points(
                 extra_offsets=(seal_flip(nxt),),
             ))
     points.append(InjectionPoint(
+        "append-resume", "truncate", index_offset, all_steps,
+        "killed right after append_to's eager truncation "
+        "(index/footer gone, every seal intact)",
+    ))
+    points.append(InjectionPoint(
         "mid-index", "truncate", index_offset + max(1, index_length // 2),
         all_steps, "cut inside the series timestep index",
     ))
@@ -204,6 +221,103 @@ def injection_points(
     return points
 
 
+@dataclass(frozen=True)
+class ShardedCrashPoint:
+    """One deterministic kill of a sharded campaign.
+
+    ``cuts`` maps each shard basename to the offset its file is truncated
+    at (every shard is cut — a killed campaign never wrote any shard's
+    index/footer); the ``victim``'s cut lands inside its in-flight step.
+    ``manifest`` is ``"nonfinal"`` (the initial manifest a real kill
+    leaves behind) or ``"torn"`` (the manifest itself is half-written, so
+    recovery must rediscover the shards by name). ``expect_steps`` is the
+    union survivor oracle across shards.
+    """
+
+    victim: str
+    cuts: dict[str, int]
+    expect_steps: tuple[int, ...]
+    label: str
+    manifest: str = "nonfinal"
+
+
+def sharded_injection_points(
+    manifest_path: Path,
+    payload_fracs: tuple[float, ...] = DEFAULT_FRACS,
+) -> list[ShardedCrashPoint]:
+    """Enumerate kill scenarios for a *finished* sharded campaign.
+
+    Derived from each shard's real layout: the clean-boundary kill (all
+    shards sealed), one mid-payload kill per shard per fraction (that
+    shard loses exactly its last step; all other shards keep everything),
+    and a torn-manifest variant exercising shard rediscovery.
+    """
+    from repro.insitu.sharded import parse_manifest
+
+    man = parse_manifest(Path(manifest_path).read_bytes())
+    base = Path(manifest_path).parent
+    layout: dict[str, tuple[list, int]] = {}
+    for row in man["shards"]:
+        with SeriesReader.open(base / row["name"]) as reader:
+            layout[row["name"]] = (list(reader.step_entries), reader._index_offset)
+    all_steps = tuple(sorted(
+        e.step for entries, _ in layout.values() for e in entries
+    ))
+    sealed_cuts = {name: idx for name, (_, idx) in layout.items()}
+
+    points = [ShardedCrashPoint(
+        victim="", cuts=dict(sealed_cuts), expect_steps=all_steps,
+        label="campaign killed between steps (every shard sealed)",
+    )]
+    for name, (entries, _) in layout.items():
+        if not entries:
+            continue
+        last = entries[-1]
+        survivors = tuple(s for s in all_steps if s != last.step)
+        for frac in payload_fracs:
+            cuts = dict(sealed_cuts)
+            cuts[name] = last.offset + max(1, int(last.length * frac))
+            points.append(ShardedCrashPoint(
+                victim=name, cuts=cuts, expect_steps=survivors,
+                label=f"{name} killed at {frac:.0%} of step {last.step}'s payload",
+            ))
+    points.append(ShardedCrashPoint(
+        victim="", cuts=dict(sealed_cuts), expect_steps=all_steps,
+        label="manifest torn mid-body (shards rediscovered by name)",
+        manifest="torn",
+    ))
+    return points
+
+
+def apply_sharded(
+    manifest_path: Path, point: ShardedCrashPoint, output_dir: Path
+) -> Path:
+    """Materialize one damaged campaign variant; returns its manifest path."""
+    from repro.insitu.sharded import (
+        _SERIES_META_KEYS,
+        pack_manifest,
+        parse_manifest,
+    )
+
+    manifest_path = Path(manifest_path)
+    man = parse_manifest(manifest_path.read_bytes())
+    output_dir.mkdir(parents=True, exist_ok=True)
+    meta = {k: man[k] for k in _SERIES_META_KEYS}
+    rows = [
+        {"name": r["name"], "durability": r["durability"], "steps": []}
+        for r in man["shards"]
+    ]
+    blob = pack_manifest(meta, rows, final=False)
+    if point.manifest == "torn":
+        blob = blob[: max(5, len(blob) // 2)]
+    out_manifest = output_dir / manifest_path.name
+    out_manifest.write_bytes(blob)
+    for row in man["shards"]:
+        raw = (manifest_path.parent / row["name"]).read_bytes()
+        (output_dir / row["name"]).write_bytes(raw[: point.cuts[row["name"]]])
+    return out_manifest
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -224,7 +338,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("-o", "--output", type=Path, required=True)
 
+    p = sub.add_parser("sharded",
+                       help="write killed-writer variants of an RPHM campaign")
+    p.add_argument("input", type=Path, help="campaign manifest (.rphm)")
+    p.add_argument("-o", "--output", type=Path, required=True)
+
     args = parser.parse_args(argv)
+
+    if args.command == "sharded":
+        for i, spt in enumerate(sharded_injection_points(args.input)):
+            out = apply_sharded(args.input, spt,
+                                args.output / f"{i:03d}_{spt.manifest}")
+            print(f"{out}: survivors={list(spt.expect_steps)} — {spt.label}")
+        return 0
+
     raw = args.input.read_bytes()
     points = injection_points(raw, seed=args.seed)
 
