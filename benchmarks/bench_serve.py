@@ -1,0 +1,175 @@
+"""Query-service load test: latency percentiles and bytes-per-query.
+
+Acceptance gates for the serving layer (ISSUE 7), asserted here so a CI
+run fails loudly rather than drifting:
+
+* **cold cache**: a selective query touches at most **1.25x** the byte
+  sum of its selection's extents (the planner's ``slack_frac=0.25``
+  budget, measured end-to-end through the storage backend);
+* **warm cache**: repeating the query touches **0** payload bytes and
+  **0** metadata bytes — it is served entirely from the decoded-patch
+  LRU;
+* every served response stays byte-identical to a direct
+  ``decompress_selection`` (spot-checked here; the full battery lives in
+  ``tests/serve/``).
+
+Metrics land in ``BENCH_bench_serve.json`` via :mod:`perf_harness`:
+p50/p99 query latency over a randomized selection mix, sustained
+throughput under 8 concurrent clients, and the cold bytes-per-extent
+ratio. The zero-valued warm gates stay hard asserts in the body —
+``tools/bench_compare.py`` cannot gate a metric whose baseline is 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from conftest import bench_scale, emit, once
+
+import perf_harness
+from repro.amr.io import write_series
+from repro.compression.amr_codec import decompress_selection
+from repro.serve import QueryService
+from repro.sims import NyxConfig, nyx_step_stream
+
+STEPS = 6
+FIELD = "baryon_density"
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 12
+LATENCY_SAMPLES = 48
+MAX_COLD_RATIO = 1.25
+
+
+@dataclass(frozen=True)
+class Row:
+    phase: str
+    queries: int
+    p50_ms: float
+    p99_ms: float
+    bytes_per_query: float
+
+
+def _series(tmp_path):
+    cfg = NyxConfig(coarse_n=max(8, int(32 * bench_scale())))
+    path = tmp_path / "serve_bench.rph2s"
+    write_series(path, nyx_step_stream(STEPS, cfg), codec="sz-lr",
+                 error_bound=1e-3, fields=[FIELD])
+    return path
+
+
+def _selection_mix(seed: int, n: int) -> list[dict]:
+    rng = random.Random(seed)
+    mix = []
+    for _ in range(n):
+        sel = {"steps": rng.sample(range(STEPS), rng.randint(1, 2))}
+        if rng.random() < 0.7:
+            sel["levels"] = rng.sample(range(2), rng.randint(1, 2))
+        if rng.random() < 0.3:
+            sel["patches"] = [0]
+        mix.append(sel)
+    return mix
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def test_serve_latency_and_bytes_per_query(benchmark, tmp_path):
+    path = _series(tmp_path)
+
+    async def scenario():
+        svc = QueryService(path, workers=2)
+        try:
+            # -- Gate 1: cold bytes-per-query stays O(selection). --------
+            _, cold = await svc.query_info(steps=[0, 2], levels=1)
+            assert cold.extent_bytes > 0
+            cold_ratio = cold.fetched_bytes / cold.extent_bytes
+            assert cold.fetched_bytes <= int(MAX_COLD_RATIO * cold.extent_bytes), (
+                f"cold query fetched {cold.fetched_bytes} bytes for "
+                f"{cold.extent_bytes} extent bytes "
+                f"(> {MAX_COLD_RATIO}x slack budget)"
+            )
+
+            # -- Gate 2: the warm repeat touches zero bytes. -------------
+            _, warm = await svc.query_info(steps=[0, 2], levels=1)
+            assert warm.fetched_bytes == 0, (
+                f"warm repeat touched {warm.fetched_bytes} payload bytes"
+            )
+            assert warm.meta_bytes == 0
+            assert warm.cache_hits == warm.keys
+
+            # -- Spot-check byte identity against a direct read. ---------
+            served = await svc.query(steps=1, levels=0)
+            direct = decompress_selection(path, steps=1, levels=0)
+            for key, arr in served.items():
+                assert arr.tobytes() == direct[key].tobytes(), key
+
+            # -- Latency percentiles over a randomized mix. --------------
+            lat_cold: list[float] = []
+            for sel in _selection_mix(11, LATENCY_SAMPLES):
+                t0 = time.perf_counter()
+                _, info = await svc.query_info(**sel)
+                lat_cold.append((time.perf_counter() - t0) * 1e3)
+            total_stats = svc.stats
+            bytes_per_query = (
+                total_stats["payload_bytes"] / total_stats["queries"]
+            )
+            lat_warm: list[float] = []
+            for sel in _selection_mix(11, LATENCY_SAMPLES):
+                t0 = time.perf_counter()
+                _, info = await svc.query_info(**sel)
+                assert info.fetched_bytes == 0  # fully warm by now
+                lat_warm.append((time.perf_counter() - t0) * 1e3)
+
+            # -- Throughput under concurrent clients. --------------------
+            async def client(seed: int):
+                for sel in _selection_mix(seed, QUERIES_PER_CLIENT):
+                    await svc.query(**sel)
+
+            t0 = time.perf_counter()
+            await asyncio.gather(*[client(100 + i) for i in range(N_CLIENTS)])
+            concurrent_s = time.perf_counter() - t0
+            qps = N_CLIENTS * QUERIES_PER_CLIENT / concurrent_s
+            return cold_ratio, lat_cold, lat_warm, bytes_per_query, qps
+        finally:
+            svc.close()
+
+    cold_ratio, lat_cold, lat_warm, bytes_per_query, qps = once(
+        benchmark, lambda: asyncio.run(scenario())
+    )
+
+    p50, p99 = _percentile(lat_warm, 50), _percentile(lat_warm, 99)
+    perf_harness.record(
+        "bench_serve", "serve_cold_bytes_per_extent", cold_ratio, "x",
+        higher_is_better=False, tolerance=0.25,
+    )
+    # Latency and throughput swing with the host; their tolerances are
+    # wide trend-trackers. The deterministic gate is the bytes ratio
+    # above (baseline 1.0, tolerance 0.25 == the 1.25x acceptance bound).
+    perf_harness.record(
+        "bench_serve", "serve_warm_p50_latency", p50, "ms",
+        higher_is_better=False, tolerance=3.0,
+    )
+    perf_harness.record(
+        "bench_serve", "serve_warm_p99_latency", p99, "ms",
+        higher_is_better=False, tolerance=3.0,
+    )
+    perf_harness.record(
+        "bench_serve", "serve_concurrent_throughput", qps, "queries/s",
+        higher_is_better=True, tolerance=0.9,
+    )
+    emit(
+        f"Query service over a {STEPS}-step Nyx series "
+        f"({N_CLIENTS} concurrent clients for throughput)",
+        [
+            Row("cold", LATENCY_SAMPLES, _percentile(lat_cold, 50),
+                _percentile(lat_cold, 99), bytes_per_query),
+            Row("warm", LATENCY_SAMPLES, p50, p99, 0.0),
+        ],
+    )
+    print(f"\ncold bytes/extent {cold_ratio:.3f}x (gate <= {MAX_COLD_RATIO}x); "
+          f"concurrent throughput {qps:.0f} queries/s")

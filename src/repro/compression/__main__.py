@@ -255,6 +255,47 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import QueryServer, QueryService
+
+    async def run() -> int:
+        service = QueryService(
+            args.input,
+            recover=args.recover,
+            cache_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
+            workers=resolve_workers(args.workers),
+        )
+        try:
+            server = QueryServer(service, host=args.host, port=args.port)
+            await server.start()
+            host, port = server.address
+            kind = "sharded campaign" if service.is_sharded else (
+                "series" if len(service.steps) > 1 or args.input.suffix
+                == ".rph2s" else "snapshot"
+            )
+            # Parsed by tests and tools to learn the bound port: keep the
+            # "serving ... on host:port" shape stable.
+            print(
+                f"serving {args.input} ({kind}, {len(service.steps)} step(s), "
+                f"fields {list(service.fields)}) on {host}:{port}",
+                flush=True,
+            )
+            await server.serve_until_shutdown()
+            print("shutdown requested; server stopped", flush=True)
+            return 0
+        except BaseException:
+            service.close()
+            raise
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped", file=sys.stderr)
+        return 0
+
+
 def _cmd_stream(args) -> int:
     from repro.insitu.writer import StreamingWriter
 
@@ -406,6 +447,27 @@ def main(argv: list[str] | None = None) -> int:
              "(steps assigned round-robin; -o names the manifest)",
     )
     p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve selective (step, level, field, patch) reads from a "
+             ".rph2s series / RPHM campaign / .rprh snapshot over TCP "
+             "(JSON-line protocol; see repro.serve.TCPClient)",
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 (default) binds an ephemeral port; the bound "
+                        "address is printed on stdout")
+    p.add_argument("--cache-bytes", type=int, default=64 << 20,
+                   help="LRU budget for decoded patches + catalogs "
+                        "(default 64 MiB; 0 disables caching)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="decode worker threads (0 = one per CPU core)")
+    p.add_argument("--recover", action="store_true",
+                   help="serve the fully-sealed steps of a crash-"
+                        "interrupted series (read-only recovery scan)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "recover",

@@ -302,6 +302,22 @@ class GroupHandle:
                 ) from exc
         return self._codebook
 
+    @property
+    def extents(self) -> tuple[tuple[int, int, int], ...]:
+        """The member extent table: ``(rel_offset, length, crc32)`` per
+        member, offsets relative to the payload region start."""
+        return tuple(self._extents)
+
+    def member_extent(self, member: int) -> tuple[int, int, int]:
+        """One member's ``(rel_offset, length, crc32)`` extent-table row —
+        what a selection planner needs to target the payload bytes without
+        reading them here."""
+        if not 0 <= member < self.n_patches:
+            raise FormatError(
+                f"group {self.gid} has {self.n_patches} members, not member {member}"
+            )
+        return self._extents[member]
+
     def read_payload(self, member: int, verify: bool = True):
         """One member's entropy payload (crc-checked against the extent
         table when ``verify``)."""
@@ -821,6 +837,14 @@ class ContainerReader:
     # ------------------------------------------------------------------
     # Group sections
     # ------------------------------------------------------------------
+    def group_entry(self, gid: int) -> GroupIndexEntry:
+        """Look up the group-table row for one group section (its offset
+        within the container, section length, and header crc)."""
+        try:
+            return self._by_gid[gid]
+        except KeyError:
+            raise FormatError(f"container has no group {gid}") from None
+
     def group(self, gid: int, verify: bool = True) -> GroupHandle:
         """Open one group section's header (codebook + extents), cached.
 

@@ -17,6 +17,7 @@ __all__ = [
     "TruncatedSeriesError",
     "StorageError",
     "TransientStorageError",
+    "ServeError",
     "VisualizationError",
     "MetricError",
     "ExperimentError",
@@ -63,6 +64,13 @@ class TransientStorageError(StorageError):
     """A retryable backend fault (timeout, throttle, connection reset).
     :class:`repro.storage.RangedBackend` retries these with backoff before
     giving up and re-raising."""
+
+
+class ServeError(ReproError):
+    """Invalid query-service request or configuration (bad selection plan,
+    malformed region, use after close). Data-integrity failures on the
+    serving path stay :class:`FormatError`; backend faults stay
+    :class:`StorageError`."""
 
 
 class VisualizationError(ReproError):

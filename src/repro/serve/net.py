@@ -1,0 +1,340 @@
+"""TCP front end for the query service: JSON-line control, raw-byte data.
+
+The wire protocol is deliberately minimal — one JSON object per request
+line, one JSON header line per response, followed (for ``query``) by the
+selected patches' raw array bytes back to back in header order:
+
+.. code-block:: text
+
+    -> {"op": "query", "steps": [3], "levels": 1, "fields": "f"}\\n
+    <- {"ok": true, "patches": [{"key": [3, 1, "f", 0],
+        "dtype": "<f8", "shape": [16, 16, 16], "nbytes": 32768}, ...],
+        "info": {...}}\\n
+    <- <raw little-endian array bytes, concatenated in header order>
+
+Arrays travel as C-order ``tobytes()`` — the concurrency suite asserts
+byte-identity across the socket, not just value-identity. Other ops are
+pure JSON lines: ``meta`` (what is being served), ``stats`` (service
+counters), ``plan`` (the byte plan a query would execute, for
+inspection), ``ping``, and ``shutdown`` (drains and stops the server —
+how the CLI's process is remote-controlled in tests). Errors come back
+as ``{"ok": false, "error": ..., "type": <exception class>}`` and never
+tear down the connection or the server; one bad query leaves every other
+in-flight client untouched.
+
+:class:`QueryServer` is the asyncio side (used by ``python -m
+repro.compression serve``); :class:`TCPClient` is a small blocking
+client for tests, scripts, and tools — one request per call, safe to use
+from one thread at a time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError, ServeError
+from repro.serve.service import QueryService
+
+__all__ = ["QueryServer", "TCPClient", "MAX_REQUEST_BYTES"]
+
+#: Requests are single JSON lines; anything longer than this is refused
+#: (a malformed or hostile client, not a real selection).
+MAX_REQUEST_BYTES = 1 << 20
+
+_SELECTOR_KEYS = ("steps", "levels", "fields", "patches")
+
+
+def _selectors(req: dict) -> dict:
+    """Pull the query selectors out of a request object."""
+    out: dict[str, Any] = {k: req.get(k) for k in _SELECTOR_KEYS}
+    region = req.get("region")
+    if region is not None:
+        out["region"] = [tuple(pair) for pair in region]
+    out["verify"] = bool(req.get("verify", True))
+    return out
+
+
+class QueryServer:
+    """Serve one :class:`~repro.serve.service.QueryService` over TCP.
+
+    .. code-block:: python
+
+        service = QueryService("run.rph2s")
+        server = QueryServer(service)
+        await server.start()          # binds (host, port); port 0 = pick
+        print(server.address)
+        await server.serve_until_shutdown()
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0):
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._shutdown = asyncio.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — call after :meth:`start`."""
+        if self._server is None:
+            raise ServeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "QueryServer":
+        if self._server is not None:
+            raise ServeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a client sends ``{"op": "shutdown"}`` or :meth:`stop`."""
+        if self._server is None:
+            raise ServeError("server is not started")
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, close the listener and the service."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._service.close()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_REQUEST_BYTES:
+                    await self._reply(
+                        writer,
+                        {"ok": False, "type": "ServeError",
+                         "error": f"request exceeds {MAX_REQUEST_BYTES} bytes"},
+                    )
+                    break
+                stop = await self._dispatch(writer, line)
+                if stop:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # client already gone
+                pass
+
+    async def _dispatch(self, writer: asyncio.StreamWriter, line: bytes) -> bool:
+        """Run one request; returns True when the connection should end."""
+        try:
+            req = json.loads(line)
+            if not isinstance(req, dict):
+                raise ServeError("request must be a JSON object")
+            op = req.get("op")
+            if op == "query":
+                results, info = await self._service.query_info(
+                    **_selectors(req)
+                )
+                header = {
+                    "ok": True,
+                    "patches": [
+                        {
+                            "key": list(key),
+                            "dtype": arr.dtype.str,
+                            "shape": list(arr.shape),
+                            "nbytes": int(arr.nbytes),
+                        }
+                        for key, arr in results.items()
+                    ],
+                    "info": asdict(info),
+                }
+                await self._reply(
+                    writer, header,
+                    payload=[np.ascontiguousarray(a) for a in results.values()],
+                )
+                return False
+            if op == "plan":
+                plan = await self._service.plan(
+                    **{
+                        k: v
+                        for k, v in _selectors(req).items()
+                        if k != "region"
+                    }
+                )
+                await self._reply(
+                    writer,
+                    {
+                        "ok": True,
+                        "extent_bytes": plan.extent_bytes,
+                        "fetched_bytes": plan.fetched_bytes,
+                        "slack_bytes": plan.slack_bytes,
+                        "n_reads": plan.n_reads,
+                        "n_group_batches": plan.n_group_batches,
+                        "steps": [s.step for s in plan.steps],
+                    },
+                )
+                return False
+            if op == "stats":
+                await self._reply(
+                    writer, {"ok": True, "stats": self._service.stats}
+                )
+                return False
+            if op == "meta":
+                svc = self._service
+                await self._reply(
+                    writer,
+                    {
+                        "ok": True,
+                        "path": svc.path,
+                        "steps": list(svc.steps),
+                        "fields": list(svc.fields),
+                        "codec": svc.codec,
+                        "error_bound": svc.error_bound,
+                        "mode": svc.mode,
+                        "sharded": svc.is_sharded,
+                        "recovered": svc.recovered,
+                    },
+                )
+                return False
+            if op == "ping":
+                await self._reply(writer, {"ok": True})
+                return False
+            if op == "shutdown":
+                await self._reply(writer, {"ok": True})
+                self._shutdown.set()
+                return True
+            raise ServeError(f"unknown op {op!r}")
+        except ReproError as exc:
+            await self._reply(
+                writer,
+                {"ok": False, "type": type(exc).__name__, "error": str(exc)},
+            )
+            return False
+        except json.JSONDecodeError as exc:
+            await self._reply(
+                writer,
+                {"ok": False, "type": "ServeError",
+                 "error": f"request is not valid JSON: {exc}"},
+            )
+            return False
+
+    @staticmethod
+    async def _reply(
+        writer: asyncio.StreamWriter, header: dict, payload=None
+    ) -> None:
+        try:
+            writer.write(json.dumps(header).encode() + b"\n")
+            for arr in payload or ():
+                writer.write(arr.tobytes())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-reply; nothing to salvage
+
+
+class TCPClient:
+    """Blocking client for :class:`QueryServer` (tests/scripts/tools).
+
+    .. code-block:: python
+
+        with TCPClient("127.0.0.1", port) as client:
+            arrays = client.query(steps=3, levels=1, fields="f")
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        import socket
+
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def _request(self, obj: dict) -> dict:
+        self._sock.sendall(json.dumps(obj).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        header = json.loads(line)
+        if not header.get("ok"):
+            raise ServeError(
+                f"server error ({header.get('type', 'unknown')}): "
+                f"{header.get('error', '?')}"
+            )
+        return header
+
+    def _read_exact(self, n: int) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            chunk = self._rfile.read(n - len(out))
+            if not chunk:
+                raise ServeError(
+                    f"server closed mid-payload ({len(out)} of {n} bytes)"
+                )
+            out += chunk
+        return bytes(out)
+
+    def query_info(self, **selectors) -> tuple[dict, dict]:
+        """Run a query; returns ``(arrays, info-dict)`` with arrays keyed
+        ``(step, level, field, patch)``, read-only, byte-identical to the
+        server's."""
+        header = self._request({"op": "query", **selectors})
+        out: dict[tuple, np.ndarray] = {}
+        for spec in header["patches"]:
+            blob = self._read_exact(int(spec["nbytes"]))
+            arr = np.frombuffer(blob, dtype=np.dtype(spec["dtype"])).reshape(
+                spec["shape"]
+            )
+            arr.setflags(write=False)
+            step, level, field, patch = spec["key"]
+            out[(int(step), int(level), str(field), int(patch))] = arr
+        return out, header["info"]
+
+    def query(self, **selectors) -> dict:
+        """Synchronous selective read over the socket."""
+        return self.query_info(**selectors)[0]
+
+    def plan(self, **selectors) -> dict:
+        """Byte plan the server would execute for these selectors."""
+        header = self._request({"op": "plan", **selectors})
+        return {k: v for k, v in header.items() if k != "ok"}
+
+    def stats(self) -> dict:
+        """Server-side cumulative counters."""
+        return self._request({"op": "stats"})["stats"]
+
+    def meta(self) -> dict:
+        """What the server is serving (path/steps/fields/codec/...)."""
+        return {
+            k: v for k, v in self._request({"op": "meta"}).items() if k != "ok"
+        }
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"})["ok"])
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (it replies before stopping)."""
+        self._request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

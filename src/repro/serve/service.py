@@ -1,0 +1,844 @@
+"""Asyncio query service over series, sharded-campaign, and snapshot files.
+
+:class:`QueryService` is the serving layer the in-situ pipeline writes
+*for*: it answers selective ``(step, level, field, patch[, region])``
+queries from many concurrent clients over one opened source — an RPH2S
+series, an RPHM sharded campaign (each step routed to its owning shard),
+or a standalone RPH2 snapshot (served as step 0). Three properties hold
+end to end:
+
+* **O(selection) bytes per query.** Every query is planned
+  (:mod:`repro.serve.planner`): the needed payload extents are coalesced
+  into minimal ranged reads under an explicit slack budget, and all byte
+  access goes through a :mod:`repro.storage` backend — so a
+  :class:`~repro.storage.RangedBackend`'s readahead, retry, and request
+  accounting apply to the serving path unchanged.
+* **The event loop never blocks on decode.** Entropy decode runs on a
+  :class:`~repro.parallel.WorkerPool` (``asyncio`` futures wrap the pool's
+  ``concurrent.futures`` ones), and byte fetches run on the loop's default
+  executor behind a per-file lock; the loop only plans, slices, and
+  assembles. Grouped (RPGB) members requested together decode as **one
+  shared-codebook batch** per group.
+* **Warm queries touch zero payload bytes.** Decoded patches, parsed
+  segment catalogs, and group headers/codebooks live in one byte-budgeted
+  :class:`~repro.serve.cache.ServeCache`; a repeat query is served
+  entirely from it (the benchmarks gate this at exactly 0 bytes).
+
+Results are read-only ``ndarray`` views — the same object may serve many
+clients, so mutation is refused by numpy rather than corrupting the cache.
+Per-query accounting comes back through :class:`QueryInfo`
+(``extent_bytes`` / ``fetched_bytes`` / ``meta_bytes`` / cache hits), and
+cumulative counters through :attr:`QueryService.stats`.
+
+A service instance binds to one event loop (locks are created lazily on
+first use); drive it either from your own ``asyncio`` code or through
+:class:`InProcessClient`, which runs the service on a dedicated loop
+thread and exposes a synchronous facade — what the tests, benchmarks, and
+multi-threaded callers use. The TCP front end lives in
+:mod:`repro.serve.net`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.compression.base import SharedEntropy
+from repro.compression.container import (
+    CONTAINER_MAGIC,
+    ContainerReader,
+    PatchIndexEntry,
+    _decode_entry_stream,
+    _normalize_selector,
+)
+from repro.errors import FormatError, ServeError
+from repro.insitu.series import SERIES_MAGIC, SeriesReader
+from repro.insitu.sharded import MANIFEST_MAGIC
+from repro.parallel.pool import WorkerPool
+from repro.serve.cache import ServeCache
+from repro.serve.planner import (
+    DEFAULT_GAP_CAP,
+    DEFAULT_SLACK,
+    QueryPlan,
+    StepPlan,
+    plan_step,
+)
+from repro.storage import LocalFileBackend, StorageBackend
+
+__all__ = ["QueryService", "QueryInfo", "InProcessClient"]
+
+#: Default decoded-patch + catalog cache budget (bytes).
+DEFAULT_CACHE_BYTES = 64 << 20
+
+
+@dataclass
+class QueryInfo:
+    """Per-query accounting, returned by :meth:`QueryService.query_info`.
+
+    ``extent_bytes`` is the sum of payload extents the query *needed*
+    (the O(selection) floor); ``fetched_bytes`` is what the coalesced
+    reads actually touched (``<= (1 + slack) * extent_bytes`` by planner
+    construction, and 0 for a fully warm query); ``meta_bytes`` counts
+    segment footers/indexes and group headers read on this query's
+    behalf.
+    """
+
+    keys: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    extent_bytes: int = 0
+    fetched_bytes: int = 0
+    meta_bytes: int = 0
+    ranged_reads: int = 0
+    group_batches: int = 0
+
+
+@dataclass
+class _StepCatalog:
+    """One step's parsed segment index plus its counting byte window."""
+
+    file: str
+    step: int
+    base: int
+    reader: ContainerReader
+    window: "_CatalogWindow"
+
+
+class _CatalogWindow:
+    """Seekable read-only view of one segment, fetched through the
+    service's backend handle and counting every byte it reads (the
+    ``meta_bytes`` accounting surface). The
+    :class:`~repro.compression.container.ContainerReader` built over it
+    reads the segment footer, index, and group headers this way — never
+    payload (payload extents go through the planner's coalesced reads).
+    """
+
+    def __init__(self, service: "QueryService", file: str, base: int, length: int):
+        self._service = service
+        self._file = file
+        self._base = base
+        self._length = length
+        self._pos = 0
+        self.bytes_read = 0
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            pos = offset
+        elif whence == io.SEEK_CUR:
+            pos = self._pos + offset
+        elif whence == io.SEEK_END:
+            pos = self._length + offset
+        else:  # pragma: no cover - mirrors io semantics
+            raise ValueError(f"invalid whence {whence}")
+        if pos < 0:
+            raise ValueError("negative seek position")
+        self._pos = pos
+        return pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, size: int = -1) -> bytes:
+        if self._pos >= self._length:
+            return b""
+        budget = self._length - self._pos
+        n = budget if size is None or size < 0 else min(size, budget)
+        out = self._service._fetch_sync(self._file, self._base + self._pos, n)
+        self._pos += len(out)
+        self.bytes_read += len(out)
+        return out
+
+
+def _check_extent(blob, length: int, crc: int, what: str, verify: bool):
+    if len(blob) != length:
+        raise FormatError(
+            f"{what}: fetched {len(blob)} of {length} extent bytes (truncated?)"
+        )
+    if verify and zlib.crc32(blob) != crc:
+        raise FormatError(f"checksum mismatch in {what}")
+
+
+def _decode_single_task(task) -> list[np.ndarray]:
+    """Decode one self-contained stream (runs on the worker pool)."""
+    entry, blob, verify = task
+    _check_extent(blob, entry.length, entry.crc32,
+                  f"patch stream {entry.describe()}", verify)
+    return [_decode_entry_stream(entry, blob)]
+
+def _decode_group_task(task) -> list[np.ndarray]:
+    """Decode all requested members of one RPGB group against its shared
+    codebook in a single worker task — the codebook's decode tables are
+    built once for the whole batch (``SharedEntropy`` resolves raw
+    codebook bytes through a memo for process-mode workers)."""
+    codebook, items, verify = task
+    out = []
+    for entry, blob, payload, payload_crc in items:
+        _check_extent(blob, entry.length, entry.crc32,
+                      f"patch stream {entry.describe()}", verify)
+        _check_extent(payload, len(payload), payload_crc,
+                      f"group payload of {entry.describe()}", verify)
+        out.append(
+            _decode_entry_stream(entry, blob, SharedEntropy(codebook, payload))
+        )
+    return out
+
+
+def _apply_region(arr: np.ndarray, region, key) -> np.ndarray:
+    """Slice one decoded patch by per-axis ``(lo, hi)`` pairs."""
+    if len(region) != arr.ndim:
+        raise ServeError(
+            f"region has {len(region)} axis ranges but patch {key} is "
+            f"{arr.ndim}-dimensional"
+        )
+    slices = []
+    for axis, pair in enumerate(region):
+        try:
+            lo, hi = pair
+            lo, hi = int(lo), int(hi)
+        except (TypeError, ValueError):
+            raise ServeError(
+                f"region axis {axis} must be a (lo, hi) pair, got {pair!r}"
+            ) from None
+        if lo < 0 or hi < lo:
+            raise ServeError(
+                f"region axis {axis} range ({lo}, {hi}) is invalid"
+            )
+        slices.append(slice(lo, hi))
+    return arr[tuple(slices)]
+
+
+class QueryService:
+    """Concurrent selective-read service over one series/snapshot source.
+
+    Parameters
+    ----------
+    path:
+        An RPH2S series file, an RPHM sharded-campaign manifest, or a
+        standalone RPH2 snapshot container (served as step 0).
+    backend:
+        A :class:`repro.storage.StorageBackend` routing **all** byte
+        access (index harvest, catalog parses, payload reads). Default:
+        local files.
+    recover:
+        Passed through to :meth:`SeriesReader.open` — serve the
+        fully-sealed steps of a crash-interrupted series/campaign.
+    cache_bytes:
+        Byte budget of the LRU over decoded patches, segment catalogs,
+        and group headers; ``None`` disables caching (catalogs are then
+        kept in a plain per-step table so repeated queries still skip
+        re-parsing, but every payload byte is re-fetched and re-decoded).
+    pool:
+        A persistent :class:`~repro.parallel.WorkerPool` for entropy
+        decode. Without one the service creates (and owns) a thread pool
+        of ``workers`` workers. A ``"serial"`` pool decodes inline on the
+        event loop — the deterministic test mode.
+    workers:
+        Size of the owned pool (``None``/0 = one per core).
+    gap_cap, slack:
+        Planner coalescing knobs (see
+        :func:`repro.serve.planner.coalesce_extents`).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        backend: StorageBackend | None = None,
+        recover: bool = False,
+        cache_bytes: int | None = DEFAULT_CACHE_BYTES,
+        pool: WorkerPool | None = None,
+        workers: int | None = 2,
+        gap_cap: int = DEFAULT_GAP_CAP,
+        slack: float = DEFAULT_SLACK,
+    ):
+        self._path = str(path)
+        self._given_backend = backend
+        self._backend = backend if backend is not None else LocalFileBackend()
+        self._gap_cap = int(gap_cap)
+        self._slack = float(slack)
+        self._cache = ServeCache(cache_bytes) if cache_bytes is not None else None
+        self._plain_catalogs: dict[tuple, _StepCatalog] = {}
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else WorkerPool("thread", workers=workers)
+        self._handles: dict[str, tuple[Any, threading.Lock]] = {}
+        self._locks: dict[tuple, asyncio.Lock] = {}
+        #: Single-flight table: patch cache key -> future of the decode a
+        #: concurrent query already started (thundering-herd protection).
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._closed = False
+        self._stats = {
+            "queries": 0,
+            "patches_served": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "extent_bytes": 0,
+            "payload_bytes": 0,
+            "meta_bytes": 0,
+            "ranged_reads": 0,
+            "group_batches": 0,
+        }
+        #: step -> (file, segment offset, segment length)
+        self._segments: dict[int, tuple[str, int, int]] = {}
+        self.is_sharded = False
+        self.recovered = False
+        try:
+            self._harvest(recover)
+        except BaseException:
+            self._release()
+            raise
+
+    def _harvest(self, recover: bool) -> None:
+        """Read the source's step table and metadata once, then let go of
+        the reader — the service does its own (planned, counted) reads."""
+        probe = self._backend.open_read(self._path)
+        try:
+            head = probe.read(len(SERIES_MAGIC))
+        finally:
+            probe.close()
+        if head == SERIES_MAGIC or head[: len(MANIFEST_MAGIC)] == MANIFEST_MAGIC:
+            reader = SeriesReader.open(
+                self._path, recover=recover, backend=self._given_backend
+            )
+            try:
+                self.is_sharded = bool(reader.is_sharded)
+                self.recovered = bool(reader.recovered)
+                self._meta = reader.meta()
+                for e in reader.step_entries:
+                    file = (
+                        reader.shard_of(e.step) if self.is_sharded else self._path
+                    )
+                    self._segments[e.step] = (file, e.offset, e.length)
+            finally:
+                reader.close()
+        elif head[: len(CONTAINER_MAGIC)] == CONTAINER_MAGIC:
+            snap = ContainerReader.open(self._path, backend=self._given_backend)
+            try:
+                self._meta = {
+                    k: snap.meta()[k]
+                    for k in ("codec", "error_bound", "mode", "fields",
+                              "exclude_covered")
+                }
+            finally:
+                snap.close()
+            self._segments[0] = (self._path, 0, self._backend.size(self._path))
+        else:
+            raise FormatError(
+                f"{self._path}: not an RPH2 container, RPH2S series, or RPHM "
+                f"manifest (magic {head!r})"
+            )
+        self._step_order = sorted(self._segments)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / metadata
+    # ------------------------------------------------------------------
+    def _release(self) -> None:
+        for handle, _ in self._handles.values():
+            try:
+                handle.close()
+            except Exception:
+                pass
+        self._handles.clear()
+        if self._owns_pool:
+            self._pool.close()
+
+    def close(self) -> None:
+        """Release file handles and the owned worker pool (idempotent).
+        Call from the loop the service ran on, after in-flight queries
+        drain — :class:`InProcessClient` does this for you."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def path(self) -> str:
+        """The served series/manifest/snapshot path."""
+        return self._path
+
+    @property
+    def steps(self) -> tuple[int, ...]:
+        """Served timestep numbers, ascending (``(0,)`` for a snapshot)."""
+        return tuple(self._step_order)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Field names recorded at write time."""
+        return tuple(self._meta["fields"])
+
+    @property
+    def codec(self) -> str:
+        """Default codec name recorded at write time."""
+        return str(self._meta["codec"])
+
+    @property
+    def error_bound(self) -> float:
+        """Error bound the source was compressed under."""
+        return float(self._meta["error_bound"])
+
+    @property
+    def mode(self) -> str:
+        """Error-bound mode (``"abs"`` or ``"rel"``)."""
+        return str(self._meta["mode"])
+
+    @property
+    def stats(self) -> dict:
+        """Cumulative counter snapshot (plus cache stats when caching)."""
+        out = dict(self._stats)
+        out["cache"] = self._cache.stats if self._cache is not None else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Byte access (executor side)
+    # ------------------------------------------------------------------
+    def _handle(self, file: str):
+        """The (handle, lock) pair for one file — loop-thread only; the
+        executor jobs receive the pair, never the dict."""
+        pair = self._handles.get(file)
+        if pair is None:
+            pair = (self._backend.open_read(file), threading.Lock())
+            self._handles[file] = pair
+        return pair
+
+    def _fetch_sync(self, file: str, offset: int, length: int) -> bytes:
+        """One ranged fetch through the per-file handle (executor side)."""
+        handle, lock = self._handles[file]
+        with lock:
+            handle.seek(offset)
+            blob = handle.read(length)
+        return blob
+
+    # ------------------------------------------------------------------
+    # Catalogs and group headers
+    # ------------------------------------------------------------------
+    def _catalog_key(self, file: str, step: int) -> tuple:
+        return ("catalog", file, step)
+
+    def _catalog_cached(self, file: str, step: int) -> _StepCatalog | None:
+        if self._cache is not None:
+            return self._cache.get(self._catalog_key(file, step))
+        return self._plain_catalogs.get((file, step))
+
+    async def _catalog(self, step: int, info: QueryInfo) -> _StepCatalog:
+        file, base, length = self._segments[step]
+        cat = self._catalog_cached(file, step)
+        if cat is not None:
+            return cat
+        lock = self._locks.setdefault((file, step), asyncio.Lock())
+        async with lock:
+            cat = self._catalog_cached(file, step)
+            if cat is not None:
+                return cat
+            self._handle(file)  # open before entering the executor
+            window = _CatalogWindow(self, file, base, length)
+            loop = asyncio.get_running_loop()
+            try:
+                reader = await loop.run_in_executor(None, ContainerReader, window)
+            except FormatError as exc:
+                raise FormatError(f"step {step} segment: {exc}") from exc
+            cat = _StepCatalog(file, step, base, reader, window)
+            self._stats["meta_bytes"] += window.bytes_read
+            info.meta_bytes += window.bytes_read
+            if self._cache is not None:
+                self._cache.put(self._catalog_key(file, step), cat,
+                                window.bytes_read)
+            else:
+                self._plain_catalogs[(file, step)] = cat
+            return cat
+
+    async def _load_groups(
+        self, cat: _StepCatalog, gids: Sequence[int], verify: bool, info: QueryInfo
+    ) -> None:
+        """Ensure every needed group header (codebook + extent table) is
+        parsed on the catalog, counting header bytes as metadata."""
+        if not gids:
+            return
+        lock = self._locks.setdefault((cat.file, cat.step), asyncio.Lock())
+        async with lock:
+            before = cat.window.bytes_read
+
+            def load() -> None:
+                for gid in gids:
+                    handle = cat.reader.group(gid, verify=verify)
+                    handle.codebook  # parse the decode tables now,
+                    # immutable afterwards: worker threads only read them
+
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, load)
+            delta = cat.window.bytes_read - before
+            if delta:
+                self._stats["meta_bytes"] += delta
+                info.meta_bytes += delta
+                if self._cache is not None:
+                    self._cache.inflate(self._catalog_key(cat.file, cat.step), delta)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _patch_key(self, file: str, step: int, e: PatchIndexEntry, verify: bool):
+        return ("patch", file, step, e.level, e.field, e.patch, verify)
+
+    def _plan_for(self, cat: _StepCatalog, misses: list[PatchIndexEntry]) -> StepPlan:
+        gids = sorted({e.group for e in misses if e.group is not None})
+        return plan_step(
+            cat.file,
+            cat.step,
+            cat.base,
+            misses,
+            {g: cat.reader.group_entry(g).offset for g in gids},
+            {g: cat.reader.group(g, verify=False) for g in gids},
+            gap_cap=self._gap_cap,
+            slack_frac=self._slack,
+        )
+
+    async def _gather(
+        self, want_steps, want_levels, want_fields, want_patches, verify: bool,
+        info: QueryInfo, owned: dict | None = None,
+    ) -> tuple[dict, list, list[tuple[_StepCatalog, StepPlan]]]:
+        """Walk the selection: serve cache hits, join in-flight decodes
+        another query already started (recorded in ``waits``; counted as
+        hits — they cost this query no bytes), and plan the true misses.
+        When ``owned`` is given, each planned patch registers a
+        single-flight future there (and in ``_inflight``) that the caller
+        MUST resolve or fail; ``owned=None`` (the ``plan()`` path) skips
+        the single-flight table entirely."""
+        hits: dict[tuple, np.ndarray] = {}
+        waits: list[tuple[tuple, asyncio.Future]] = []
+        work: list[tuple[_StepCatalog, StepPlan]] = []
+        for s in self._step_order:
+            if want_steps is not None and s not in want_steps:
+                continue
+            cat = await self._catalog(s, info)
+            chosen = [
+                e
+                for e in cat.reader.entries
+                if (want_levels is None or e.level in want_levels)
+                and (want_fields is None or e.field in want_fields)
+                and (want_patches is None or e.patch in want_patches)
+            ]
+            misses: list[PatchIndexEntry] = []
+            for e in chosen:
+                info.keys += 1
+                key = (s, e.level, e.field, e.patch)
+                pkey = self._patch_key(cat.file, s, e, verify)
+                cached = (
+                    self._cache.get(pkey) if self._cache is not None else None
+                )
+                if cached is not None:
+                    hits[key] = cached
+                    info.cache_hits += 1
+                    continue
+                if owned is not None:
+                    pending = self._inflight.get(pkey)
+                    if pending is not None:
+                        waits.append((key, pending))
+                        info.cache_hits += 1
+                        continue
+                    fut = asyncio.get_running_loop().create_future()
+                    self._inflight[pkey] = fut
+                    owned[key] = (pkey, fut)
+                misses.append(e)
+                info.cache_misses += 1
+            if misses:
+                await self._load_groups(
+                    cat, sorted({e.group for e in misses if e.group is not None}),
+                    verify, info,
+                )
+                plan = self._plan_for(cat, misses)
+                info.extent_bytes += plan.extent_bytes
+                info.fetched_bytes += plan.fetched_bytes
+                info.ranged_reads += len(plan.reads)
+                info.group_batches += sum(
+                    1 for b in plan.batches if b.group is not None
+                )
+                work.append((cat, plan))
+        return hits, waits, work
+
+    async def plan(
+        self, steps=None, levels=None, fields=None, patches=None,
+        verify: bool = True,
+    ) -> QueryPlan:
+        """The :class:`~repro.serve.planner.QueryPlan` the next ``query``
+        with these selectors would execute — cache-hit patches are
+        excluded (they cost no bytes). Loads (and caches) the needed
+        segment catalogs and group headers, but fetches no payload."""
+        self._check_open()
+        info = QueryInfo()
+        _, _, work = await self._gather(
+            _normalize_selector(steps, "step"),
+            _normalize_selector(levels, "level"),
+            _normalize_selector(fields, "field"),
+            _normalize_selector(patches, "patch"),
+            verify,
+            info,
+        )
+        return QueryPlan(steps=[plan for _, plan in work])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def _execute(
+        self, cat: _StepCatalog, plan: StepPlan, verify: bool
+    ) -> dict[tuple, np.ndarray]:
+        loop = asyncio.get_running_loop()
+        self._handle(plan.file)  # open before entering the executor
+        blobs = await asyncio.gather(
+            *[
+                loop.run_in_executor(
+                    None, self._fetch_sync, plan.file, r.offset, r.length
+                )
+                for r in plan.reads
+            ]
+        )
+        copy = self._pool.mode == "process"
+        data: dict[tuple, Any] = {
+            (e.key, e.kind): b"" for e in plan.extents
+        }
+        for r, blob in zip(plan.reads, blobs):
+            if len(blob) != r.length:
+                raise FormatError(
+                    f"{plan.file}: ranged read at {r.offset} returned "
+                    f"{len(blob)} of {r.length} bytes (truncated?)"
+                )
+            view = blob if copy else memoryview(blob)
+            for ext in r.extents:
+                lo = ext.offset - r.offset
+                data[(ext.key, ext.kind)] = view[lo : lo + ext.length]
+        futures = []
+        key_lists: list[list[tuple]] = []
+        for batch in plan.batches:
+            if batch.group is None:
+                e = batch.entries[0]
+                key = (plan.step, e.level, e.field, e.patch)
+                task = (e, data[(key, "stream")], verify)
+                futures.append(
+                    asyncio.wrap_future(
+                        self._pool.submit(_decode_single_task, task)
+                    )
+                )
+                key_lists.append([key])
+            else:
+                handle = cat.reader.group(batch.group, verify=False)
+                codebook = handle.codebook_bytes if copy else handle.codebook
+                items, keys = [], []
+                for e in batch.entries:
+                    key = (plan.step, e.level, e.field, e.patch)
+                    _, _, payload_crc = handle.member_extent(e.member)
+                    items.append(
+                        (e, data[(key, "stream")],
+                         data[(key, "group_payload")], payload_crc)
+                    )
+                    keys.append(key)
+                futures.append(
+                    asyncio.wrap_future(
+                        self._pool.submit(
+                            _decode_group_task, (codebook, items, verify)
+                        )
+                    )
+                )
+                key_lists.append(keys)
+        decoded = await asyncio.gather(*futures)
+        out: dict[tuple, np.ndarray] = {}
+        for keys, arrays in zip(key_lists, decoded):
+            for key, arr in zip(keys, arrays):
+                out[key] = arr
+        return out
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("query service is closed")
+
+    def _fail_owned(self, owned: dict, exc: BaseException) -> None:
+        """Fail every single-flight future this query registered, so
+        queries waiting on a shared decode see the error instead of
+        hanging; the cache is never populated on this path."""
+        for pkey, fut in owned.values():
+            self._inflight.pop(pkey, None)
+            if not fut.done():
+                fut.set_exception(exc)
+                fut.exception()  # mark retrieved: waiters may be gone
+        owned.clear()
+
+    async def query_info(
+        self,
+        steps=None,
+        levels=None,
+        fields=None,
+        patches=None,
+        region=None,
+        verify: bool = True,
+    ) -> tuple[dict[tuple, np.ndarray], QueryInfo]:
+        """:meth:`query`, plus this query's :class:`QueryInfo` accounting."""
+        self._check_open()
+        info = QueryInfo()
+        owned: dict[tuple, tuple[tuple, asyncio.Future]] = {}
+        try:
+            hits, waits, work = await self._gather(
+                _normalize_selector(steps, "step"),
+                _normalize_selector(levels, "level"),
+                _normalize_selector(fields, "field"),
+                _normalize_selector(patches, "patch"),
+                verify,
+                info,
+                owned,
+            )
+            executed = await asyncio.gather(
+                *[self._execute(cat, plan, verify) for cat, plan in work]
+            )
+        except BaseException as exc:
+            self._fail_owned(owned, exc)
+            raise
+        results = dict(hits)
+        for sub in executed:
+            for key, arr in sub.items():
+                arr.setflags(write=False)
+                pkey, fut = owned.pop(key)
+                self._inflight.pop(pkey, None)
+                if self._cache is not None:
+                    self._cache.put(pkey, arr, arr.nbytes)
+                if not fut.done():
+                    fut.set_result(arr)
+                results[key] = arr
+        # Anything still owned was planned but never decoded (can't
+        # happen in a healthy plan; never leave waiters wedged on it).
+        if owned:
+            self._fail_owned(
+                owned, ServeError("planned patch was not decoded")
+            )
+        if waits:
+            joined = await asyncio.gather(*[fut for _, fut in waits])
+            for (key, _), arr in zip(waits, joined):
+                results[key] = arr
+        self._stats["queries"] += 1
+        self._stats["patches_served"] += len(results)
+        self._stats["cache_hits"] += info.cache_hits
+        self._stats["cache_misses"] += info.cache_misses
+        self._stats["extent_bytes"] += info.extent_bytes
+        self._stats["payload_bytes"] += info.fetched_bytes
+        self._stats["ranged_reads"] += info.ranged_reads
+        self._stats["group_batches"] += info.group_batches
+        out: dict[tuple, np.ndarray] = {}
+        for key in sorted(results):
+            arr = results[key]
+            out[key] = arr if region is None else _apply_region(arr, region, key)
+        return out, info
+
+    async def query(
+        self,
+        steps=None,
+        levels=None,
+        fields=None,
+        patches=None,
+        region=None,
+        verify: bool = True,
+    ) -> dict[tuple, np.ndarray]:
+        """Decompress the selection; results keyed ``(step, level, field,
+        patch)`` and byte-identical to
+        :func:`repro.compression.amr_codec.decompress_selection` on the
+        same source. ``region`` is an optional per-axis ``(lo, hi)`` tuple
+        sliced out of every selected patch after decode. Arrays are
+        read-only (shared with the cache); ``.copy()`` to mutate.
+        """
+        out, _ = await self.query_info(
+            steps=steps, levels=levels, fields=fields, patches=patches,
+            region=region, verify=verify,
+        )
+        return out
+
+
+class InProcessClient:
+    """Synchronous facade running a :class:`QueryService` on its own
+    event-loop thread — the in-process client tests, benchmarks, and
+    plain multi-threaded callers use. Thread-safe: any thread may call
+    :meth:`query` concurrently; coroutines are marshalled to the service
+    loop, which is where all shared state lives.
+
+    .. code-block:: python
+
+        from repro.serve import InProcessClient
+
+        with InProcessClient("run.rph2s") as client:
+            patch = client.query(steps=3, levels=1, fields="f", patches=0)
+    """
+
+    def __init__(self, source: str | Path | QueryService, **kwargs):
+        if isinstance(source, QueryService):
+            if kwargs:
+                raise ServeError(
+                    "pass service options only when the client builds the "
+                    "service (got a QueryService plus keyword options)"
+                )
+            self._service = source
+            self._owns = False
+        else:
+            self._service = QueryService(source, **kwargs)
+            self._owns = True
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-client", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def service(self) -> QueryService:
+        """The underlying service (read its ``steps``/``fields``/...)."""
+        return self._service
+
+    def _run(self, coro):
+        if self._closed:
+            raise ServeError("in-process client is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def query(self, **selectors) -> dict[tuple, np.ndarray]:
+        """Synchronous :meth:`QueryService.query`."""
+        return self._run(self._service.query(**selectors))
+
+    def query_info(self, **selectors):
+        """Synchronous :meth:`QueryService.query_info`."""
+        return self._run(self._service.query_info(**selectors))
+
+    def plan(self, **selectors) -> QueryPlan:
+        """Synchronous :meth:`QueryService.plan`."""
+        return self._run(self._service.plan(**selectors))
+
+    def stats(self) -> dict:
+        """Service counter snapshot, taken on the service loop."""
+
+        async def snap() -> dict:
+            return self._service.stats
+
+        return self._run(snap())
+
+    def close(self) -> None:
+        """Drain, close the service (if owned), and stop the loop thread."""
+        if self._closed:
+            return
+
+        async def shutdown() -> None:
+            if self._owns:
+                self._service.close()
+
+        try:
+            asyncio.run_coroutine_threadsafe(shutdown(), self._loop).result()
+        finally:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+            self._loop.close()
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,91 @@
+"""Shared sources for the serve suite: one small series, one sharded
+campaign, and one grouped snapshot, each step holding *distinct* data so
+byte-identity checks cannot pass by accident."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr.io import write_series, write_sharded_series
+from repro.compression.amr_codec import compress_hierarchy, decompress_selection
+
+from tests.conftest import make_sphere_hierarchy
+
+N_STEPS = 4
+N_SHARD_STEPS = 6
+N_SHARDS = 3
+
+
+def step_hierarchy(s: int):
+    """A two-level hierarchy whose data differs per step."""
+    h = make_sphere_hierarchy(n=16)
+    for level in h.levels:
+        for p in level.patches("f"):
+            p.data += 0.05 * (s + 1) * np.cos(p.data * (s + 1))
+    return h
+
+
+@pytest.fixture(scope="session")
+def series_path(tmp_path_factory):
+    """A 4-step RPH2S series with per-step distinct data."""
+    path = tmp_path_factory.mktemp("serve") / "run.rph2s"
+    write_series(path, [step_hierarchy(s) for s in range(N_STEPS)], "sz-lr", 1e-3)
+    return path
+
+
+@pytest.fixture(scope="session")
+def sharded_path(tmp_path_factory):
+    """A 6-step, 3-shard RPHM campaign with per-step distinct data."""
+    path = tmp_path_factory.mktemp("serve-sharded") / "camp.rphm"
+    write_sharded_series(
+        path,
+        [step_hierarchy(s) for s in range(N_SHARD_STEPS)],
+        "sz-lr",
+        1e-3,
+        n_shards=N_SHARDS,
+    )
+    return path
+
+
+@pytest.fixture(scope="session")
+def snapshot_path(tmp_path_factory):
+    """A standalone level-batched RPH2 snapshot — the only source kind
+    whose streams live in RPGB shared-codebook groups (the streaming
+    writer never groups), so this is what exercises batched decode."""
+    path = tmp_path_factory.mktemp("serve-snap") / "snap.rph2"
+    blob = compress_hierarchy(
+        step_hierarchy(0), "sz-lr", 1e-3, batch="level"
+    ).tobytes()
+    path.write_bytes(blob)
+    return path
+
+
+def direct_truth(path, **selectors):
+    """Fresh single-threaded ground truth, keyed like the service: a
+    4-tuple ``(step, level, field, patch)`` even for snapshots (which the
+    service exposes as step 0, so a ``steps`` selector without 0 is an
+    empty selection)."""
+    with open(path, "rb") as probe:
+        head = probe.read(5)
+    if head[:4] == b"RPH2" and head != b"RPH2S":
+        steps = selectors.pop("steps", None)
+        if steps is not None:
+            wanted = {steps} if isinstance(steps, int) else set(steps)
+            if 0 not in wanted:
+                return {}
+    out = decompress_selection(path, **selectors)
+    return {
+        (k if len(k) == 4 else (0, *k)): v for k, v in out.items()
+    }
+
+
+def assert_byte_identical(served: dict, truth: dict):
+    assert set(served) == set(truth), (
+        f"key sets differ: served-only {set(served) - set(truth)}, "
+        f"truth-only {set(truth) - set(served)}"
+    )
+    for key in served:
+        a, b = served[key], truth[key]
+        assert a.dtype == b.dtype and a.shape == b.shape, key
+        assert a.tobytes() == b.tobytes(), f"bytes differ for {key}"

@@ -1,0 +1,208 @@
+"""Concurrency stress: many interleaved clients against one service.
+
+Every concurrently-served response must be byte-identical to a fresh
+single-threaded ``decompress_selection`` of the same selection — over a
+local series, a sharded campaign, and a grouped snapshot; with the cache
+on, off, and thrashing (a budget small enough to force constant
+eviction); through the asyncio surface and through the thread-safe
+``InProcessClient`` facade.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import InProcessClient, QueryService
+
+from tests.serve.conftest import (
+    N_SHARD_STEPS,
+    N_STEPS,
+    assert_byte_identical,
+    direct_truth,
+)
+
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 6
+
+
+def random_selectors(rng: random.Random, n_steps: int) -> dict:
+    out = {}
+    if rng.random() < 0.8:
+        out["steps"] = rng.sample(range(n_steps), rng.randint(1, min(3, n_steps)))
+    if rng.random() < 0.7:
+        out["levels"] = rng.sample(range(2), rng.randint(1, 2))
+    if rng.random() < 0.4:
+        out["patches"] = [0]
+    if rng.random() < 0.2:
+        out["verify"] = False
+    return out
+
+
+async def _client(svc: QueryService, seed: int, n_steps: int):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(QUERIES_PER_CLIENT):
+        selectors = random_selectors(rng, n_steps)
+        served = await svc.query(**selectors)
+        out.append((selectors, served))
+        await asyncio.sleep(0)  # force interleaving between clients
+    return out
+
+
+def _check_against_truth(source, batches):
+    for per_client in batches:
+        for selectors, served in per_client:
+            truth_sel = {k: v for k, v in selectors.items() if k != "verify"}
+            assert_byte_identical(served, direct_truth(source, **truth_sel))
+
+
+def _stress(source, n_steps: int, **service_kwargs):
+    async def scenario():
+        svc = QueryService(source, workers=2, **service_kwargs)
+        try:
+            return await asyncio.gather(
+                *[_client(svc, 1000 + i, n_steps) for i in range(N_CLIENTS)]
+            )
+        finally:
+            svc.close()
+
+    _check_against_truth(source, asyncio.run(scenario()))
+
+
+def test_concurrent_clients_local_series(series_path):
+    _stress(series_path, N_STEPS)
+
+
+def test_concurrent_clients_sharded(sharded_path):
+    _stress(sharded_path, N_SHARD_STEPS)
+
+
+def test_concurrent_clients_grouped_snapshot(snapshot_path):
+    _stress(snapshot_path, 1)
+
+
+def test_concurrent_clients_cache_disabled(series_path):
+    _stress(series_path, N_STEPS, cache_bytes=None)
+
+
+def test_concurrent_clients_cache_thrashing(series_path):
+    # A budget far below one query's decoded output: every query evicts
+    # most of what the previous one cached, mid-flight.
+    _stress(series_path, N_STEPS, cache_bytes=64 << 10)
+
+
+def test_cache_on_off_identical_bytes(series_path):
+    """The cache must be invisible: cached, uncached, and thrashing
+    services return bit-identical responses for an identical query mix."""
+    rng = random.Random(99)
+    mixes = [random_selectors(rng, N_STEPS) for _ in range(12)]
+
+    async def run_service(cache_bytes):
+        svc = QueryService(series_path, workers=2, cache_bytes=cache_bytes)
+        try:
+            return [await svc.query(**sel) for sel in mixes]
+        finally:
+            svc.close()
+
+    cached = asyncio.run(run_service(64 << 20))
+    uncached = asyncio.run(run_service(None))
+    thrashing = asyncio.run(run_service(64 << 10))
+    for a, b, c in zip(cached, uncached, thrashing):
+        assert set(a) == set(b) == set(c)
+        for key in a:
+            assert a[key].tobytes() == b[key].tobytes() == c[key].tobytes()
+
+
+def test_concurrent_queries_share_one_catalog_load(series_path):
+    """N clients hitting the same cold step must parse its catalog once —
+    the per-(file, step) lock prevents a duplicate-load stampede."""
+
+    async def scenario():
+        svc = QueryService(series_path, workers=2)
+        try:
+            infos = await asyncio.gather(
+                *[svc.query_info(steps=2, levels=0) for _ in range(6)]
+            )
+            loads = sum(1 for _, info in infos if info.meta_bytes > 0)
+            assert loads == 1, f"catalog parsed {loads} times for one step"
+            # Exactly one of the six paid payload bytes, too: the rest
+            # either hit the decoded-patch cache or waited out the load.
+            assert svc.stats["payload_bytes"] == max(
+                info.fetched_bytes for _, info in infos
+            )
+            return [res for res, _ in infos]
+        finally:
+            svc.close()
+
+    results = asyncio.run(scenario())
+    truth = direct_truth(series_path, steps=2, levels=0)
+    for served in results:
+        assert_byte_identical(served, truth)
+
+
+def test_in_process_client_thread_stress(series_path):
+    """The synchronous facade under real threads: 8 threads, interleaved
+    random selections, one shared client/service."""
+    with InProcessClient(series_path, workers=2) as client:
+
+        def worker(seed: int):
+            rng = random.Random(seed)
+            out = []
+            for _ in range(QUERIES_PER_CLIENT):
+                selectors = random_selectors(rng, N_STEPS)
+                out.append((selectors, client.query(**selectors)))
+            return out
+
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            batches = list(pool.map(worker, range(2000, 2000 + N_CLIENTS)))
+    _check_against_truth(series_path, batches)
+
+
+def test_serial_pool_still_concurrent_correct(series_path):
+    """A serial decode pool (inline futures) must not deadlock the loop
+    or corrupt interleaved responses."""
+    from repro.parallel.pool import WorkerPool
+
+    async def scenario():
+        with WorkerPool("serial") as pool:
+            svc = QueryService(series_path, pool=pool)
+            try:
+                return await asyncio.gather(
+                    *[_client(svc, 3000 + i, N_STEPS) for i in range(4)]
+                )
+            finally:
+                svc.close()
+
+    _check_against_truth(series_path, asyncio.run(scenario()))
+
+
+def test_region_slicing_matches_manual_slice(series_path):
+    async def scenario():
+        svc = QueryService(series_path, workers=2)
+        try:
+            whole = await svc.query(steps=0, levels=0)
+            sliced = await svc.query(
+                steps=0, levels=0, region=((2, 9), (0, 16), (4, 5))
+            )
+            return whole, sliced
+        finally:
+            svc.close()
+
+    whole, sliced = asyncio.run(scenario())
+    assert set(whole) == set(sliced)
+    for key in whole:
+        expect = whole[key][2:9, 0:16, 4:5]
+        assert sliced[key].shape == expect.shape
+        assert sliced[key].tobytes() == expect.tobytes()
+
+
+def test_served_arrays_are_read_only(series_path):
+    with InProcessClient(series_path, workers=2) as client:
+        served = client.query(steps=0, levels=0)
+        arr = next(iter(served.values()))
+        with pytest.raises(ValueError):
+            arr[0, 0, 0] = 1.0

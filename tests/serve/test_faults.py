@@ -1,0 +1,222 @@
+"""Fault injection on the serving path.
+
+The service routes every byte through its storage backend, so a
+``RangedBackend`` fault hook can fail any GET at any moment. The
+contract under fire: transient faults retry invisibly (byte-identical
+results), exhausted retries surface as ``StorageError`` without
+poisoning the cache or the single-flight table, and a failing file never
+wedges queries against healthy files — including queries already in
+flight when the fault starts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import StorageError, TransientStorageError
+from repro.serve import QueryService
+from repro.storage import LocalFileBackend, RangedBackend
+
+from tests.serve.conftest import assert_byte_identical, direct_truth
+
+
+def _no_sleep(_seconds: float) -> None:
+    pass
+
+
+class FaultPlan:
+    """Mutable fault policy: ``fail(predicate)`` makes matching GETs raise
+    ``TransientStorageError`` (every attempt, so retries exhaust);
+    ``fail_once(predicate)`` fails only attempt 0 (so retry succeeds)."""
+
+    def __init__(self):
+        self._always = None
+        self._first = None
+        self.faults = 0
+
+    def fail(self, predicate) -> None:
+        self._always = predicate
+
+    def fail_once(self, predicate) -> None:
+        self._first = predicate
+
+    def clear(self) -> None:
+        self._always = self._first = None
+
+    def __call__(self, name: str, offset: int, length: int, attempt: int):
+        if self._always is not None and self._always(name, offset, length):
+            self.faults += 1
+            raise TransientStorageError(
+                f"injected fault: {name} [{offset}:{offset + length}]"
+            )
+        if (
+            self._first is not None
+            and attempt == 0
+            and self._first(name, offset, length)
+        ):
+            self.faults += 1
+            raise TransientStorageError(
+                f"injected first-attempt fault: {name} "
+                f"[{offset}:{offset + length}]"
+            )
+
+
+def _service(path, plan: FaultPlan, **kwargs) -> tuple[QueryService, RangedBackend]:
+    backend = RangedBackend(
+        LocalFileBackend(), readahead=1 << 12, max_retries=2,
+        sleep=_no_sleep, fault=plan,
+    )
+    return QueryService(path, backend=backend, workers=2, **kwargs), backend
+
+
+def test_transient_faults_retry_to_identical_bytes(series_path):
+    plan = FaultPlan()
+    plan.fail_once(lambda name, off, length: True)  # every GET flakes once
+
+    async def scenario():
+        svc, backend = _service(series_path, plan)
+        try:
+            served = await svc.query(steps=[0, 2], levels=1)
+            return served, dict(backend.stats)
+        finally:
+            svc.close()
+
+    served, stats = asyncio.run(scenario())
+    assert_byte_identical(served, direct_truth(series_path, steps=[0, 2], levels=1))
+    assert plan.faults > 0
+    assert stats["retries"] == plan.faults  # every injected fault was retried
+
+
+def test_exhausted_retries_propagate_without_poisoning_cache(series_path):
+    plan = FaultPlan()
+
+    async def scenario():
+        svc, _ = _service(series_path, plan)
+        try:
+            # Load the catalog cleanly, then fail all payload GETs.
+            await svc.plan(steps=1)
+            plan.fail(lambda name, off, length: True)
+            with pytest.raises(StorageError, match="injected fault"):
+                await svc.query(steps=1, levels=0)
+            after_failure = svc.stats
+            assert after_failure["patches_served"] == 0
+            # Nothing half-decoded may have been cached...
+            assert not any(
+                k[0] == "patch" for k in svc._cache._entries
+            ), "failed query left a patch in the cache"
+            # ...and the single-flight table must be clean (a stale entry
+            # would wedge every later query for the same patch).
+            assert not svc._inflight
+            plan.clear()
+            return await svc.query(steps=1, levels=0)
+        finally:
+            svc.close()
+
+    served = asyncio.run(scenario())
+    assert_byte_identical(served, direct_truth(series_path, steps=1, levels=0))
+
+
+def test_catalog_load_failure_is_clean_and_recoverable(series_path):
+    plan = FaultPlan()
+
+    async def scenario():
+        svc, _ = _service(series_path, plan)  # harvest runs clean
+        plan.fail(lambda name, off, length: True)
+        try:
+            with pytest.raises(StorageError, match="injected fault"):
+                await svc.query(steps=0)
+            # The failed parse must not be cached as a catalog...
+            assert not any(k[0] == "catalog" for k in svc._cache._entries)
+            plan.clear()
+            # ...so the retry reloads and succeeds.
+            return await svc.query(steps=0, levels=0)
+        finally:
+            svc.close()
+
+    served = asyncio.run(scenario())
+    assert_byte_identical(served, direct_truth(series_path, steps=0, levels=0))
+
+
+def test_faulty_shard_does_not_wedge_other_shards(sharded_path):
+    """Kill one shard's GETs mid-service: queries for its steps fail,
+    queries for every other shard keep answering byte-identically."""
+    plan = FaultPlan()
+
+    async def scenario():
+        svc, _ = _service(sharded_path, plan)
+        try:
+            victim = svc._segments[0][0]  # shard file owning step 0
+            safe_steps = [
+                s for s, (f, _, _) in svc._segments.items() if f != victim
+            ]
+            plan.fail(lambda name, off, length: name == victim)
+            outcomes = await asyncio.gather(
+                svc.query(steps=0),
+                *[svc.query(steps=s, levels=1) for s in safe_steps],
+                return_exceptions=True,
+            )
+            return safe_steps, outcomes
+        finally:
+            svc.close()
+
+    safe_steps, outcomes = asyncio.run(scenario())
+    assert isinstance(outcomes[0], StorageError)
+    for s, served in zip(safe_steps, outcomes[1:]):
+        assert not isinstance(served, BaseException), f"step {s}: {served!r}"
+        assert_byte_identical(served, direct_truth(sharded_path, steps=s, levels=1))
+
+
+def test_single_flight_waiters_see_the_owners_failure(series_path):
+    """Two concurrent queries for the same cold patch share one decode;
+    when that decode's GET dies, both see the failure (no hang), and the
+    patch is still servable once the fault clears."""
+    plan = FaultPlan()
+
+    async def scenario():
+        svc, _ = _service(series_path, plan)
+        try:
+            await svc.plan(steps=2)  # catalog in, payload still cold
+            plan.fail(lambda name, off, length: True)
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(
+                    svc.query(steps=2, levels=0),
+                    svc.query(steps=2, levels=0),
+                    return_exceptions=True,
+                ),
+                timeout=30,
+            )
+            assert all(isinstance(o, StorageError) for o in outcomes), outcomes
+            assert not svc._inflight
+            plan.clear()
+            return await svc.query(steps=2, levels=0)
+        finally:
+            svc.close()
+
+    served = asyncio.run(scenario())
+    assert_byte_identical(served, direct_truth(series_path, steps=2, levels=0))
+
+
+def test_mid_campaign_transient_burst_is_invisible(sharded_path):
+    """A burst of first-attempt faults across all shards mid-stream of
+    interleaved queries changes no bytes anywhere."""
+    plan = FaultPlan()
+
+    async def scenario():
+        svc, backend = _service(sharded_path, plan)
+        try:
+            warm = await svc.query(steps=[0, 1])  # clean warm-up
+            plan.fail_once(lambda name, off, length: True)
+            during = await asyncio.gather(
+                *[svc.query(steps=s) for s in (2, 3, 4, 5)]
+            )
+            return warm, during, dict(backend.stats)
+        finally:
+            svc.close()
+
+    warm, during, stats = asyncio.run(scenario())
+    assert_byte_identical(warm, direct_truth(sharded_path, steps=[0, 1]))
+    for s, served in zip((2, 3, 4, 5), during):
+        assert_byte_identical(served, direct_truth(sharded_path, steps=s))
+    assert stats["retries"] > 0

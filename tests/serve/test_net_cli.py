@@ -1,0 +1,216 @@
+"""TCP protocol round-trips and the ``serve`` CLI subcommand.
+
+The socket layer must preserve the service's core guarantee — responses
+byte-identical to direct reads — and its protocol errors must be
+per-request, never per-connection or per-server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import QueryServer, QueryService, TCPClient
+
+from tests.serve.conftest import assert_byte_identical, direct_truth
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@contextmanager
+def running_server(path, **service_kwargs):
+    """A QueryServer on a background event-loop thread; yields (host, port)."""
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    box: dict = {}
+
+    async def main():
+        service = QueryService(path, workers=2, **service_kwargs)
+        server = QueryServer(service)
+        await server.start()
+        box["addr"] = server.address
+        box["server"] = server
+        started.set()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(target=lambda: loop.run_until_complete(main()),
+                              daemon=True)
+    thread.start()
+    assert started.wait(15), "server did not start"
+    try:
+        yield box["addr"]
+    finally:
+        coro = box["server"].stop()
+        try:  # no-op if a shutdown op already stopped the loop
+            asyncio.run_coroutine_threadsafe(coro, loop).result(timeout=15)
+        except Exception:
+            coro.close()
+        thread.join(timeout=15)
+        loop.close()
+
+
+def test_tcp_query_byte_identical(series_path):
+    with running_server(series_path) as (host, port):
+        with TCPClient(host, port) as client:
+            assert client.ping()
+            served, info = client.query_info(steps=[1, 3], levels=1)
+            assert info["fetched_bytes"] > 0
+            assert_byte_identical(
+                served, direct_truth(series_path, steps=[1, 3], levels=1)
+            )
+            # Warm repeat over the same socket: zero payload bytes.
+            _, warm = client.query_info(steps=[1, 3], levels=1)
+            assert warm["fetched_bytes"] == 0 and warm["meta_bytes"] == 0
+
+
+def test_tcp_meta_plan_stats_ops(sharded_path):
+    with running_server(sharded_path) as (host, port):
+        with TCPClient(host, port) as client:
+            meta = client.meta()
+            assert meta["sharded"] is True
+            assert meta["steps"] == [0, 1, 2, 3, 4, 5]
+            assert meta["fields"] == ["f"]
+            plan = client.plan(steps=[0, 1])
+            assert plan["extent_bytes"] > 0
+            assert plan["fetched_bytes"] <= int(1.25 * plan["extent_bytes"])
+            client.query(steps=[0, 1])
+            stats = client.stats()
+            assert stats["queries"] == 1
+            assert stats["payload_bytes"] > 0
+
+
+def test_tcp_errors_are_per_request(series_path):
+    with running_server(series_path) as (host, port):
+        with TCPClient(host, port) as client:
+            with pytest.raises(ServeError, match="unknown op"):
+                client._request({"op": "frobnicate"})
+            with pytest.raises(ServeError, match="region"):
+                client.query(steps=0, levels=0, region=[[0, 1]])  # wrong ndim
+            # Malformed JSON on the raw socket: reported, not fatal.
+            client._sock.sendall(b"{not json\n")
+            reply = json.loads(client._rfile.readline())
+            assert reply["ok"] is False and "JSON" in reply["error"]
+            # The connection (and server) still answer real queries.
+            served = client.query(steps=0, levels=0)
+            assert_byte_identical(
+                served, direct_truth(series_path, steps=0, levels=0)
+            )
+
+
+def test_tcp_concurrent_clients(series_path):
+    selections = [
+        {"steps": [0]}, {"steps": [1], "levels": [1]},
+        {"steps": [2], "levels": [0]}, {"steps": [3]},
+        {"levels": [1]}, {"steps": [0, 2], "patches": [0]},
+    ]
+    with running_server(series_path) as (host, port):
+
+        def worker(sel):
+            with TCPClient(host, port) as client:
+                return sel, client.query(**sel)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            outcomes = list(pool.map(worker, selections))
+    for sel, served in outcomes:
+        assert_byte_identical(served, direct_truth(series_path, **sel))
+
+
+def test_shutdown_op_stops_server(series_path):
+    with running_server(series_path) as (host, port):
+        with TCPClient(host, port) as client:
+            client.shutdown()
+        # New connections are refused once the listener is down.
+        import socket, time
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection((host, port), timeout=0.5).close()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("listener still accepting after shutdown op")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _spawn_serve(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.compression", "serve", *map(str, args)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        cwd=REPO,
+    )
+
+
+def _bound_address(proc) -> tuple[str, int]:
+    line = proc.stdout.readline()
+    m = re.search(r"on ([\d.]+):(\d+)\s*$", line)
+    assert m, f"cannot parse serve banner: {line!r}"
+    return m.group(1), int(m.group(2))
+
+
+def test_cli_serve_roundtrip_and_shutdown(series_path):
+    proc = _spawn_serve(series_path, "--port", "0")
+    try:
+        host, port = _bound_address(proc)
+        with TCPClient(host, port) as client:
+            meta = client.meta()
+            assert meta["steps"] == [0, 1, 2, 3]
+            served = client.query(steps=2, levels=1)
+            assert_byte_identical(
+                served, direct_truth(series_path, steps=2, levels=1)
+            )
+            client.shutdown()
+        assert proc.wait(timeout=15) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_cli_serve_recovered_series(series_path, tmp_path):
+    import shutil
+
+    torn = tmp_path / "torn.rph2s"
+    shutil.copy(series_path, torn)
+    with open(torn, "r+b") as f:
+        f.truncate(torn.stat().st_size - 40)
+    proc = _spawn_serve(torn, "--recover")
+    try:
+        host, port = _bound_address(proc)
+        with TCPClient(host, port) as client:
+            assert client.meta()["recovered"] is True
+            served = client.query(steps=1, levels=0)
+            assert_byte_identical(
+                served, direct_truth(series_path, steps=1, levels=0)
+            )
+            client.shutdown()
+        assert proc.wait(timeout=15) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_cli_serve_refuses_garbage(tmp_path):
+    bogus = tmp_path / "bogus.bin"
+    bogus.write_bytes(b"NOTAFORMAT" * 10)
+    proc = _spawn_serve(bogus)
+    out, err = proc.communicate(timeout=30)
+    assert proc.returncode != 0
+    assert "RPH2" in err  # names the formats it can serve
