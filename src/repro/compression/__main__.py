@@ -268,7 +268,17 @@ def _cmd_serve(args) -> int:
             workers=resolve_workers(args.workers),
         )
         try:
-            server = QueryServer(service, host=args.host, port=args.port)
+            server = QueryServer(
+                service,
+                host=args.host,
+                port=args.port,
+                idle_timeout=(
+                    args.idle_timeout if args.idle_timeout > 0 else None
+                ),
+                max_connections=(
+                    args.max_connections if args.max_connections > 0 else None
+                ),
+            )
             await server.start()
             host, port = server.address
             kind = "sharded campaign" if service.is_sharded else (
@@ -467,6 +477,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--recover", action="store_true",
                    help="serve the fully-sealed steps of a crash-"
                         "interrupted series (read-only recovery scan)")
+    p.add_argument("--idle-timeout", type=float, default=300.0,
+                   help="drop a connection idle for this many seconds "
+                        "between requests (default 300; 0 = never)")
+    p.add_argument("--max-connections", type=int, default=0,
+                   help="refuse connections over this cap with a typed "
+                        "Overloaded reply (default 0 = unlimited)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

@@ -17,7 +17,10 @@ __all__ = [
     "TruncatedSeriesError",
     "StorageError",
     "TransientStorageError",
+    "CircuitOpenError",
     "ServeError",
+    "DeadlineExceeded",
+    "Overloaded",
     "VisualizationError",
     "MetricError",
     "ExperimentError",
@@ -66,11 +69,34 @@ class TransientStorageError(StorageError):
     giving up and re-raising."""
 
 
+class CircuitOpenError(StorageError):
+    """A circuit breaker is open for a backend/shard: recent consecutive
+    storage faults tripped it, so requests fast-fail for a cooldown
+    instead of hammering a dead backend. Retry after the cooldown, or
+    query with ``partial=True`` to serve around the dead shard."""
+
+
 class ServeError(ReproError):
     """Invalid query-service request or configuration (bad selection plan,
     malformed region, use after close). Data-integrity failures on the
     serving path stay :class:`FormatError`; backend faults stay
     :class:`StorageError`."""
+
+
+class DeadlineExceeded(ServeError):
+    """A query's ``deadline=``/``timeout=`` expired before it completed.
+    The query's outstanding I/O is cancelled; the service's cache and
+    single-flight table stay clean, so an immediate retry is safe."""
+
+
+class Overloaded(ServeError):
+    """Load shed by admission control: the service's in-flight budget and
+    wait queue are both full. ``retry_after`` (seconds, or ``None``) is
+    the server's estimate of when capacity frees up."""
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class VisualizationError(ReproError):

@@ -836,6 +836,57 @@ class ShardedSeriesReader:
             )
         return dict(sorted(out.items()))
 
+    def select_partial(
+        self,
+        steps=None,
+        levels=None,
+        fields=None,
+        patches=None,
+        verify: bool = True,
+        parallel: str = "serial",
+        workers: int = 2,
+        pool=None,
+    ) -> tuple[dict[tuple[int, int, str, int], np.ndarray], list[dict]]:
+        """Degraded :meth:`select`: serve what the surviving shards can.
+
+        Instead of failing the whole selection when one shard is dead or
+        corrupt, each shard's read is attempted independently; the result
+        is ``(results, missing)`` where ``results`` holds every patch the
+        healthy shards produced (same keys/bytes as :meth:`select`) and
+        ``missing`` holds one ``{"step", "file", "error", "detail"}``
+        record per selected step an unservable shard owned. An empty
+        ``missing`` list means the result is complete.
+        """
+        want_steps = _normalize_selector(steps, "step")
+        per_shard: dict[str, list[int]] = {}
+        for e in self.step_entries:
+            if want_steps is not None and e.step not in want_steps:
+                continue
+            per_shard.setdefault(self._owner[e.step], []).append(e.step)
+        out: dict[tuple[int, int, str, int], np.ndarray] = {}
+        missing: list[dict] = []
+        for name, shard_steps in per_shard.items():
+            try:
+                out.update(
+                    self._readers[name].select(
+                        steps=shard_steps, levels=levels, fields=fields,
+                        patches=patches, verify=verify, parallel=parallel,
+                        workers=workers, pool=pool,
+                    )
+                )
+            except (StorageError, FormatError) as exc:
+                missing.extend(
+                    {
+                        "step": s,
+                        "file": name,
+                        "error": type(exc).__name__,
+                        "detail": str(exc),
+                    }
+                    for s in shard_steps
+                )
+        missing.sort(key=lambda m: m["step"])
+        return dict(sorted(out.items())), missing
+
 
 def recover_sharded(
     path: str | Path,

@@ -106,6 +106,15 @@ class WorkerPool:
         """Whether :meth:`close` has released the executor."""
         return self._closed
 
+    @property
+    def broken(self) -> bool:
+        """Whether the executor can no longer run tasks (a process-pool
+        worker died, poisoning the pool). Serial and thread pools never
+        break; a broken process pool fails every future with
+        ``BrokenProcessPool`` until replaced — callers owning their pool
+        (e.g. :class:`repro.serve.QueryService`) use this to rebuild."""
+        return bool(getattr(self._executor, "_broken", False))
+
     def _check_open(self) -> None:
         if self._closed:
             raise ReproError("worker pool is closed")

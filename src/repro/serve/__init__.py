@@ -11,9 +11,20 @@ headers/codebooks, and decoded patches in a byte-budgeted LRU
 in-process facade; :class:`QueryServer`/:class:`TCPClient`
 (:mod:`repro.serve.net`) put the same service on a socket — also exposed
 as ``python -m repro.compression serve``.
+
+Resilience (:mod:`repro.serve.resilience`) is built in: queries take
+``timeout=``/``deadline=`` (expiry raises
+:class:`~repro.errors.DeadlineExceeded`), admission control sheds load
+with :class:`~repro.errors.Overloaded` when the in-flight budget and
+queue fill, per-backend-file circuit breakers fast-fail a dead
+shard/backend with :class:`~repro.errors.CircuitOpenError`, and
+``partial=True`` serves around dead shards, reporting what is missing in
+:class:`QueryInfo`. Deterministic fault injection for all of it lives in
+:mod:`repro.faults`.
 """
 
 from repro.serve.cache import ServeCache
+from repro.serve.resilience import AdmissionGate, CircuitBreaker, Deadline
 from repro.serve.planner import (
     DEFAULT_GAP_CAP,
     DEFAULT_SLACK,
@@ -50,4 +61,7 @@ __all__ = [
     "DEFAULT_GAP_CAP",
     "DEFAULT_SLACK",
     "DEFAULT_CACHE_BYTES",
+    "Deadline",
+    "AdmissionGate",
+    "CircuitBreaker",
 ]

@@ -37,7 +37,13 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ReproError, ServeError
+from repro.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ReproError,
+    ServeError,
+    StorageError,
+)
 from repro.serve.service import QueryService
 
 __all__ = ["QueryServer", "TCPClient", "MAX_REQUEST_BYTES"]
@@ -56,27 +62,63 @@ def _selectors(req: dict) -> dict:
     if region is not None:
         out["region"] = [tuple(pair) for pair in region]
     out["verify"] = bool(req.get("verify", True))
+    timeout = req.get("timeout")
+    if timeout is not None:
+        out["timeout"] = float(timeout)
+    if req.get("partial"):
+        out["partial"] = True
     return out
 
 
 class QueryServer:
     """Serve one :class:`~repro.serve.service.QueryService` over TCP.
 
+    ``idle_timeout`` (seconds) drops a connection whose client stays
+    silent between requests — a stalled or vanished client cannot hold a
+    connection slot forever. ``max_connections`` caps concurrently open
+    connections; clients over the cap get a typed ``Overloaded`` refusal
+    (with ``retry_after``) instead of an unexplained hang. Both default
+    to unlimited.
+
     .. code-block:: python
 
         service = QueryService("run.rph2s")
-        server = QueryServer(service)
+        server = QueryServer(service, idle_timeout=300, max_connections=64)
         await server.start()          # binds (host, port); port 0 = pick
         print(server.address)
         await server.serve_until_shutdown()
     """
 
-    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        idle_timeout: float | None = None,
+        max_connections: int | None = None,
+    ):
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ServeError(f"idle_timeout must be > 0, got {idle_timeout}")
+        if max_connections is not None and max_connections < 1:
+            raise ServeError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
         self._service = service
         self._host = host
         self._port = port
+        self._idle_timeout = idle_timeout
+        self._max_connections = max_connections
+        self._connections = 0
+        self._refused = 0
+        self._idle_drops = 0
         self._server: asyncio.base_events.Server | None = None
         self._shutdown = asyncio.Event()
+
+    @property
+    def connections(self) -> int:
+        """Currently open client connections."""
+        return self._connections
 
     @property
     def address(self) -> tuple[str, int]:
@@ -114,10 +156,40 @@ class QueryServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if (
+            self._max_connections is not None
+            and self._connections >= self._max_connections
+        ):
+            # Over the cap: refuse with a typed reply rather than letting
+            # idle sockets starve the server, then drop the connection.
+            self._refused += 1
+            await self._reply(
+                writer,
+                {"ok": False, "type": "Overloaded",
+                 "error": f"server at its {self._max_connections}-connection "
+                          "cap; retry shortly", "retry_after": 0.1},
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
+        self._connections += 1
         try:
             while not self._shutdown.is_set():
                 try:
-                    line = await reader.readline()
+                    if self._idle_timeout is None:
+                        line = await reader.readline()
+                    else:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self._idle_timeout
+                        )
+                except asyncio.TimeoutError:
+                    # Idle past the per-connection read timeout: reclaim
+                    # the slot (the client can reconnect).
+                    self._idle_drops += 1
+                    break
                 except (ConnectionError, asyncio.LimitOverrunError):
                     break
                 if not line:
@@ -133,6 +205,7 @@ class QueryServer:
                 if stop:
                     break
         finally:
+            self._connections -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -162,6 +235,10 @@ class QueryServer:
                         for key, arr in results.items()
                     ],
                     "info": asdict(info),
+                    # Degraded-serving health flags, lifted out of info
+                    # so thin clients need not parse the accounting.
+                    "partial": bool(info.partial),
+                    "missing": list(info.missing),
                 }
                 await self._reply(
                     writer, header,
@@ -190,9 +267,15 @@ class QueryServer:
                 )
                 return False
             if op == "stats":
-                await self._reply(
-                    writer, {"ok": True, "stats": self._service.stats}
-                )
+                stats = self._service.stats
+                stats["server"] = {
+                    "connections": self._connections,
+                    "max_connections": self._max_connections,
+                    "idle_timeout": self._idle_timeout,
+                    "refused": self._refused,
+                    "idle_drops": self._idle_drops,
+                }
+                await self._reply(writer, {"ok": True, "stats": stats})
                 return False
             if op == "meta":
                 svc = self._service
@@ -219,6 +302,13 @@ class QueryServer:
                 self._shutdown.set()
                 return True
             raise ServeError(f"unknown op {op!r}")
+        except Overloaded as exc:
+            await self._reply(
+                writer,
+                {"ok": False, "type": "Overloaded", "error": str(exc),
+                 "retry_after": exc.retry_after},
+            )
+            return False
         except ReproError as exc:
             await self._reply(
                 writer,
@@ -230,6 +320,17 @@ class QueryServer:
                 writer,
                 {"ok": False, "type": "ServeError",
                  "error": f"request is not valid JSON: {exc}"},
+            )
+            return False
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Defensive: an unexpected bug must fail the request, never
+            # the connection (other in-flight clients are untouched).
+            await self._reply(
+                writer,
+                {"ok": False, "type": type(exc).__name__,
+                 "error": f"unexpected server error: {exc}"},
             )
             return False
 
@@ -268,10 +369,24 @@ class TCPClient:
             raise ServeError("server closed the connection")
         header = json.loads(line)
         if not header.get("ok"):
-            raise ServeError(
-                f"server error ({header.get('type', 'unknown')}): "
-                f"{header.get('error', '?')}"
-            )
+            etype = header.get("type", "unknown")
+            msg = header.get("error", "?")
+            # Resilience errors come back typed so callers can react
+            # (retry after a hint, extend a deadline) without parsing.
+            if etype == "Overloaded":
+                raise Overloaded(
+                    f"server error (Overloaded): {msg}",
+                    retry_after=header.get("retry_after"),
+                )
+            if etype == "DeadlineExceeded":
+                raise DeadlineExceeded(
+                    f"server error (DeadlineExceeded): {msg}"
+                )
+            if etype in (
+                "StorageError", "TransientStorageError", "CircuitOpenError"
+            ):
+                raise StorageError(f"server error ({etype}): {msg}")
+            raise ServeError(f"server error ({etype}): {msg}")
         return header
 
     def _read_exact(self, n: int) -> bytes:

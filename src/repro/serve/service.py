@@ -43,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import io
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,7 +59,13 @@ from repro.compression.container import (
     _decode_entry_stream,
     _normalize_selector,
 )
-from repro.errors import FormatError, ServeError
+from repro.errors import (
+    DeadlineExceeded,
+    FormatError,
+    ReproError,
+    ServeError,
+    StorageError,
+)
 from repro.insitu.series import SERIES_MAGIC, SeriesReader
 from repro.insitu.sharded import MANIFEST_MAGIC
 from repro.parallel.pool import WorkerPool
@@ -70,6 +77,7 @@ from repro.serve.planner import (
     StepPlan,
     plan_step,
 )
+from repro.serve.resilience import AdmissionGate, CircuitBreaker, Deadline
 from repro.storage import LocalFileBackend, StorageBackend
 
 __all__ = ["QueryService", "QueryInfo", "InProcessClient"]
@@ -98,6 +106,11 @@ class QueryInfo:
     meta_bytes: int = 0
     ranged_reads: int = 0
     group_batches: int = 0
+    #: Whether the query ran in degraded (``partial=True``) mode.
+    partial: bool = False
+    #: Degraded-mode report: one ``{"step", "file", "error", "detail"}``
+    #: dict per selected step whose shard/segment could not be served.
+    missing: list = field(default_factory=list)
 
 
 @dataclass
@@ -190,6 +203,13 @@ def _decode_group_task(task) -> list[np.ndarray]:
     return out
 
 
+def _reap_future(fut: asyncio.Future) -> None:
+    """Mark a doomed decode future's exception retrieved (or swallow its
+    cancellation) so abandoning it is warning-free."""
+    if not fut.cancelled():
+        fut.exception()
+
+
 def _apply_region(arr: np.ndarray, region, key) -> np.ndarray:
     """Slice one decoded patch by per-axis ``(lo, hi)`` pairs."""
     if len(region) != arr.ndim:
@@ -236,14 +256,39 @@ class QueryService:
         re-parsing, but every payload byte is re-fetched and re-decoded).
     pool:
         A persistent :class:`~repro.parallel.WorkerPool` for entropy
-        decode. Without one the service creates (and owns) a thread pool
-        of ``workers`` workers. A ``"serial"`` pool decodes inline on the
-        event loop — the deterministic test mode.
+        decode. Without one the service creates (and owns) a pool of
+        ``decode_mode`` workers. A ``"serial"`` pool decodes inline on
+        the event loop — the deterministic test mode. If an *owned*
+        process pool breaks (a worker died), the service converts the
+        failure to a typed :class:`~repro.errors.ServeError` and
+        rebuilds the pool, so the query after the failure succeeds.
     workers:
         Size of the owned pool (``None``/0 = one per core).
+    decode_mode:
+        Mode of the owned pool (``"serial"``/``"thread"``/``"process"``);
+        ignored when ``pool`` is given.
     gap_cap, slack:
         Planner coalescing knobs (see
         :func:`repro.serve.planner.coalesce_extents`).
+    max_inflight, max_queue, max_bytes:
+        Admission control (:class:`~repro.serve.resilience.AdmissionGate`):
+        at most ``max_inflight`` queries run concurrently, ``max_queue``
+        more wait FIFO, and beyond that arrivals are shed with
+        :class:`~repro.errors.Overloaded` (carrying a ``retry_after``
+        hint). ``max_bytes`` additionally bounds the summed *planned*
+        fetch bytes of executing queries. ``max_inflight=None`` /
+        ``max_bytes=None`` disable the respective budget.
+    breaker_threshold, breaker_cooldown:
+        Per-backend-file circuit breakers
+        (:class:`~repro.serve.resilience.CircuitBreaker`):
+        ``breaker_threshold`` consecutive storage faults against one
+        file/shard fast-fail further access to it with
+        :class:`~repro.errors.CircuitOpenError` for ``breaker_cooldown``
+        seconds (then one probe is let through).
+        ``breaker_threshold=None`` disables breakers.
+    clock:
+        Monotonic clock used by deadlines, breakers, and the admission
+        EWMA — injectable for tests.
     """
 
     def __init__(
@@ -255,8 +300,15 @@ class QueryService:
         cache_bytes: int | None = DEFAULT_CACHE_BYTES,
         pool: WorkerPool | None = None,
         workers: int | None = 2,
+        decode_mode: str = "thread",
         gap_cap: int = DEFAULT_GAP_CAP,
         slack: float = DEFAULT_SLACK,
+        max_inflight: int | None = 64,
+        max_queue: int = 256,
+        max_bytes: int | None = None,
+        breaker_threshold: int | None = 5,
+        breaker_cooldown: float = 30.0,
+        clock=time.monotonic,
     ):
         self._path = str(path)
         self._given_backend = backend
@@ -266,7 +318,17 @@ class QueryService:
         self._cache = ServeCache(cache_bytes) if cache_bytes is not None else None
         self._plain_catalogs: dict[tuple, _StepCatalog] = {}
         self._owns_pool = pool is None
-        self._pool = pool if pool is not None else WorkerPool("thread", workers=workers)
+        self._decode_mode = decode_mode if pool is None else pool.mode
+        self._workers_arg = workers
+        self._pool = (
+            pool if pool is not None
+            else WorkerPool(decode_mode, workers=workers)
+        )
+        self._clock = clock
+        self._admission = AdmissionGate(max_inflight, max_queue, max_bytes)
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._handles: dict[str, tuple[Any, threading.Lock]] = {}
         self._locks: dict[tuple, asyncio.Lock] = {}
         #: Single-flight table: patch cache key -> future of the decode a
@@ -283,6 +345,9 @@ class QueryService:
             "meta_bytes": 0,
             "ranged_reads": 0,
             "group_batches": 0,
+            "deadline_exceeded": 0,
+            "partial_queries": 0,
+            "pool_rebuilds": 0,
         }
         #: step -> (file, segment offset, segment length)
         self._segments: dict[int, tuple[str, int, int]] = {}
@@ -393,9 +458,15 @@ class QueryService:
 
     @property
     def stats(self) -> dict:
-        """Cumulative counter snapshot (plus cache stats when caching)."""
+        """Cumulative counter snapshot (plus cache, admission-control,
+        and per-file circuit-breaker stats)."""
         out = dict(self._stats)
         out["cache"] = self._cache.stats if self._cache is not None else None
+        out["admission"] = self._admission.stats
+        out["shed"] = self._admission.shed
+        out["breakers"] = {
+            file: b.stats for file, b in sorted(self._breakers.items())
+        }
         return out
 
     # ------------------------------------------------------------------
@@ -419,6 +490,48 @@ class QueryService:
         return blob
 
     # ------------------------------------------------------------------
+    # Failure isolation
+    # ------------------------------------------------------------------
+    def _breaker(self, file: str) -> CircuitBreaker | None:
+        """This file's circuit breaker (lazily created; ``None`` when
+        breakers are disabled). Only :class:`~repro.errors.StorageError`
+        counts as a failure — a :class:`~repro.errors.FormatError` means
+        the *data* is bad, not the backend."""
+        if self._breaker_threshold is None:
+            return None
+        b = self._breakers.get(file)
+        if b is None:
+            b = CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown, self._clock
+            )
+            self._breakers[file] = b
+        return b
+
+    def _note_pool_failure(self) -> bool:
+        """Rebuild the owned decode pool after a worker death poisoned it
+        (``BrokenProcessPool`` fails every future on a broken pool until
+        it is replaced). Returns whether a rebuild happened."""
+        if not (self._owns_pool and self._pool.broken and not self._closed):
+            return False
+        try:
+            self._pool.close()
+        except Exception:
+            pass
+        self._pool = WorkerPool(self._decode_mode, workers=self._workers_arg)
+        self._stats["pool_rebuilds"] += 1
+        return True
+
+    def _pool_failure_error(self, exc: BaseException) -> ServeError:
+        """Typed error for a decode-pool death (e.g. a killed process
+        worker); replaces an owned broken pool so the *next* query
+        succeeds."""
+        rebuilt = self._note_pool_failure()
+        hint = "; the pool was rebuilt — retry the query" if rebuilt else ""
+        return ServeError(
+            f"decode worker pool failed ({type(exc).__name__}: {exc}){hint}"
+        )
+
+    # ------------------------------------------------------------------
     # Catalogs and group headers
     # ------------------------------------------------------------------
     def _catalog_key(self, file: str, step: int) -> tuple:
@@ -434,6 +547,9 @@ class QueryService:
         cat = self._catalog_cached(file, step)
         if cat is not None:
             return cat
+        breaker = self._breaker(file)
+        if breaker is not None:
+            breaker.check(f"step {step} catalog ({file})")
         lock = self._locks.setdefault((file, step), asyncio.Lock())
         async with lock:
             cat = self._catalog_cached(file, step)
@@ -446,6 +562,12 @@ class QueryService:
                 reader = await loop.run_in_executor(None, ContainerReader, window)
             except FormatError as exc:
                 raise FormatError(f"step {step} segment: {exc}") from exc
+            except StorageError:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            if breaker is not None:
+                breaker.record_success()
             cat = _StepCatalog(file, step, base, reader, window)
             self._stats["meta_bytes"] += window.bytes_read
             info.meta_bytes += window.bytes_read
@@ -474,7 +596,13 @@ class QueryService:
                     # immutable afterwards: worker threads only read them
 
             loop = asyncio.get_running_loop()
-            await loop.run_in_executor(None, load)
+            try:
+                await loop.run_in_executor(None, load)
+            except StorageError:
+                breaker = self._breaker(cat.file)
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
             delta = cat.window.bytes_read - before
             if delta:
                 self._stats["meta_bytes"] += delta
@@ -501,9 +629,23 @@ class QueryService:
             slack_frac=self._slack,
         )
 
+    @staticmethod
+    def _note_missing(info: QueryInfo, step: int, file: str,
+                      exc: BaseException) -> None:
+        """Record one unservable step in the query's degraded-mode report
+        (idempotent per step)."""
+        if any(m["step"] == step for m in info.missing):
+            return
+        info.missing.append({
+            "step": step,
+            "file": file,
+            "error": type(exc).__name__,
+            "detail": str(exc),
+        })
+
     async def _gather(
         self, want_steps, want_levels, want_fields, want_patches, verify: bool,
-        info: QueryInfo, owned: dict | None = None,
+        info: QueryInfo, owned: dict | None = None, partial: bool = False,
     ) -> tuple[dict, list, list[tuple[_StepCatalog, StepPlan]]]:
         """Walk the selection: serve cache hits, join in-flight decodes
         another query already started (recorded in ``waits``; counted as
@@ -511,14 +653,23 @@ class QueryService:
         When ``owned`` is given, each planned patch registers a
         single-flight future there (and in ``_inflight``) that the caller
         MUST resolve or fail; ``owned=None`` (the ``plan()`` path) skips
-        the single-flight table entirely."""
+        the single-flight table entirely. With ``partial=True``, a step
+        whose catalog cannot be loaded (dead shard, tripped breaker,
+        corrupt segment) is reported in ``info.missing`` instead of
+        failing the query."""
         hits: dict[tuple, np.ndarray] = {}
         waits: list[tuple[tuple, asyncio.Future]] = []
         work: list[tuple[_StepCatalog, StepPlan]] = []
         for s in self._step_order:
             if want_steps is not None and s not in want_steps:
                 continue
-            cat = await self._catalog(s, info)
+            try:
+                cat = await self._catalog(s, info)
+            except (StorageError, FormatError) as exc:
+                if not partial:
+                    raise
+                self._note_missing(info, s, self._segments[s][0], exc)
+                continue
             chosen = [
                 e
                 for e in cat.reader.entries
@@ -550,11 +701,20 @@ class QueryService:
                 misses.append(e)
                 info.cache_misses += 1
             if misses:
-                await self._load_groups(
-                    cat, sorted({e.group for e in misses if e.group is not None}),
-                    verify, info,
-                )
-                plan = self._plan_for(cat, misses)
+                try:
+                    await self._load_groups(
+                        cat,
+                        sorted({e.group for e in misses if e.group is not None}),
+                        verify, info,
+                    )
+                    plan = self._plan_for(cat, misses)
+                except (StorageError, FormatError) as exc:
+                    if not partial:
+                        raise
+                    self._note_missing(info, s, cat.file, exc)
+                    if owned is not None:
+                        self._fail_step_owned(owned, s, exc)
+                    continue
                 info.extent_bytes += plan.extent_bytes
                 info.fetched_bytes += plan.fetched_bytes
                 info.ranged_reads += len(plan.reads)
@@ -591,15 +751,25 @@ class QueryService:
         self, cat: _StepCatalog, plan: StepPlan, verify: bool
     ) -> dict[tuple, np.ndarray]:
         loop = asyncio.get_running_loop()
+        breaker = self._breaker(plan.file)
+        if breaker is not None:
+            breaker.check(f"step {plan.step} payload ({plan.file})")
         self._handle(plan.file)  # open before entering the executor
-        blobs = await asyncio.gather(
-            *[
-                loop.run_in_executor(
-                    None, self._fetch_sync, plan.file, r.offset, r.length
-                )
-                for r in plan.reads
-            ]
-        )
+        try:
+            blobs = await asyncio.gather(
+                *[
+                    loop.run_in_executor(
+                        None, self._fetch_sync, plan.file, r.offset, r.length
+                    )
+                    for r in plan.reads
+                ]
+            )
+        except StorageError:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
         copy = self._pool.mode == "process"
         data: dict[tuple, Any] = {
             (e.key, e.kind): b"" for e in plan.extents
@@ -616,38 +786,57 @@ class QueryService:
                 data[(ext.key, ext.kind)] = view[lo : lo + ext.length]
         futures = []
         key_lists: list[list[tuple]] = []
-        for batch in plan.batches:
-            if batch.group is None:
-                e = batch.entries[0]
-                key = (plan.step, e.level, e.field, e.patch)
-                task = (e, data[(key, "stream")], verify)
-                futures.append(
-                    asyncio.wrap_future(
-                        self._pool.submit(_decode_single_task, task)
-                    )
-                )
-                key_lists.append([key])
-            else:
-                handle = cat.reader.group(batch.group, verify=False)
-                codebook = handle.codebook_bytes if copy else handle.codebook
-                items, keys = [], []
-                for e in batch.entries:
+        try:
+            for batch in plan.batches:
+                if batch.group is None:
+                    e = batch.entries[0]
                     key = (plan.step, e.level, e.field, e.patch)
-                    _, _, payload_crc = handle.member_extent(e.member)
-                    items.append(
-                        (e, data[(key, "stream")],
-                         data[(key, "group_payload")], payload_crc)
-                    )
-                    keys.append(key)
-                futures.append(
-                    asyncio.wrap_future(
-                        self._pool.submit(
-                            _decode_group_task, (codebook, items, verify)
+                    task = (e, data[(key, "stream")], verify)
+                    futures.append(
+                        asyncio.wrap_future(
+                            self._pool.submit(_decode_single_task, task)
                         )
                     )
-                )
-                key_lists.append(keys)
-        decoded = await asyncio.gather(*futures)
+                    key_lists.append([key])
+                else:
+                    handle = cat.reader.group(batch.group, verify=False)
+                    codebook = handle.codebook_bytes if copy else handle.codebook
+                    items, keys = [], []
+                    for e in batch.entries:
+                        key = (plan.step, e.level, e.field, e.patch)
+                        _, _, payload_crc = handle.member_extent(e.member)
+                        items.append(
+                            (e, data[(key, "stream")],
+                             data[(key, "group_payload")], payload_crc)
+                        )
+                        keys.append(key)
+                    futures.append(
+                        asyncio.wrap_future(
+                            self._pool.submit(
+                                _decode_group_task, (codebook, items, verify)
+                            )
+                        )
+                    )
+                    key_lists.append(keys)
+        except ReproError:
+            raise
+        except Exception as exc:
+            # A broken pool fails synchronously at submit time; siblings
+            # already submitted are doomed too — consume their errors so
+            # nothing surfaces as an unretrieved-exception warning.
+            for fut in futures:
+                fut.add_done_callback(_reap_future)
+            raise self._pool_failure_error(exc) from exc
+        # return_exceptions so every worker future is retrieved even when
+        # one fails (a broken process pool fails them all at once).
+        decoded = await asyncio.gather(*futures, return_exceptions=True)
+        first = next(
+            (r for r in decoded if isinstance(r, BaseException)), None
+        )
+        if first is not None:
+            if isinstance(first, (ReproError, asyncio.CancelledError)):
+                raise first
+            raise self._pool_failure_error(first) from first
         out: dict[tuple, np.ndarray] = {}
         for keys, arrays in zip(key_lists, decoded):
             for key, arr in zip(keys, arrays):
@@ -669,6 +858,17 @@ class QueryService:
                 fut.exception()  # mark retrieved: waiters may be gone
         owned.clear()
 
+    def _fail_step_owned(self, owned: dict, step: int, exc: BaseException) -> None:
+        """Degraded mode: fail only the single-flight futures of one
+        unservable step, leaving the surviving steps' futures to resolve
+        normally."""
+        for key in [k for k in owned if k[0] == step]:
+            pkey, fut = owned.pop(key)
+            self._inflight.pop(pkey, None)
+            if not fut.done():
+                fut.set_exception(exc)
+                fut.exception()  # mark retrieved: waiters may be gone
+
     async def query_info(
         self,
         steps=None,
@@ -677,10 +877,50 @@ class QueryService:
         patches=None,
         region=None,
         verify: bool = True,
+        timeout: float | None = None,
+        deadline: float | None = None,
+        partial: bool = False,
     ) -> tuple[dict[tuple, np.ndarray], QueryInfo]:
         """:meth:`query`, plus this query's :class:`QueryInfo` accounting."""
         self._check_open()
-        info = QueryInfo()
+        dl = Deadline.of(timeout, deadline, self._clock)
+        try:
+            await self._admission.acquire_slot(dl)
+        except DeadlineExceeded:
+            self._stats["deadline_exceeded"] += 1
+            raise
+        start = self._clock()
+        try:
+            coro = self._query_admitted(
+                steps, levels, fields, patches, region, verify, dl, partial
+            )
+            if dl is None:
+                return await coro
+            try:
+                return await asyncio.wait_for(coro, dl.remaining())
+            except asyncio.TimeoutError:
+                self._stats["deadline_exceeded"] += 1
+                what = (
+                    f"its {timeout}s timeout" if timeout is not None
+                    else "its deadline"
+                )
+                raise DeadlineExceeded(
+                    f"query exceeded {what}; outstanding work was "
+                    "cancelled — an immediate retry is safe"
+                ) from None
+        finally:
+            self._admission.release_slot()
+            self._admission.note_duration(self._clock() - start)
+
+    async def _query_admitted(
+        self, steps, levels, fields, patches, region, verify,
+        dl: Deadline | None, partial: bool,
+    ) -> tuple[dict[tuple, np.ndarray], QueryInfo]:
+        """The admitted query body; runs under the deadline's ``wait_for``
+        (cancellation lands at any await — catalog loads, planner fetches,
+        decode waits — and is converted to ``DeadlineExceeded`` by the
+        caller)."""
+        info = QueryInfo(partial=partial)
         owned: dict[tuple, tuple[tuple, asyncio.Future]] = {}
         try:
             hits, waits, work = await self._gather(
@@ -691,12 +931,45 @@ class QueryService:
                 verify,
                 info,
                 owned,
+                partial,
             )
-            executed = await asyncio.gather(
-                *[self._execute(cat, plan, verify) for cat, plan in work]
+            # Reserve the planned fetch bytes against the admission
+            # byte budget for the duration of execution.
+            reserved = await self._admission.reserve_bytes(
+                sum(plan.fetched_bytes for _, plan in work), dl
             )
+            try:
+                executed = await asyncio.gather(
+                    *[self._execute(cat, plan, verify) for cat, plan in work],
+                    return_exceptions=partial,
+                )
+            finally:
+                self._admission.release_bytes(reserved)
+            if partial:
+                kept = []
+                for (cat, plan), res in zip(work, executed):
+                    if isinstance(res, BaseException):
+                        if not isinstance(res, (StorageError, FormatError)):
+                            raise res
+                        self._fail_step_owned(owned, plan.step, res)
+                        self._note_missing(info, plan.step, plan.file, res)
+                        continue
+                    kept.append(res)
+                executed = kept
         except BaseException as exc:
-            self._fail_owned(owned, exc)
+            fail = exc
+            if (
+                isinstance(exc, asyncio.CancelledError)
+                and dl is not None
+                and dl.expired()
+            ):
+                # Waiters sharing our single-flight decodes get a typed,
+                # retry-safe error instead of a bare cancellation.
+                fail = DeadlineExceeded(
+                    "owning query's deadline expired before the shared "
+                    "decode finished; retry to restart it"
+                )
+            self._fail_owned(owned, fail)
             raise
         results = dict(hits)
         for sub in executed:
@@ -716,8 +989,20 @@ class QueryService:
                 owned, ServeError("planned patch was not decoded")
             )
         if waits:
-            joined = await asyncio.gather(*[fut for _, fut in waits])
+            # shield: our cancellation (deadline) must not cancel the
+            # owning query's decode out from under its other waiters.
+            joined = await asyncio.gather(
+                *[asyncio.shield(fut) for _, fut in waits],
+                return_exceptions=partial,
+            )
             for (key, _), arr in zip(waits, joined):
+                if partial and isinstance(arr, BaseException):
+                    if not isinstance(arr, (StorageError, FormatError)):
+                        raise arr
+                    self._note_missing(
+                        info, key[0], self._segments[key[0]][0], arr
+                    )
+                    continue
                 results[key] = arr
         self._stats["queries"] += 1
         self._stats["patches_served"] += len(results)
@@ -727,6 +1012,8 @@ class QueryService:
         self._stats["payload_bytes"] += info.fetched_bytes
         self._stats["ranged_reads"] += info.ranged_reads
         self._stats["group_batches"] += info.group_batches
+        if partial:
+            self._stats["partial_queries"] += 1
         out: dict[tuple, np.ndarray] = {}
         for key in sorted(results):
             arr = results[key]
@@ -741,6 +1028,9 @@ class QueryService:
         patches=None,
         region=None,
         verify: bool = True,
+        timeout: float | None = None,
+        deadline: float | None = None,
+        partial: bool = False,
     ) -> dict[tuple, np.ndarray]:
         """Decompress the selection; results keyed ``(step, level, field,
         patch)`` and byte-identical to
@@ -748,10 +1038,21 @@ class QueryService:
         same source. ``region`` is an optional per-axis ``(lo, hi)`` tuple
         sliced out of every selected patch after decode. Arrays are
         read-only (shared with the cache); ``.copy()`` to mutate.
+
+        ``timeout`` (seconds from now) / ``deadline`` (absolute
+        ``time.monotonic()`` value) bound the whole query — expiry raises
+        :class:`~repro.errors.DeadlineExceeded` and cancels the query's
+        outstanding work without poisoning the cache or the single-flight
+        table. ``partial=True`` serves *around* dead shards: surviving
+        steps come back normally and the per-step failures are reported
+        in :class:`QueryInfo` ``.missing`` (use :meth:`query_info` to see
+        it). Under overload, admission control may shed the query with
+        :class:`~repro.errors.Overloaded` before any work happens.
         """
         out, _ = await self.query_info(
             steps=steps, levels=levels, fields=fields, patches=patches,
-            region=region, verify=verify,
+            region=region, verify=verify, timeout=timeout, deadline=deadline,
+            partial=partial,
         )
         return out
 

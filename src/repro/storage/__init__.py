@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import io
 import os
+import random
 import time
 from pathlib import Path
 from typing import BinaryIO, Callable, Iterable
@@ -292,18 +293,27 @@ class RangedBackend(StorageBackend):
 
     Wraps any backend; ``open_read`` returns a handle whose reads become
     bounded byte-range requests with *readahead* (each GET fetches at
-    least ``readahead`` bytes) and *retry with exponential backoff*: a GET
-    that raises :class:`~repro.errors.TransientStorageError` (from the
-    inner backend or an injected ``fault`` hook) is retried up to
-    ``max_retries`` times, sleeping ``backoff * 2**attempt`` seconds
-    between tries, before the error propagates as-is. All other
-    operations delegate to the wrapped backend unchanged.
+    least ``readahead`` bytes) and *retry with exponentially backed-off,
+    jittered sleeps*: a GET that raises
+    :class:`~repro.errors.TransientStorageError` (from the inner backend
+    or an injected ``fault`` hook) is retried up to ``max_retries``
+    times before the error propagates as-is. Retry ``attempt`` (1-based)
+    sleeps ``backoff * 2**(attempt-1)`` seconds — with ``jitter=True``
+    (the default) the actual sleep is drawn uniformly from ``[0, that]``
+    ("full jitter"), so a herd of clients retrying the same outage
+    decorrelates instead of hammering the backend in lockstep.
+    ``max_elapsed`` is a wall-clock retry *budget*: once the time already
+    spent plus the next planned sleep would exceed it, retrying stops and
+    the failure surfaces — worst-case added latency per GET is bounded
+    regardless of ``max_retries``. All other operations delegate to the
+    wrapped backend unchanged.
 
     ``stats`` counts ``requests`` (GETs issued), ``bytes_fetched``, and
     ``retries`` — what the benchmarks assert readahead against. ``fault``
     is a test hook called as ``fault(name, offset, length, attempt)``
-    before every GET attempt; ``sleep`` is injectable so retry tests need
-    no wall-clock delay.
+    before every GET attempt (a :class:`repro.faults.FaultPlan` slots in
+    directly); ``sleep``, ``clock``, and ``rng`` are injectable so retry
+    tests need no wall clock and jitter is seedable.
     """
 
     def __init__(
@@ -312,28 +322,50 @@ class RangedBackend(StorageBackend):
         readahead: int = 1 << 16,
         max_retries: int = 3,
         backoff: float = 0.01,
+        jitter: bool = True,
+        max_elapsed: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        rng: random.Random | None = None,
         fault: Callable[[str, int, int, int], None] | None = None,
     ):
         if readahead < 1:
             raise StorageError(f"readahead must be >= 1 byte, got {readahead}")
         if max_retries < 0:
             raise StorageError(f"max_retries must be >= 0, got {max_retries}")
+        if max_elapsed is not None and max_elapsed < 0:
+            raise StorageError(f"max_elapsed must be >= 0, got {max_elapsed}")
         self._inner = inner
         self.readahead = int(readahead)
         self._max_retries = int(max_retries)
         self._backoff = float(backoff)
+        self._jitter = bool(jitter)
+        self._max_elapsed = None if max_elapsed is None else float(max_elapsed)
         self._sleep = sleep
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
         self._fault = fault
         self.stats = {"requests": 0, "bytes_fetched": 0, "retries": 0}
 
     def _fetch(self, name: str, offset: int, length: int) -> bytes:
-        """One ranged GET, retried with exponential backoff."""
+        """One ranged GET, retried with jittered exponential backoff
+        under the ``max_elapsed`` wall-clock budget."""
+        start = self._clock()
         last: Exception | None = None
+        budget = "budget"
         for attempt in range(self._max_retries + 1):
             if attempt:
+                delay = self._backoff * (2 ** (attempt - 1))
+                if self._jitter:
+                    delay = self._rng.uniform(0.0, delay)
+                if (
+                    self._max_elapsed is not None
+                    and (self._clock() - start) + delay > self._max_elapsed
+                ):
+                    budget = f"{self._max_elapsed}s retry budget"
+                    break
                 self.stats["retries"] += 1
-                self._sleep(self._backoff * (2 ** (attempt - 1)))
+                self._sleep(delay)
             try:
                 if self._fault is not None:
                     self._fault(name, offset, length, attempt)
@@ -349,9 +381,11 @@ class RangedBackend(StorageBackend):
             self.stats["requests"] += 1
             self.stats["bytes_fetched"] += len(blob)
             return blob
+        else:
+            budget = f"{self._max_retries + 1} attempts"
         raise StorageError(
             f"ranged read of {name!r} [{offset}:{offset + length}] failed "
-            f"after {self._max_retries + 1} attempts: {last}"
+            f"after {budget}: {last}"
         ) from last
 
     def open_read(self, name: str) -> BinaryIO:

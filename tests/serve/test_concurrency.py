@@ -206,3 +206,77 @@ def test_served_arrays_are_read_only(series_path):
         arr = next(iter(served.values()))
         with pytest.raises(ValueError):
             arr[0, 0, 0] = 1.0
+
+
+def test_cancelled_waiter_does_not_poison_the_shared_decode(series_path):
+    """Single-flight regression: three queries share one cold decode;
+    cancelling one *waiter* must not cancel the owner's decode, fail the
+    other waiter, or leak an in-flight entry."""
+    import threading
+
+    from repro.faults import FaultPlan
+    from repro.storage import LocalFileBackend, RangedBackend
+
+    release = threading.Event()
+    plan = FaultPlan(sleep=lambda s: release.wait(timeout=30))
+    backend = RangedBackend(
+        LocalFileBackend(), readahead=1 << 12, max_retries=0, fault=plan,
+    )
+
+    async def scenario():
+        svc = QueryService(series_path, backend=backend, workers=2)
+        try:
+            await svc.plan(steps=1)  # catalog in, payload still cold
+            plan.latency(1.0)  # payload GETs block on the event
+            owner = asyncio.create_task(svc.query(steps=1, levels=0))
+            await asyncio.sleep(0.05)  # owner registers the decode
+            waiter_a = asyncio.create_task(svc.query(steps=1, levels=0))
+            waiter_b = asyncio.create_task(svc.query(steps=1, levels=0))
+            await asyncio.sleep(0.05)  # both join the in-flight future
+            waiter_a.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter_a
+            release.set()  # un-stall the owner's fetch
+            got_owner = await asyncio.wait_for(owner, timeout=30)
+            got_waiter = await asyncio.wait_for(waiter_b, timeout=30)
+            assert not svc._inflight
+            return got_owner, got_waiter
+        finally:
+            svc.close()
+
+    got_owner, got_waiter = asyncio.run(scenario())
+    truth = direct_truth(series_path, steps=1, levels=0)
+    assert_byte_identical(got_owner, truth)
+    assert_byte_identical(got_waiter, truth)
+
+
+def test_decode_worker_death_is_typed_and_service_recovers(series_path):
+    """Kill a process-pool decode worker mid-service: the query fails
+    with a typed ServeError (not a hang, not a raw BrokenProcessPool),
+    and the service answers the next query from a rebuilt pool."""
+    from repro.errors import ServeError
+
+    async def scenario():
+        svc = QueryService(
+            series_path, decode_mode="process", workers=1,
+            cache_bytes=None,  # force every query through the pool
+        )
+        try:
+            first = await asyncio.wait_for(svc.query(steps=0, levels=0), 60)
+            # Kill the (only) worker process under the executor.
+            procs = list(svc._pool._executor._processes.values())
+            assert procs, "process pool has no workers"
+            for p in procs:
+                p.kill()
+            with pytest.raises(ServeError, match="decode worker pool"):
+                await asyncio.wait_for(svc.query(steps=1, levels=0), 60)
+            assert svc.stats["pool_rebuilds"] == 1
+            # The rebuilt pool serves the same selection cleanly.
+            second = await asyncio.wait_for(svc.query(steps=1, levels=0), 60)
+            return first, second
+        finally:
+            svc.close()
+
+    first, second = asyncio.run(scenario())
+    assert_byte_identical(first, direct_truth(series_path, steps=0, levels=0))
+    assert_byte_identical(second, direct_truth(series_path, steps=1, levels=0))

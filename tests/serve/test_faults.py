@@ -1,12 +1,13 @@
 """Fault injection on the serving path.
 
 The service routes every byte through its storage backend, so a
-``RangedBackend`` fault hook can fail any GET at any moment. The
-contract under fire: transient faults retry invisibly (byte-identical
-results), exhausted retries surface as ``StorageError`` without
-poisoning the cache or the single-flight table, and a failing file never
-wedges queries against healthy files — including queries already in
-flight when the fault starts.
+:class:`repro.faults.FaultPlan` wired into ``RangedBackend``'s fault
+hook can fail any GET at any moment. The contract under fire: transient
+faults retry invisibly (byte-identical results), exhausted retries
+surface as ``StorageError`` without poisoning the cache or the
+single-flight table, and a failing file never wedges queries against
+healthy files — including queries already in flight when the fault
+starts.
 """
 
 from __future__ import annotations
@@ -15,7 +16,8 @@ import asyncio
 
 import pytest
 
-from repro.errors import StorageError, TransientStorageError
+from repro.errors import StorageError
+from repro.faults import FaultPlan
 from repro.serve import QueryService
 from repro.storage import LocalFileBackend, RangedBackend
 
@@ -24,43 +26,6 @@ from tests.serve.conftest import assert_byte_identical, direct_truth
 
 def _no_sleep(_seconds: float) -> None:
     pass
-
-
-class FaultPlan:
-    """Mutable fault policy: ``fail(predicate)`` makes matching GETs raise
-    ``TransientStorageError`` (every attempt, so retries exhaust);
-    ``fail_once(predicate)`` fails only attempt 0 (so retry succeeds)."""
-
-    def __init__(self):
-        self._always = None
-        self._first = None
-        self.faults = 0
-
-    def fail(self, predicate) -> None:
-        self._always = predicate
-
-    def fail_once(self, predicate) -> None:
-        self._first = predicate
-
-    def clear(self) -> None:
-        self._always = self._first = None
-
-    def __call__(self, name: str, offset: int, length: int, attempt: int):
-        if self._always is not None and self._always(name, offset, length):
-            self.faults += 1
-            raise TransientStorageError(
-                f"injected fault: {name} [{offset}:{offset + length}]"
-            )
-        if (
-            self._first is not None
-            and attempt == 0
-            and self._first(name, offset, length)
-        ):
-            self.faults += 1
-            raise TransientStorageError(
-                f"injected first-attempt fault: {name} "
-                f"[{offset}:{offset + length}]"
-            )
 
 
 def _service(path, plan: FaultPlan, **kwargs) -> tuple[QueryService, RangedBackend]:
@@ -73,7 +38,7 @@ def _service(path, plan: FaultPlan, **kwargs) -> tuple[QueryService, RangedBacke
 
 def test_transient_faults_retry_to_identical_bytes(series_path):
     plan = FaultPlan()
-    plan.fail_once(lambda name, off, length: True)  # every GET flakes once
+    plan.flake(lambda name, off, length: True)  # every GET flakes once
 
     async def scenario():
         svc, backend = _service(series_path, plan)
@@ -97,8 +62,8 @@ def test_exhausted_retries_propagate_without_poisoning_cache(series_path):
         try:
             # Load the catalog cleanly, then fail all payload GETs.
             await svc.plan(steps=1)
-            plan.fail(lambda name, off, length: True)
-            with pytest.raises(StorageError, match="injected fault"):
+            plan.always(lambda name, off, length: True)
+            with pytest.raises(StorageError, match="injected transient fault"):
                 await svc.query(steps=1, levels=0)
             after_failure = svc.stats
             assert after_failure["patches_served"] == 0
@@ -123,9 +88,9 @@ def test_catalog_load_failure_is_clean_and_recoverable(series_path):
 
     async def scenario():
         svc, _ = _service(series_path, plan)  # harvest runs clean
-        plan.fail(lambda name, off, length: True)
+        plan.always(lambda name, off, length: True)
         try:
-            with pytest.raises(StorageError, match="injected fault"):
+            with pytest.raises(StorageError, match="injected transient fault"):
                 await svc.query(steps=0)
             # The failed parse must not be cached as a catalog...
             assert not any(k[0] == "catalog" for k in svc._cache._entries)
@@ -151,7 +116,7 @@ def test_faulty_shard_does_not_wedge_other_shards(sharded_path):
             safe_steps = [
                 s for s, (f, _, _) in svc._segments.items() if f != victim
             ]
-            plan.fail(lambda name, off, length: name == victim)
+            plan.always(lambda name, off, length: name == victim)
             outcomes = await asyncio.gather(
                 svc.query(steps=0),
                 *[svc.query(steps=s, levels=1) for s in safe_steps],
@@ -178,7 +143,7 @@ def test_single_flight_waiters_see_the_owners_failure(series_path):
         svc, _ = _service(series_path, plan)
         try:
             await svc.plan(steps=2)  # catalog in, payload still cold
-            plan.fail(lambda name, off, length: True)
+            plan.always(lambda name, off, length: True)
             outcomes = await asyncio.wait_for(
                 asyncio.gather(
                     svc.query(steps=2, levels=0),
@@ -207,7 +172,7 @@ def test_mid_campaign_transient_burst_is_invisible(sharded_path):
         svc, backend = _service(sharded_path, plan)
         try:
             warm = await svc.query(steps=[0, 1])  # clean warm-up
-            plan.fail_once(lambda name, off, length: True)
+            plan.flake(lambda name, off, length: True)
             during = await asyncio.gather(
                 *[svc.query(steps=s) for s in (2, 3, 4, 5)]
             )

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import ServeError
+from repro.errors import DeadlineExceeded, Overloaded, ServeError, StorageError
 from repro.serve import QueryServer, QueryService, TCPClient
 
 from tests.serve.conftest import assert_byte_identical, direct_truth
@@ -29,7 +29,7 @@ REPO = Path(__file__).resolve().parents[2]
 
 
 @contextmanager
-def running_server(path, **service_kwargs):
+def running_server(path, server_kwargs=None, **service_kwargs):
     """A QueryServer on a background event-loop thread; yields (host, port)."""
     loop = asyncio.new_event_loop()
     started = threading.Event()
@@ -37,7 +37,7 @@ def running_server(path, **service_kwargs):
 
     async def main():
         service = QueryService(path, workers=2, **service_kwargs)
-        server = QueryServer(service)
+        server = QueryServer(service, **(server_kwargs or {}))
         await server.start()
         box["addr"] = server.address
         box["server"] = server
@@ -124,6 +124,118 @@ def test_tcp_concurrent_clients(series_path):
             outcomes = list(pool.map(worker, selections))
     for sel, served in outcomes:
         assert_byte_identical(served, direct_truth(series_path, **sel))
+
+
+def test_tcp_partial_query_reports_missing_shard(sharded_path):
+    from repro.faults import FaultPlan
+    from repro.storage import LocalFileBackend, RangedBackend
+
+    plan = FaultPlan()
+    backend = RangedBackend(
+        LocalFileBackend(), readahead=1 << 12, max_retries=0,
+        sleep=lambda s: None, fault=plan,
+    )
+    with running_server(
+        sharded_path, backend=backend, breaker_threshold=None
+    ) as (host, port):
+        with TCPClient(host, port) as client:
+            # Find the shard owning step 0 from a clean plan, then kill it.
+            stats_before = client.stats()
+            assert stats_before["partial_queries"] == 0
+            victim_holder: dict = {}
+
+            def victim_match(name, off, length):
+                victim_holder.setdefault("name", name)
+                return name == victim_holder["name"]
+
+            # First failing GET names the shard; every later GET to the
+            # same file fails too — a single-shard outage.
+            plan.always(victim_match, kind="storage")
+            with pytest.raises(StorageError, match="injected storage fault"):
+                client.query(steps=0)
+            served, info = client.query_info(partial=True)
+            assert info["partial"] is True
+            assert info["missing"], "dead shard not reported"
+            missing_steps = sorted({m["step"] for m in info["missing"]})
+            assert 0 in missing_steps
+            for m in info["missing"]:
+                assert m["error"] == "StorageError"
+                assert "injected storage fault" in m["detail"]
+            served_steps = sorted({k[0] for k in served})
+            assert set(served_steps).isdisjoint(missing_steps)
+            assert_byte_identical(
+                served, direct_truth(sharded_path, steps=served_steps)
+            )
+            # The outage ends: the same query is complete again.
+            plan.clear()
+            full, info2 = client.query_info(partial=True)
+            assert info2["missing"] == []
+            assert_byte_identical(full, direct_truth(sharded_path))
+
+
+def test_tcp_query_timeout_is_typed_and_connection_survives(series_path):
+    from repro.faults import FaultPlan
+    from repro.storage import LocalFileBackend, RangedBackend
+
+    plan = FaultPlan()
+    backend = RangedBackend(
+        LocalFileBackend(), readahead=1 << 12, max_retries=0, fault=plan,
+    )
+    with running_server(series_path, backend=backend) as (host, port):
+        with TCPClient(host, port) as client:
+            plan.latency(0.5)
+            with pytest.raises(DeadlineExceeded, match="timeout"):
+                client.query(steps=0, levels=0, timeout=0.05)
+            plan.clear()
+            # Same connection, same selection, no deadline: clean bytes.
+            served = client.query(steps=0, levels=0)
+            assert_byte_identical(
+                served, direct_truth(series_path, steps=0, levels=0)
+            )
+
+
+def test_tcp_idle_timeout_reclaims_connection(series_path):
+    import time
+
+    with running_server(
+        series_path, server_kwargs={"idle_timeout": 0.2}
+    ) as (host, port):
+        client = TCPClient(host, port)
+        assert client.ping()
+        time.sleep(0.6)  # stay silent past the idle timeout
+        with pytest.raises(ServeError, match="closed"):
+            client.ping()
+        client.close()
+        # A fresh connection serves normally.
+        with TCPClient(host, port) as client2:
+            assert client2.ping()
+
+
+def test_tcp_connection_cap_refuses_with_retry_after(series_path):
+    import time
+
+    with running_server(
+        series_path, server_kwargs={"max_connections": 1}
+    ) as (host, port):
+        first = TCPClient(host, port)
+        assert first.ping()
+        second = TCPClient(host, port)
+        with pytest.raises(Overloaded, match="connection cap") as exc_info:
+            second.ping()
+        assert exc_info.value.retry_after is not None
+        second.close()
+        first.close()
+        # The slot frees up once the first client is gone.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                with TCPClient(host, port) as again:
+                    assert again.ping()
+                break
+            except Overloaded:
+                time.sleep(0.05)
+        else:
+            pytest.fail("connection slot never freed after close")
 
 
 def test_shutdown_op_stops_server(series_path):

@@ -10,6 +10,7 @@ readahead ranged GETs without changing any bytes.
 from __future__ import annotations
 
 import io
+import random
 
 import numpy as np
 import pytest
@@ -156,12 +157,76 @@ class TestRangedBackend:
                 failures["left"] -= 1
                 raise TransientStorageError(f"503 on {name} attempt {attempt}")
 
-        be = RangedBackend(inner, max_retries=3, backoff=0.01,
+        be = RangedBackend(inner, max_retries=3, backoff=0.01, jitter=False,
                            sleep=naps.append, fault=fault)
         h = be.open_read("obj")
         assert h.read() == b"x" * 100
         assert be.stats["retries"] == 2
         assert naps == [0.01, 0.02]  # exponential, injected clock
+
+    def test_full_jitter_bounded_by_exponential_envelope(self):
+        inner = MemoryBackend()
+        with inner.open_write("obj") as h:
+            h.write(b"x" * 100)
+        failures = {"left": 3}
+        naps = []
+
+        def fault(name, offset, length, attempt):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise TransientStorageError("503")
+
+        be = RangedBackend(inner, max_retries=3, backoff=0.01,
+                           sleep=naps.append, fault=fault,
+                           rng=random.Random(42))
+        assert be.open_read("obj").read() == b"x" * 100
+        assert len(naps) == 3
+        for attempt, nap in enumerate(naps, start=1):
+            assert 0.0 <= nap <= 0.01 * 2 ** (attempt - 1)
+        # Seeded rng: the schedule is reproducible.
+        failures["left"] = 3
+        naps2 = []
+        be2 = RangedBackend(inner, max_retries=3, backoff=0.01,
+                            sleep=naps2.append, fault=fault,
+                            rng=random.Random(42))
+        assert be2.open_read("obj").read() == b"x" * 100
+        assert naps2 == naps
+
+    def test_max_elapsed_retry_budget(self):
+        inner = MemoryBackend()
+        with inner.open_write("obj") as h:
+            h.write(b"data")
+
+        def always_fail(name, offset, length, attempt):
+            raise TransientStorageError("permanent brownout")
+
+        # A fake clock that leaps 10s per look: the first computed delay
+        # already blows the 5s budget, so no retry happens at all.
+        ticks = iter(range(0, 1000, 10))
+        be = RangedBackend(inner, max_retries=5, backoff=0.01, jitter=False,
+                           max_elapsed=5.0, sleep=lambda s: None,
+                           clock=lambda: float(next(ticks)),
+                           fault=always_fail)
+        with pytest.raises(StorageError, match="5.0s retry budget"):
+            be.open_read("obj").read()
+        assert be.stats["retries"] == 0
+
+    def test_max_elapsed_allows_retries_within_budget(self):
+        inner = MemoryBackend()
+        with inner.open_write("obj") as h:
+            h.write(b"payload")
+        failures = {"left": 2}
+
+        def fault(name, offset, length, attempt):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise TransientStorageError("503")
+
+        be = RangedBackend(inner, max_retries=3, backoff=0.001, jitter=False,
+                           max_elapsed=60.0, sleep=lambda s: None,
+                           fault=fault)
+        assert be.open_read("obj").read() == b"payload"
+        assert be.stats["retries"] == 2
 
     def test_exhausted_retries_raise_storage_error(self):
         inner = MemoryBackend()
