@@ -230,6 +230,7 @@ def write_sharded_series(
     parallel: str = "thread",
     durability="close",
     backend=None,
+    parity: int = 0,
 ) -> Path:
     """Stream timesteps into an N-shard campaign behind an RPHM manifest.
 
@@ -238,7 +239,11 @@ def write_sharded_series(
     lane per shard); ``path`` is the manifest, and :func:`open_series` on
     it reads the union transparently. ``durability`` may be one mode or a
     per-shard sequence; ``backend`` redirects all bytes through a
-    :class:`repro.storage.StorageBackend`.
+    :class:`repro.storage.StorageBackend`. ``parity=p`` additionally
+    writes ``p`` XOR parity shards at close, making the finished campaign
+    repairable after shard damage or loss
+    (:func:`repro.integrity.repair_sharded`, and self-healing reads in
+    :mod:`repro.serve`).
     """
     from repro.insitu.sharded import ShardedSeriesWriter
 
@@ -246,6 +251,7 @@ def write_sharded_series(
         path, codec, error_bound, mode=mode, n_shards=n_shards, fields=fields,
         exclude_covered=exclude_covered, parallel=parallel,
         durability=durability, overwrite=overwrite, backend=backend,
+        parity=parity,
     ) as writer:
         for item in steps:
             if hasattr(item, "hierarchy"):

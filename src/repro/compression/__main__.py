@@ -255,6 +255,37 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_scrub(args) -> int:
+    from repro.errors import FormatError, StorageError
+    from repro.integrity import scrub
+
+    try:
+        report = scrub(args.input)  # read-only: never modifies the file
+    except (FormatError, StorageError) as exc:
+        print(f"scrub: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def _cmd_repair(args) -> int:
+    from repro.errors import FormatError, IntegrityError, StorageError
+    from repro.integrity import repair_sharded
+
+    try:
+        report = repair_sharded(args.input, commit=args.commit)
+    except (IntegrityError, FormatError, StorageError) as exc:
+        print(f"repair: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    if report.unrecoverable:
+        return 1
+    if not args.commit and not report.clean:
+        print("dry run — pass --commit to rewrite the damaged segments, "
+              "shard indexes, and manifest from parity")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -498,6 +529,28 @@ def main(argv: list[str] | None = None) -> int:
                    help="with --commit, write the repaired series here and "
                         "leave the damaged original untouched")
     p.set_defaults(fn=_cmd_recover)
+
+    p = sub.add_parser(
+        "scrub",
+        help="verify every checksum an .rph2/.rph2s/.rphm/.rpxp file "
+             "carries (snapshots, series, sharded campaigns, parity); "
+             "exits 1 when damage is found",
+    )
+    p.add_argument("input", type=Path)
+    p.set_defaults(fn=_cmd_scrub)
+
+    p = sub.add_parser(
+        "repair",
+        help="reconstruct a parity-carrying campaign's damaged or missing "
+             "shard segments from the surviving shards (dry-run report; "
+             "--commit rewrites segments, indexes, and manifest)",
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("--commit", action="store_true",
+                   help="write the reconstructions back: rewrite damaged "
+                        "shards in place, recommit their indexes, and "
+                        "refresh the manifest and stale parity")
+    p.set_defaults(fn=_cmd_repair)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -15,6 +15,7 @@ __all__ = [
     "DecompressionError",
     "FormatError",
     "TruncatedSeriesError",
+    "IntegrityError",
     "StorageError",
     "TransientStorageError",
     "CircuitOpenError",
@@ -56,6 +57,13 @@ class TruncatedSeriesError(FormatError):
     — the signature of an interrupted write. Sealed segments are usually
     salvageable: open with ``SeriesReader.open(..., recover=True)`` or run
     ``python -m repro.compression recover``."""
+
+
+class IntegrityError(FormatError):
+    """Damage that parity-based repair cannot undo: more lost members than
+    the parity scheme covers, or reconstructed bytes that fail their
+    recorded checksum. Scrub findings themselves are *reported*, not
+    raised — this error marks the repair path giving up."""
 
 
 class StorageError(ReproError):

@@ -315,14 +315,59 @@ class _FaultyReader:
         self._inner.close()
 
 
+class _FaultyWriter:
+    """Write handle that consults a plan on every ``write``.
+
+    Only ``write`` is injected: ``seek`` / ``truncate`` / ``flush`` /
+    ``close`` delegate untouched, so a writer's *rollback* path (truncate
+    back to the sealed prefix after a failed append) can never itself be
+    blocked by the plan — matching real storage, where undoing a buffered
+    write is a metadata operation, not another data write.
+    """
+
+    closed = False
+
+    def __init__(self, plan: FaultPlan, name: str, inner: BinaryIO):
+        self._plan = plan
+        self._name = name
+        self._inner = inner
+
+    def write(self, data) -> int:
+        pos = self._inner.tell()
+        self._plan(self._name, pos, len(data), 0)
+        return self._inner.write(data)
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._inner.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._inner.truncate(size)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def close(self) -> None:
+        self.closed = True
+        self._inner.close()
+
+
 class FaultyBackend(StorageBackend):
-    """Inject a :class:`FaultPlan` into any backend's read path.
+    """Inject a :class:`FaultPlan` into any backend's read *and write* paths.
 
     Unlike wiring the plan into :class:`~repro.storage.RangedBackend`'s
     hook, there is no retry layer here: a firing rule's error surfaces
-    directly from ``read`` — what a dead local disk or NFS stall looks
-    like to :class:`~repro.storage.LocalFileBackend` users. Write,
-    append, and metadata operations delegate untouched.
+    directly from ``read`` / ``write`` — what a dead local disk or NFS
+    stall looks like to :class:`~repro.storage.LocalFileBackend` users.
+    Write-side sites are the same object names (match on ``*.rph2s`` etc.);
+    ``seek``/``truncate``/``flush`` are never injected, so rollback and
+    two-phase-commit machinery stays exercisable under faults. Metadata
+    operations delegate untouched.
     """
 
     def __init__(self, inner: StorageBackend, plan: FaultPlan):
@@ -333,10 +378,10 @@ class FaultyBackend(StorageBackend):
         return _FaultyReader(self.plan, name, self._inner.open_read(name))  # type: ignore[return-value]
 
     def open_write(self, name: str) -> BinaryIO:
-        return self._inner.open_write(name)
+        return _FaultyWriter(self.plan, name, self._inner.open_write(name))  # type: ignore[return-value]
 
     def open_append(self, name: str) -> BinaryIO:
-        return self._inner.open_append(name)
+        return _FaultyWriter(self.plan, name, self._inner.open_append(name))  # type: ignore[return-value]
 
     def exists(self, name: str) -> bool:
         return self._inner.exists(name)

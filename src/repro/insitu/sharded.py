@@ -24,8 +24,17 @@ Manifest body schema (JSON)::
       "codec": str, "error_bound": float, "mode": str,
       "fields": [str, ...], "exclude_covered": bool,
       "shards": [{"name": str, "durability": str,
-                  "steps": [int, ...]}, ...]
+                  "steps": [int, ...]}, ...],
+      "parity": [{"name": str, "group": int, "members": [str, ...],
+                  "stripes": int, "bytes": int}, ...]   # optional
     }
+
+The optional ``parity`` list (written by campaigns created with
+``parity=p`` > 0) records the XOR parity shards
+(:mod:`repro.integrity.parity`) protecting the data shards, with
+byte-overhead accounting (``bytes`` is each parity file's total size).
+Readers ignore it; :func:`repro.integrity.repair_sharded` and the
+self-healing serving path use it to locate redundancy.
 
 Shard ``name`` is a basename; shards always live next to the manifest
 (``<stem>.shard<k:03d>.rph2s``). The manifest is written twice: once at
@@ -52,6 +61,7 @@ import io
 import json
 import os
 import struct
+import time as _time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -65,10 +75,12 @@ from repro.errors import (
     CompressionError,
     FormatError,
     StorageError,
+    TransientStorageError,
     TruncatedSeriesError,
 )
 from repro.insitu.series import (
     _SERIES_META_KEYS,
+    SEAL_SIZE,
     SeriesReader,
     SeriesStepEntry,
 )
@@ -105,29 +117,43 @@ def shard_names(manifest: str | Path, n_shards: int) -> list[str]:
     return [f"{root}.shard{k:03d}.rph2s" for k in range(n_shards)]
 
 
-def pack_manifest(meta: dict, shards: list[dict], final: bool) -> bytes:
+def pack_manifest(
+    meta: dict,
+    shards: list[dict],
+    final: bool,
+    parity: list[dict] | None = None,
+) -> bytes:
     """Serialize an RPHM manifest (head + JSON body + body crc)."""
-    body = json.dumps(
-        {
-            "format": "rphm",
-            "version": MANIFEST_VERSION,
-            "final": bool(final),
-            "codec": str(meta["codec"]),
-            "error_bound": float(meta["error_bound"]),
-            "mode": str(meta["mode"]),
-            "fields": list(meta["fields"]),
-            "exclude_covered": bool(meta["exclude_covered"]),
-            "shards": [
-                {
-                    "name": str(s["name"]),
-                    "durability": str(s["durability"]),
-                    "steps": [int(n) for n in s["steps"]],
-                }
-                for s in shards
-            ],
-        },
-        separators=(",", ":"),
-    ).encode()
+    doc = {
+        "format": "rphm",
+        "version": MANIFEST_VERSION,
+        "final": bool(final),
+        "codec": str(meta["codec"]),
+        "error_bound": float(meta["error_bound"]),
+        "mode": str(meta["mode"]),
+        "fields": list(meta["fields"]),
+        "exclude_covered": bool(meta["exclude_covered"]),
+        "shards": [
+            {
+                "name": str(s["name"]),
+                "durability": str(s["durability"]),
+                "steps": [int(n) for n in s["steps"]],
+            }
+            for s in shards
+        ],
+    }
+    if parity:
+        doc["parity"] = [
+            {
+                "name": str(p["name"]),
+                "group": int(p["group"]),
+                "members": [str(m) for m in p["members"]],
+                "stripes": int(p["stripes"]),
+                "bytes": int(p["bytes"]),
+            }
+            for p in parity
+        ]
+    body = json.dumps(doc, separators=(",", ":")).encode()
     return (
         _MANIFEST_HEAD.pack(MANIFEST_MAGIC, MANIFEST_VERSION, len(body))
         + body
@@ -219,6 +245,10 @@ class ShardedSeriesWriter:
         meta: dict,
         backend: StorageBackend,
         max_pending_steps: int,
+        parity: int = 0,
+        retries: int = 2,
+        retry_delay: float = 0.05,
+        sleep=None,
     ):
         self._path = str(path)
         self._writers = writers
@@ -227,6 +257,10 @@ class ShardedSeriesWriter:
         self._meta = meta
         self._backend = backend
         self._max_pending = max_pending_steps
+        self._parity = int(parity)
+        self._retries = int(retries)
+        self._retry_delay = float(retry_delay)
+        self._sleep = sleep if sleep is not None else _time.sleep
         self._inflight: deque = deque()
         self._route: dict[int, int] = {}
         self._rr = 0
@@ -251,6 +285,10 @@ class ShardedSeriesWriter:
         max_pending_steps: int | None = None,
         overwrite: bool = False,
         backend: StorageBackend | None = None,
+        parity: int = 0,
+        retries: int = 2,
+        retry_delay: float = 0.05,
+        sleep=None,
     ) -> "ShardedSeriesWriter":
         """Create a fresh sharded campaign at manifest ``path``.
 
@@ -260,10 +298,34 @@ class ShardedSeriesWriter:
         concurrent appends) or ``"serial"`` (inline appends, deterministic
         — what the value-identity tests use). ``max_pending_steps`` bounds
         in-flight appends across all lanes (default ``2 * n_shards``).
+
+        ``parity=p`` (0 ≤ p ≤ n_shards) writes ``p`` XOR parity shards at
+        :meth:`close` (:mod:`repro.integrity.parity`): data shard ``k``
+        joins parity group ``k % p``, and any single lost or damaged
+        segment per group is reconstructible bit-exactly
+        (:func:`repro.integrity.repair_sharded`, or transparently by
+        ``repro.serve``). Parity protects *finalized* campaigns; a
+        campaign killed before close has no parity files and falls back
+        to plain crash recovery.
+
+        A :class:`~repro.errors.TransientStorageError` raised while
+        appending a step is retried on that shard's lane — partial
+        segment bytes are rolled back and the append re-runs, up to
+        ``retries`` extra attempts with exponential backoff starting at
+        ``retry_delay`` seconds (``sleep`` is injectable for tests) —
+        instead of failing the whole campaign.
         """
         n_shards = int(n_shards)
         if n_shards < 1:
             raise CompressionError(f"n_shards must be >= 1, got {n_shards}")
+        parity = int(parity)
+        if not 0 <= parity <= n_shards:
+            raise CompressionError(
+                f"parity must be between 0 and n_shards={n_shards}, got {parity}"
+            )
+        retries = int(retries)
+        if retries < 0:
+            raise CompressionError(f"retries must be >= 0, got {retries}")
         if parallel not in ("serial", "thread"):
             raise CompressionError(
                 f"sharded parallel mode must be 'serial' or 'thread', got {parallel!r}"
@@ -331,7 +393,9 @@ class ShardedSeriesWriter:
                 lane.close()
             raise
         return cls(
-            manifest_name, writers, lanes, durabilities, meta, backend, pending
+            manifest_name, writers, lanes, durabilities, meta, backend,
+            pending, parity=parity, retries=retries, retry_delay=retry_delay,
+            sleep=sleep,
         )
 
     def __enter__(self) -> "ShardedSeriesWriter":
@@ -401,13 +465,32 @@ class ShardedSeriesWriter:
         self._route[n] = k
         t = float(n) if time is None else float(time)
         if self._lanes is None:
-            self._writers[k].append_step(hierarchy, time=t, step=n)
+            self._append_with_retry(k, hierarchy, t, n)
         else:
             self._drain(self._max_pending - 1)
             self._inflight.append(
-                self._lanes[k].submit(self._writers[k].append_step, hierarchy, t, n)
+                self._lanes[k].submit(self._append_with_retry, k, hierarchy, t, n)
             )
         return n
+
+    def _append_with_retry(self, k: int, hierarchy, t: float, n: int):
+        """Append step ``n`` on shard ``k``, retrying transient storage
+        faults with bounded exponential backoff. Each failed attempt's
+        partial segment bytes are rolled back first, so the shard file
+        never accumulates garbage between attempts. Runs on the shard's
+        lane thread (or inline in serial mode) — each writer is only ever
+        touched by its own lane."""
+        writer = self._writers[k]
+        attempt = 0
+        while True:
+            try:
+                return writer.append_step(hierarchy, time=t, step=n)
+            except TransientStorageError:
+                writer.rollback_step()
+                if attempt >= self._retries:
+                    raise
+                self._sleep(self._retry_delay * (2 ** attempt))
+                attempt += 1
 
     def _drain(self, down_to: int) -> None:
         while len(self._inflight) > down_to:
@@ -453,7 +536,39 @@ class ShardedSeriesWriter:
                 "durability": dur,
                 "steps": sorted(n for n, kk in self._route.items() if kk == k),
             })
-        _write_manifest(self._backend, self._path, meta, rows, final=True)
+        parity_rows = self._build_parity() if self._parity else None
+        _write_manifest(
+            self._backend, self._path, meta, rows, final=True,
+            parity=parity_rows,
+        )
+
+    def _build_parity(self) -> list[dict]:
+        """Write the campaign's XOR parity shards (at close, after every
+        data shard's index/footer is on storage). Segment extents come
+        from each shard writer's own step records; the bytes are read back
+        through the backend, so any :class:`~repro.storage.StorageBackend`
+        works. Returns the manifest accounting rows."""
+        from repro.integrity.parity import build_parity, parity_groups, parity_names
+
+        names = self.shards
+        rows: list[dict] = []
+        for j, members in enumerate(parity_groups(self.n_shards, self._parity)):
+            rows.append(
+                build_parity(
+                    self._backend,
+                    parity_names(self._path, self._parity)[j],
+                    j,
+                    [names[k] for k in members],
+                    [
+                        [
+                            (e.step, e.offset, e.length + SEAL_SIZE)
+                            for e in self._writers[k]._steps
+                        ]
+                        for k in members
+                    ],
+                )
+            )
+        return rows
 
     def abort(self) -> None:
         """Release every lane and shard writer without finalizing. The
@@ -470,11 +585,16 @@ class ShardedSeriesWriter:
 
 
 def _write_manifest(
-    backend: StorageBackend, name: str, meta: dict, rows: list[dict], final: bool
+    backend: StorageBackend,
+    name: str,
+    meta: dict,
+    rows: list[dict],
+    final: bool,
+    parity: list[dict] | None = None,
 ) -> None:
     handle = backend.open_write(name)
     try:
-        handle.write(pack_manifest(meta, rows, final=final))
+        handle.write(pack_manifest(meta, rows, final=final, parity=parity))
         handle.flush()
         try:
             os.fsync(handle.fileno())
@@ -560,10 +680,15 @@ class ShardedSeriesReader:
         meta: dict,
         readers: dict[str, SeriesReader],
         recovery: _ShardedRecovery | None = None,
+        parity: list[dict] | None = None,
     ):
         self._path = path
         self._meta = dict(meta)
         self._readers = readers
+        #: Parity-shard accounting rows from the manifest (empty when the
+        #: campaign was written without ``parity=``). The serving layer
+        #: uses these to reconstruct damaged segments on the fly.
+        self.parity: tuple[dict, ...] = tuple(parity or [])
         #: True when any shard (or the manifest) needed the salvage path.
         self.recovered = recovery is not None
         #: Per-shard recovery context, or ``None`` for a clean open.
@@ -683,7 +808,8 @@ class ShardedSeriesReader:
             meta = next(iter(readers.values())).meta()
             meta = {k: meta[k] for k in _SERIES_META_KEYS}
         recovery = None if clean else _ShardedRecovery(salvage, dropped)
-        return cls(manifest_name, meta, readers, recovery)
+        parity = list(man.get("parity") or []) if man is not None else []
+        return cls(manifest_name, meta, readers, recovery, parity=parity)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -965,7 +1091,10 @@ def recover_sharded(
     if commit:
         # Rebuild the manifest from the *surviving* shard indexes: after
         # per-shard commit each shard opens normally, so the routing can
-        # be read straight back out.
+        # be read straight back out. Parity rows (if any) are carried
+        # over verbatim — sealed segments keep their offsets through
+        # recovery, and repair re-verifies every crc before trusting a
+        # stripe, so a stale row is detected, never silently used.
         meta = None
         rows = []
         for name, report in reports.items():
@@ -977,7 +1106,11 @@ def recover_sharded(
                     "durability": durabilities.get(name, "close"),
                     "steps": list(reader.steps),
                 })
-        _write_manifest(backend_, manifest_name, meta, rows, final=True)
+        parity_rows = list(man.get("parity") or []) if man is not None else []
+        _write_manifest(
+            backend_, manifest_name, meta, rows, final=True,
+            parity=parity_rows or None,
+        )
     return ShardedRecoveryReport(
         manifest=manifest_name,
         intact=intact,

@@ -181,6 +181,9 @@ class StreamingWriter:
             self._write(_SERIES_HEADER.pack(SERIES_MAGIC, SERIES_VERSION))
         else:
             self._pos, self._steps = _resume
+        # End of the last durable prefix (header or last sealed step):
+        # rollback_step() may truncate back to here, never past it.
+        self._data_end = self._pos
 
     # ------------------------------------------------------------------
     # Construction / lifecycle
@@ -515,10 +518,37 @@ class StreamingWriter:
         # keeps segments byte-identical to batch compress_hierarchy output.
         self._in_step = False
         self._write(pack_seal(entry))
+        self._data_end = self._pos
         if self._durability == "step":
             self._sync()
         self._steps.append(entry)
         return entry
+
+    def rollback_step(self) -> None:
+        """Abandon the step in flight and truncate its partial bytes.
+
+        After an append failed mid-step (e.g. a
+        :class:`~repro.errors.TransientStorageError` from the byte sink),
+        the file holds a partial, unsealed segment. This discards any
+        in-flight compression futures and truncates back to the end of the
+        last *sealed* step, leaving the writer exactly where it was before
+        the failed ``begin_step`` — the same step number can be appended
+        again. A no-op when nothing was written past the sealed prefix.
+        """
+        if self._closed:
+            raise CompressionError("writer is closed")
+        self._in_step = False
+        pending = getattr(self, "_pending", None)
+        while pending:
+            *_, fut = pending.popleft()
+            try:
+                fut.result()  # retire, discard (and swallow its failure)
+            except Exception:
+                pass
+        if self._pos > self._data_end:
+            self._file.seek(self._data_end)
+            self._file.truncate()
+            self._pos = self._data_end
 
     def append_step(
         self,

@@ -1,0 +1,54 @@
+"""Self-healing storage: integrity scrub, XOR parity, and repair.
+
+Three layers over the container formats' existing checksums:
+
+* :func:`scrub` — walk any snapshot / series / sharded campaign and
+  verify every checksum it carries, reporting structured
+  :class:`Finding` rows (``python -m repro.compression scrub``).
+* :mod:`repro.integrity.parity` — the ``RPXP`` XOR parity-shard format
+  written by ``ShardedSeriesWriter(parity=p)``.
+* :func:`repair_sharded` — reconstruct damaged or missing shard
+  segments bit-exactly from parity and recommit indexes + manifest
+  (``python -m repro.compression repair``); :class:`SegmentHealer` does
+  the same reconstruction on the fly for ``repro.serve``.
+"""
+
+from repro.integrity.parity import (
+    PARITY_MAGIC,
+    PARITY_SCHEME,
+    PARITY_VERSION,
+    ParityReader,
+    ParityStripe,
+    StripeMember,
+    build_parity,
+    parity_groups,
+    parity_names,
+    xor_blocks,
+)
+from repro.integrity.repair import (
+    MemberDamage,
+    RepairReport,
+    SegmentHealer,
+    repair_sharded,
+)
+from repro.integrity.scrub import Finding, ScrubReport, scrub
+
+__all__ = [
+    "PARITY_MAGIC",
+    "PARITY_SCHEME",
+    "PARITY_VERSION",
+    "ParityReader",
+    "ParityStripe",
+    "StripeMember",
+    "build_parity",
+    "parity_groups",
+    "parity_names",
+    "xor_blocks",
+    "Finding",
+    "ScrubReport",
+    "scrub",
+    "MemberDamage",
+    "RepairReport",
+    "SegmentHealer",
+    "repair_sharded",
+]

@@ -1,0 +1,447 @@
+"""RPXP parity shards: XOR redundancy over sharded campaigns.
+
+A sharded RPHM campaign (:mod:`repro.insitu.sharded`) already *detects*
+damage — every sealed step segment carries a whole-segment crc32 — but a
+dead or bit-rotted shard is permanent data loss. This module adds the
+redundancy that turns detection into repair: ``ShardedSeriesWriter``
+created with ``parity=p`` writes ``p`` **parity shard files** alongside
+the data shards, each holding the byte-wise XOR of its member shards'
+sealed step segments.
+
+Scheme (``xor-stripe-v1``, spec'd in ``docs/container_format.md``):
+
+* Data shard ``k`` belongs to parity group ``k % p``; parity shard ``j``
+  covers the group's members in shard order.
+* **Stripe** ``i`` of a group XORs the ``i``-th sealed step segment of
+  each member that has at least ``i + 1`` steps. Segments differ in
+  length, so each member's bytes are zero-padded to the longest member's
+  length (the *padded-block* rule: ``XOR`` of nothing is ``0``, so
+  padding is free and reconstruction just truncates back to the recorded
+  member length).
+* A stripe member is the segment **plus its seal record** — exactly the
+  bytes crash recovery needs to re-index a reconstructed shard.
+
+Losing at most one member per stripe is recoverable bit-exactly:
+``parity XOR (all surviving members, padded)`` is the lost member, and
+the member's recorded crc32 proves the reconstruction before anyone
+trusts it.
+
+Parity file layout:
+
+.. code-block:: text
+
+    offset 0   magic    b"RPXP"                                 (4 bytes)
+    offset 4   u8       parity version (currently 1)
+    offset 5   stripe parity blocks, back to back (raw XOR bytes)
+    ...        parity index: JSON document (see below)
+    EOF-28     footer: u64 index_offset, u64 index_length,
+               u32 crc32(index bytes), footer magic b"RPXP-IDX"
+
+Parity index schema (JSON)::
+
+    {
+      "format": "rpxp", "version": 1, "scheme": "xor-stripe-v1",
+      "group": int,                      # which parity group this file is
+      "members": [str, ...],             # member shard basenames, in order
+      "stripes": [[stripe, offset, length, crc32,
+                   [[member, step, seg_offset, seg_length, seg_crc32],
+                    ...]], ...]
+    }
+
+``offset``/``length``/``crc32`` locate and check the stripe's parity
+bytes inside this file; each member row records which shard (an index
+into ``members``), which step, where the segment+seal lives in that
+shard, how long it is, and the crc32 of those exact bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import FormatError, IntegrityError, StorageError
+from repro.storage import LocalFileBackend, StorageBackend
+
+__all__ = [
+    "PARITY_MAGIC",
+    "PARITY_FOOTER_MAGIC",
+    "PARITY_VERSION",
+    "PARITY_SCHEME",
+    "StripeMember",
+    "ParityStripe",
+    "ParityReader",
+    "parity_names",
+    "parity_groups",
+    "build_parity",
+    "pack_parity_index",
+    "xor_blocks",
+]
+
+PARITY_MAGIC = b"RPXP"
+PARITY_FOOTER_MAGIC = b"RPXP-IDX"
+PARITY_VERSION = 1
+#: The one scheme this version writes and reads.
+PARITY_SCHEME = "xor-stripe-v1"
+_PARITY_HEADER = struct.Struct("<4sB")
+_PARITY_FOOTER = struct.Struct("<QQI8s")
+
+
+def parity_names(manifest: str | Path, parity: int) -> list[str]:
+    """Full parity object names for a manifest name (same directory)."""
+    root, _ = os.path.splitext(str(manifest))
+    return [f"{root}.parity{j:03d}.rpxp" for j in range(parity)]
+
+
+def parity_groups(n_shards: int, parity: int) -> list[list[int]]:
+    """Member data-shard indices of each parity group (``k % parity``)."""
+    return [
+        [k for k in range(n_shards) if k % parity == j] for j in range(parity)
+    ]
+
+
+def xor_blocks(blocks: Sequence[bytes], length: int | None = None) -> bytes:
+    """Byte-wise XOR of ``blocks``, each zero-padded to the longest (or to
+    ``length``) — the padded-block rule both build and repair use."""
+    width = max((len(b) for b in blocks), default=0)
+    if length is not None:
+        width = max(width, int(length))
+    acc = np.zeros(width, dtype=np.uint8)
+    for b in blocks:
+        if b:
+            acc[: len(b)] ^= np.frombuffer(b, dtype=np.uint8)
+    return acc.tobytes()
+
+
+@dataclass(frozen=True)
+class StripeMember:
+    """One data-shard segment covered by a stripe."""
+
+    #: Member shard basename (resolves against the parity file's directory).
+    shard: str
+    step: int
+    #: Absolute offset of the segment inside the shard file.
+    offset: int
+    #: Segment length *including* its seal record.
+    length: int
+    #: crc32 of exactly those ``length`` bytes.
+    crc32: int
+
+
+@dataclass(frozen=True)
+class ParityStripe:
+    """One XOR block over the i-th sealed segment of each group member."""
+
+    index: int
+    #: Where the parity bytes live inside the parity file.
+    offset: int
+    length: int
+    crc32: int
+    members: tuple[StripeMember, ...]
+
+    def member_for(self, shard: str, step: int) -> StripeMember | None:
+        for m in self.members:
+            if m.shard == shard and m.step == step:
+                return m
+        return None
+
+
+def pack_parity_index(
+    group: int, members: Sequence[str], stripes: Sequence[ParityStripe]
+) -> bytes:
+    """Serialize the parity index JSON (canonical key order)."""
+    member_pos = {name: i for i, name in enumerate(members)}
+    index = {
+        "format": "rpxp",
+        "version": PARITY_VERSION,
+        "scheme": PARITY_SCHEME,
+        "group": int(group),
+        "members": list(members),
+        "stripes": [
+            [
+                s.index, s.offset, s.length, s.crc32,
+                [
+                    [member_pos[m.shard], m.step, m.offset, m.length, m.crc32]
+                    for m in s.members
+                ],
+            ]
+            for s in stripes
+        ],
+    }
+    return json.dumps(index, separators=(",", ":")).encode()
+
+
+def _read_exact(handle: BinaryIO, offset: int, length: int, what: str) -> bytes:
+    handle.seek(offset)
+    blob = handle.read(length)
+    if len(blob) != length:
+        raise FormatError(
+            f"{what}: read {len(blob)} of {length} bytes (truncated?)"
+        )
+    return blob
+
+
+class ParityReader:
+    """Random access over one RPXP parity shard file.
+
+    Opens the footer and index eagerly (a few hundred bytes); stripe
+    parity blocks are fetched on demand. :meth:`reconstruct` is the
+    repair primitive: given a ``read`` callable over the member shards,
+    it rebuilds one lost member's segment+seal bytes bit-exactly (crc
+    proven) or raises :class:`~repro.errors.IntegrityError`.
+    """
+
+    def __init__(self, name: str, backend: StorageBackend | None = None):
+        self._name = str(name)
+        self._backend = backend or LocalFileBackend()
+        self._handle = self._backend.open_read(self._name)
+        try:
+            self._parse()
+        except BaseException:
+            self._handle.close()
+            raise
+
+    def _parse(self) -> None:
+        h = self._handle
+        h.seek(0, 2)
+        total = h.tell()
+        if total < _PARITY_HEADER.size + _PARITY_FOOTER.size:
+            raise FormatError(
+                f"{self._name}: too short ({total} bytes) for RPXP framing"
+            )
+        magic, version = _PARITY_HEADER.unpack(
+            _read_exact(h, 0, _PARITY_HEADER.size, "parity header")
+        )
+        if magic != PARITY_MAGIC:
+            raise FormatError(
+                f"{self._name}: not an RPXP parity shard (magic {magic!r})"
+            )
+        if version != PARITY_VERSION:
+            raise FormatError(f"unsupported parity version {version}")
+        footer = _read_exact(
+            h, total - _PARITY_FOOTER.size, _PARITY_FOOTER.size, "parity footer"
+        )
+        idx_off, idx_len, idx_crc, fmagic = _PARITY_FOOTER.unpack(footer)
+        if fmagic != PARITY_FOOTER_MAGIC:
+            raise FormatError(
+                f"{self._name}: bad parity footer magic {fmagic!r} "
+                "(truncated or torn write)"
+            )
+        if idx_off + idx_len > total - _PARITY_FOOTER.size:
+            raise FormatError(f"{self._name}: parity index extends past EOF")
+        idx_bytes = _read_exact(h, idx_off, idx_len, "parity index")
+        if zlib.crc32(idx_bytes) != idx_crc:
+            raise FormatError(f"{self._name}: parity index checksum mismatch")
+        try:
+            index = json.loads(idx_bytes.decode())
+            if index["format"] != "rpxp":
+                raise FormatError(
+                    f"unexpected parity index format {index['format']!r}"
+                )
+            if index["scheme"] != PARITY_SCHEME:
+                raise FormatError(
+                    f"unsupported parity scheme {index['scheme']!r}"
+                )
+            self.group = int(index["group"])
+            self.members: tuple[str, ...] = tuple(index["members"])
+            stripes = []
+            for si, off, ln, crc, rows in index["stripes"]:
+                stripes.append(
+                    ParityStripe(
+                        index=int(si), offset=int(off), length=int(ln),
+                        crc32=int(crc),
+                        members=tuple(
+                            StripeMember(
+                                shard=self.members[int(mi)], step=int(st),
+                                offset=int(so), length=int(sl), crc32=int(sc),
+                            )
+                            for mi, st, so, sl, sc in rows
+                        ),
+                    )
+                )
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                IndexError, ValueError, TypeError) as exc:
+            raise FormatError(
+                f"{self._name}: corrupt parity index: {exc!r}"
+            ) from exc
+        self.stripes: tuple[ParityStripe, ...] = tuple(stripes)
+        self._by_member = {
+            (m.shard, m.step): (s, m)
+            for s in self.stripes
+            for m in s.members
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "ParityReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def stripe_for(self, shard: str, step: int) -> tuple[ParityStripe, StripeMember] | None:
+        """The stripe (and member row) covering ``step`` of shard basename
+        ``shard``, or ``None`` when this parity file does not cover it."""
+        return self._by_member.get((os.path.basename(shard), int(step)))
+
+    def parity_bytes(self, stripe: ParityStripe, verify: bool = True) -> bytes:
+        """One stripe's raw XOR block (crc-checked unless ``verify=False``)."""
+        blob = _read_exact(
+            self._handle, stripe.offset, stripe.length,
+            f"parity stripe {stripe.index}",
+        )
+        if verify and zlib.crc32(blob) != stripe.crc32:
+            raise FormatError(
+                f"{self._name}: parity stripe {stripe.index} checksum mismatch"
+            )
+        return blob
+
+    def reconstruct(
+        self,
+        stripe: ParityStripe,
+        lost: StripeMember,
+        read: Callable[[str, int, int], bytes],
+    ) -> bytes:
+        """Rebuild one lost member's segment+seal bytes from the stripe.
+
+        ``read(shard_basename, offset, length)`` must return the exact
+        bytes of a *surviving* member (raising
+        :class:`~repro.errors.StorageError` / :class:`~repro.errors.FormatError`
+        when it cannot). Survivors are crc-checked before use — XORing a
+        silently-corrupt survivor would manufacture plausible garbage —
+        and the reconstruction is only returned once it matches the lost
+        member's recorded crc32.
+        """
+        blocks = [self.parity_bytes(stripe)]
+        for m in stripe.members:
+            if m is lost or (m.shard == lost.shard and m.step == lost.step):
+                continue
+            try:
+                blob = read(m.shard, m.offset, m.length)
+            except (StorageError, FormatError, OSError) as exc:
+                raise IntegrityError(
+                    f"cannot reconstruct step {lost.step} of {lost.shard}: "
+                    f"surviving member {m.shard} step {m.step} is also "
+                    f"unreadable ({exc}) — {PARITY_SCHEME} covers one lost "
+                    "member per stripe"
+                ) from exc
+            if len(blob) != m.length or zlib.crc32(blob) != m.crc32:
+                raise IntegrityError(
+                    f"cannot reconstruct step {lost.step} of {lost.shard}: "
+                    f"surviving member {m.shard} step {m.step} fails its "
+                    f"recorded crc — two lost members in one stripe exceed "
+                    f"what {PARITY_SCHEME} can repair"
+                )
+            blocks.append(blob)
+        out = xor_blocks(blocks)[: lost.length]
+        if len(out) != lost.length or zlib.crc32(out) != lost.crc32:
+            raise IntegrityError(
+                f"reconstruction of step {lost.step} of {lost.shard} fails "
+                "its recorded crc (parity block damaged or stale)"
+            )
+        return out
+
+
+def build_parity(
+    backend: StorageBackend,
+    parity_name: str,
+    group: int,
+    member_names: Sequence[str],
+    member_segments: Sequence[Sequence[tuple[int, int, int]]],
+) -> dict:
+    """Write one parity shard over its member shards' sealed segments.
+
+    ``member_segments[i]`` lists ``(step, offset, length)`` rows for
+    ``member_names[i]`` — the segment **plus seal** extents, in step
+    order. Reads the member bytes back through ``backend``, XORs stripe
+    by stripe (bounded memory: one stripe at a time), and writes the
+    RPXP file. Returns the manifest accounting row::
+
+        {"name": basename, "group": j, "members": [basenames],
+         "stripes": n, "bytes": parity_file_size}
+    """
+    basenames = [os.path.basename(n) for n in member_names]
+    base_dir = os.path.dirname(str(parity_name))
+
+    def full(name: str) -> str:
+        return os.path.join(base_dir, name) if base_dir else name
+
+    handles = {}
+    stripes: list[ParityStripe] = []
+    out = backend.open_write(str(parity_name))
+    try:
+        for name in member_names:
+            handles[os.path.basename(name)] = backend.open_read(str(name))
+        pos = 0
+
+        def emit(blob: bytes) -> None:
+            nonlocal pos
+            out.write(blob)
+            pos += len(blob)
+
+        emit(_PARITY_HEADER.pack(PARITY_MAGIC, PARITY_VERSION))
+        depth = max((len(rows) for rows in member_segments), default=0)
+        for i in range(depth):
+            members: list[StripeMember] = []
+            blocks: list[bytes] = []
+            for shard, rows in zip(basenames, member_segments):
+                if i >= len(rows):
+                    continue
+                step, offset, length = rows[i]
+                blob = _read_exact(
+                    handles[shard], offset, length,
+                    f"{shard} step {step} segment",
+                )
+                members.append(
+                    StripeMember(
+                        shard=shard, step=int(step), offset=int(offset),
+                        length=int(length), crc32=zlib.crc32(blob),
+                    )
+                )
+                blocks.append(blob)
+            parity = xor_blocks(blocks)
+            stripes.append(
+                ParityStripe(
+                    index=i, offset=pos, length=len(parity),
+                    crc32=zlib.crc32(parity), members=tuple(members),
+                )
+            )
+            emit(parity)
+        index_bytes = pack_parity_index(group, basenames, stripes)
+        index_offset = pos
+        emit(index_bytes)
+        emit(
+            _PARITY_FOOTER.pack(
+                index_offset, len(index_bytes), zlib.crc32(index_bytes),
+                PARITY_FOOTER_MAGIC,
+            )
+        )
+        out.flush()
+    finally:
+        for h in handles.values():
+            h.close()
+        out.close()
+    return {
+        "name": os.path.basename(str(parity_name)),
+        "group": int(group),
+        "members": basenames,
+        "stripes": len(stripes),
+        "bytes": pos,
+    }

@@ -66,7 +66,7 @@ from repro.errors import (
     ServeError,
     StorageError,
 )
-from repro.insitu.series import SERIES_MAGIC, SeriesReader
+from repro.insitu.series import SEAL_SIZE, SERIES_MAGIC, SeriesReader
 from repro.insitu.sharded import MANIFEST_MAGIC
 from repro.parallel.pool import WorkerPool
 from repro.serve.cache import ServeCache
@@ -106,6 +106,9 @@ class QueryInfo:
     meta_bytes: int = 0
     ranged_reads: int = 0
     group_batches: int = 0
+    #: Segments reconstructed from parity on this query's behalf
+    #: (self-healing reads over a damaged shard).
+    repairs: int = 0
     #: Whether the query ran in degraded (``partial=True``) mode.
     partial: bool = False
     #: Degraded-mode report: one ``{"step", "file", "error", "detail"}``
@@ -286,6 +289,19 @@ class QueryService:
         :class:`~repro.errors.CircuitOpenError` for ``breaker_cooldown``
         seconds (then one probe is let through).
         ``breaker_threshold=None`` disables breakers.
+    heal:
+        Self-healing reads: when a shard of a parity-carrying campaign
+        (``ShardedSeriesWriter(parity=p)``) fails with a
+        :class:`~repro.errors.StorageError` / ``FormatError``, reconstruct
+        the needed segment from the surviving shards
+        (:class:`repro.integrity.SegmentHealer`) instead of failing the
+        query (or, under ``partial=True``, instead of reporting the step
+        ``missing``). Each reconstruction counts in ``stats["repairs"]``
+        and :attr:`QueryInfo.repairs`.
+    heal_write_back:
+        Additionally patch each reconstruction back into the damaged
+        shard file, best-effort (a deleted shard still needs
+        :func:`repro.integrity.repair_sharded`).
     clock:
         Monotonic clock used by deadlines, breakers, and the admission
         EWMA — injectable for tests.
@@ -308,6 +324,8 @@ class QueryService:
         max_bytes: int | None = None,
         breaker_threshold: int | None = 5,
         breaker_cooldown: float = 30.0,
+        heal: bool = True,
+        heal_write_back: bool = False,
         clock=time.monotonic,
     ):
         self._path = str(path)
@@ -329,6 +347,12 @@ class QueryService:
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = float(breaker_cooldown)
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._heal = bool(heal)
+        self._heal_write_back = bool(heal_write_back)
+        #: Parity accounting rows from the campaign manifest (sharded
+        #: sources only); the lazy SegmentHealer is built from them.
+        self._parity_rows: tuple = ()
+        self._healer = None
         self._handles: dict[str, tuple[Any, threading.Lock]] = {}
         self._locks: dict[tuple, asyncio.Lock] = {}
         #: Single-flight table: patch cache key -> future of the decode a
@@ -348,6 +372,7 @@ class QueryService:
             "deadline_exceeded": 0,
             "partial_queries": 0,
             "pool_rebuilds": 0,
+            "repairs": 0,
         }
         #: step -> (file, segment offset, segment length)
         self._segments: dict[int, tuple[str, int, int]] = {}
@@ -368,12 +393,27 @@ class QueryService:
         finally:
             probe.close()
         if head == SERIES_MAGIC or head[: len(MANIFEST_MAGIC)] == MANIFEST_MAGIC:
-            reader = SeriesReader.open(
-                self._path, recover=recover, backend=self._given_backend
-            )
+            try:
+                reader = SeriesReader.open(
+                    self._path, recover=recover, backend=self._given_backend
+                )
+            except (StorageError, FormatError, OSError) as exc:
+                # A campaign with a dead shard cannot federate the normal
+                # way — but if it carries parity, the missing shard's step
+                # table is recorded in the parity stripe indexes and its
+                # payload is reconstructible on demand.
+                if not (
+                    self._heal
+                    and head[: len(MANIFEST_MAGIC)] == MANIFEST_MAGIC
+                ):
+                    raise
+                self._harvest_degraded(recover, exc)
+                self._step_order = sorted(self._segments)
+                return
             try:
                 self.is_sharded = bool(reader.is_sharded)
                 self.recovered = bool(reader.recovered)
+                self._parity_rows = tuple(getattr(reader, "parity", ()) or ())
                 self._meta = reader.meta()
                 for e in reader.step_entries:
                     file = (
@@ -400,6 +440,75 @@ class QueryService:
             )
         self._step_order = sorted(self._segments)
 
+    def _harvest_degraded(self, recover: bool, cause: BaseException) -> None:
+        """Manifest-driven harvest for a campaign whose federated open
+        failed: live shards contribute their own step tables, and a dead
+        shard's segment extents come from the parity shards' stripe
+        indexes (its bytes are reconstructed on first touch). Re-raises
+        the original open failure when the campaign carries no parity or
+        a dead shard is outside parity coverage."""
+        from repro.insitu.sharded import _shard_path, parse_manifest
+        from repro.integrity.parity import ParityReader
+
+        handle = self._backend.open_read(self._path)
+        try:
+            man = parse_manifest(handle.read())
+        finally:
+            handle.close()
+        rows = list(man.get("parity") or [])
+        if not rows:
+            raise cause
+        self.is_sharded = True
+        self._parity_rows = tuple(rows)
+        self._meta = {
+            k: man[k]
+            for k in ("codec", "error_bound", "mode", "fields",
+                      "exclude_covered")
+        }
+        dead: list[str] = []
+        for base in (str(row["name"]) for row in man["shards"]):
+            full = _shard_path(self._path, base)
+            try:
+                sub = SeriesReader.open(
+                    full, recover=recover, backend=self._given_backend
+                )
+            except (StorageError, FormatError, OSError):
+                dead.append(base)
+                continue
+            try:
+                self.recovered = self.recovered or bool(sub.recovered)
+                for e in sub.step_entries:
+                    self._segments[e.step] = (full, e.offset, e.length)
+            finally:
+                sub.close()
+        for base in dead:
+            covered = False
+            for row in rows:
+                if base not in row["members"]:
+                    continue
+                try:
+                    pr = ParityReader(
+                        _shard_path(self._path, str(row["name"])),
+                        backend=self._backend,
+                    )
+                except (StorageError, FormatError):
+                    continue
+                try:
+                    covered = True
+                    full = _shard_path(self._path, base)
+                    for stripe in pr.stripes:
+                        for m in stripe.members:
+                            if m.shard == base and m.step not in self._segments:
+                                # Stripe members span segment + seal; the
+                                # step table records the bare segment.
+                                self._segments[m.step] = (
+                                    full, m.offset, m.length - SEAL_SIZE
+                                )
+                finally:
+                    pr.close()
+            if not covered:
+                raise cause
+
     # ------------------------------------------------------------------
     # Lifecycle / metadata
     # ------------------------------------------------------------------
@@ -410,6 +519,12 @@ class QueryService:
             except Exception:
                 pass
         self._handles.clear()
+        if self._healer is not None:
+            try:
+                self._healer.close()
+            except Exception:
+                pass
+            self._healer = None
         if self._owns_pool:
             self._pool.close()
 
@@ -530,6 +645,89 @@ class QueryService:
         return ServeError(
             f"decode worker pool failed ({type(exc).__name__}: {exc}){hint}"
         )
+
+    # ------------------------------------------------------------------
+    # Parity self-healing
+    # ------------------------------------------------------------------
+    def _get_healer(self):
+        """The lazy :class:`~repro.integrity.SegmentHealer` over this
+        campaign's parity shards, or ``None`` when healing is off or the
+        source is not a parity-carrying sharded campaign."""
+        if not (self._heal and self.is_sharded and self._parity_rows):
+            return None
+        if self._healer is None:
+            # Lazy import: repro.serve must stay importable without the
+            # integrity subsystem loaded (and most services never heal).
+            from repro.integrity.repair import SegmentHealer
+
+            self._healer = SegmentHealer(
+                self._path, self._parity_rows, backend=self._backend
+            )
+        return self._healer
+
+    def _heal_step_sync(
+        self, step, want_levels, want_fields, want_patches, verify
+    ) -> dict[tuple, np.ndarray]:
+        """Reconstruct one step's segment from parity and decode the
+        selected patches out of it (executor side). The reconstruction is
+        checksum-proven by :meth:`SegmentHealer.heal` before any decode.
+        Returns arrays keyed ``(level, field, patch)``."""
+        healer = self._healer
+        file = self._segments[step][0]
+        member, blob = healer.heal(file, step)
+        if self._heal_write_back:
+            healer.write_back(file, member, blob)
+        # The stripe member spans segment + seal; the RPH2 container ends
+        # at the seal boundary.
+        reader = ContainerReader(bytes(blob[: member.length - SEAL_SIZE]))
+        return reader.select(
+            levels=want_levels, fields=want_fields, patches=want_patches,
+            verify=verify,
+        )
+
+    async def _heal_step(
+        self, step, want_levels, want_fields, want_patches, verify,
+        info: QueryInfo,
+    ) -> dict[tuple, np.ndarray] | None:
+        """Try to serve one unservable step by parity reconstruction.
+        Returns the decoded ``(level, field, patch) -> array`` map, or
+        ``None`` when the step cannot be healed (no parity, multi-loss
+        stripe, a survivor failed its checksum) — the caller then falls
+        back to the ordinary failure path."""
+        if self._get_healer() is None:
+            return None
+        loop = asyncio.get_running_loop()
+        try:
+            healed = await loop.run_in_executor(
+                None, self._heal_step_sync, step,
+                want_levels, want_fields, want_patches, verify,
+            )
+        except (ReproError, OSError):
+            return None
+        self._stats["repairs"] += 1
+        info.repairs += 1
+        return healed
+
+    def _absorb_healed(
+        self, step: int, file: str, healed: dict, verify: bool,
+        hits: dict, owned: dict | None,
+    ) -> None:
+        """Install one healed step's patches: cache them, resolve any
+        single-flight futures this query registered for the step, and
+        merge them into the hit map."""
+        for (lvl, fld, p), arr in healed.items():
+            arr.setflags(write=False)
+            key = (step, lvl, fld, p)
+            # Mirrors _patch_key (which takes a PatchIndexEntry).
+            pkey = ("patch", file, step, lvl, fld, p, verify)
+            if self._cache is not None:
+                self._cache.put(pkey, arr, arr.nbytes)
+            if owned is not None and key in owned:
+                opkey, fut = owned.pop(key)
+                self._inflight.pop(opkey, None)
+                if not fut.done():
+                    fut.set_result(arr)
+            hits.setdefault(key, arr)
 
     # ------------------------------------------------------------------
     # Catalogs and group headers
@@ -666,9 +864,20 @@ class QueryService:
             try:
                 cat = await self._catalog(s, info)
             except (StorageError, FormatError) as exc:
+                file = self._segments[s][0]
+                healed = await self._heal_step(
+                    s, want_levels, want_fields, want_patches, verify, info
+                )
+                if healed is not None:
+                    # The catalog never loaded, so this step's patches
+                    # were never enumerated: count them here.
+                    info.keys += len(healed)
+                    info.cache_misses += len(healed)
+                    self._absorb_healed(s, file, healed, verify, hits, owned)
+                    continue
                 if not partial:
                     raise
-                self._note_missing(info, s, self._segments[s][0], exc)
+                self._note_missing(info, s, file, exc)
                 continue
             chosen = [
                 e
@@ -709,6 +918,15 @@ class QueryService:
                     )
                     plan = self._plan_for(cat, misses)
                 except (StorageError, FormatError) as exc:
+                    healed = await self._heal_step(
+                        s, want_levels, want_fields, want_patches, verify,
+                        info,
+                    )
+                    if healed is not None:
+                        self._absorb_healed(
+                            s, cat.file, healed, verify, hits, owned
+                        )
+                        continue
                     if not partial:
                         raise
                     self._note_missing(info, s, cat.file, exc)
@@ -922,12 +1140,15 @@ class QueryService:
         caller)."""
         info = QueryInfo(partial=partial)
         owned: dict[tuple, tuple[tuple, asyncio.Future]] = {}
+        want_levels = _normalize_selector(levels, "level")
+        want_fields = _normalize_selector(fields, "field")
+        want_patches = _normalize_selector(patches, "patch")
         try:
             hits, waits, work = await self._gather(
                 _normalize_selector(steps, "step"),
-                _normalize_selector(levels, "level"),
-                _normalize_selector(fields, "field"),
-                _normalize_selector(patches, "patch"),
+                want_levels,
+                want_fields,
+                want_patches,
                 verify,
                 info,
                 owned,
@@ -941,21 +1162,35 @@ class QueryService:
             try:
                 executed = await asyncio.gather(
                     *[self._execute(cat, plan, verify) for cat, plan in work],
-                    return_exceptions=partial,
+                    # Collect every step's outcome so a failed shard can
+                    # be healed from parity (or reported in degraded
+                    # mode) without abandoning the surviving steps.
+                    return_exceptions=True,
                 )
             finally:
                 self._admission.release_bytes(reserved)
-            if partial:
-                kept = []
-                for (cat, plan), res in zip(work, executed):
-                    if isinstance(res, BaseException):
-                        if not isinstance(res, (StorageError, FormatError)):
-                            raise res
-                        self._fail_step_owned(owned, plan.step, res)
-                        self._note_missing(info, plan.step, plan.file, res)
-                        continue
-                    kept.append(res)
-                executed = kept
+            kept = []
+            for (cat, plan), res in zip(work, executed):
+                if isinstance(res, BaseException):
+                    storageish = isinstance(res, (StorageError, FormatError))
+                    if storageish:
+                        healed = await self._heal_step(
+                            plan.step, want_levels, want_fields,
+                            want_patches, verify, info,
+                        )
+                        if healed is not None:
+                            self._absorb_healed(
+                                plan.step, plan.file, healed, verify,
+                                hits, owned,
+                            )
+                            continue
+                    if not partial or not storageish:
+                        raise res
+                    self._fail_step_owned(owned, plan.step, res)
+                    self._note_missing(info, plan.step, plan.file, res)
+                    continue
+                kept.append(res)
+            executed = kept
         except BaseException as exc:
             fail = exc
             if (
@@ -1046,8 +1281,13 @@ class QueryService:
         table. ``partial=True`` serves *around* dead shards: surviving
         steps come back normally and the per-step failures are reported
         in :class:`QueryInfo` ``.missing`` (use :meth:`query_info` to see
-        it). Under overload, admission control may shed the query with
-        :class:`~repro.errors.Overloaded` before any work happens.
+        it). When the campaign carries parity (and ``heal=True``), a dead
+        or corrupt shard is first reconstructed from the surviving shards
+        — the query then completes *without* degrading, and the
+        reconstruction shows up in ``stats["repairs"]`` /
+        :attr:`QueryInfo.repairs`. Under overload, admission control may
+        shed the query with :class:`~repro.errors.Overloaded` before any
+        work happens.
         """
         out, _ = await self.query_info(
             steps=steps, levels=levels, fields=fields, patches=patches,

@@ -1,0 +1,100 @@
+"""Write-path fault injection: ``FaultyBackend`` now wraps the write
+side too, and the sharded writer's per-lane retry turns a transient
+write fault into a rolled-back, retried, bit-identical step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransientStorageError
+from repro.faults import FaultPlan, FaultyBackend
+from repro.insitu.sharded import ShardedSeriesReader, ShardedSeriesWriter
+from repro.integrity import scrub
+from repro.storage import LocalFileBackend, MemoryBackend
+
+from tests.integrity.conftest import campaign_steps
+
+
+def _no_sleep(_seconds: float) -> None:
+    pass
+
+
+def test_faulty_backend_injects_on_write_not_rollback(tmp_path):
+    """write() consults the plan; seek/truncate/flush/close never do —
+    a writer must always be able to roll back through the same handle
+    that just faulted."""
+    plan = FaultPlan()
+    backend = FaultyBackend(MemoryBackend(), plan)
+    plan.always(kind="transient")
+    handle = backend.open_write("obj")
+    with pytest.raises(TransientStorageError):
+        handle.write(b"boom")
+    # The rollback surface stays injection-free even under plan.always.
+    handle.seek(0)
+    handle.truncate()
+    handle.flush()
+    handle.close()
+    plan.clear()
+    handle = backend.open_write("obj")
+    handle.write(b"fine")
+    handle.close()
+    reader = backend.open_read("obj")
+    assert reader.read() == b"fine"
+    reader.close()
+
+
+def test_sharded_writer_retries_transient_write_faults(tmp_path):
+    """A transient fault mid-append is rolled back and retried; the
+    finished campaign is indistinguishable from a fault-free run."""
+    steps = campaign_steps()[:4]
+    truth = tmp_path / "truth.rphm"
+    with ShardedSeriesWriter.create(
+        truth, "sz-lr", 1e-3, n_shards=2, parallel="serial", parity=1,
+        backend=LocalFileBackend(),
+    ) as writer:
+        for s, h in enumerate(steps):
+            writer.append_step(h, step=s)
+
+    plan = FaultPlan()
+    plan.nth(3, match="*.rph2s", kind="transient")
+    plan.nth(11, match="*.rph2s", kind="transient")
+    faulty = tmp_path / "faulty.rphm"
+    with ShardedSeriesWriter.create(
+        faulty, "sz-lr", 1e-3, n_shards=2, parallel="serial", parity=1,
+        backend=FaultyBackend(LocalFileBackend(), plan),
+        sleep=_no_sleep,
+    ) as writer:
+        for s, h in enumerate(steps):
+            writer.append_step(h, step=s)
+    assert plan.faults == 2, "the schedule never fired (test is vacuous)"
+
+    reader = ShardedSeriesReader.open(faulty)
+    try:
+        assert reader.n_steps == len(steps)
+    finally:
+        reader.close()
+    # Shard files come out bit-identical to the fault-free run.
+    for k in range(2):
+        name = f"shard{k:03d}.rph2s"
+        assert (tmp_path / f"faulty.{name}").read_bytes() == \
+            (tmp_path / f"truth.{name}").read_bytes()
+    assert scrub(faulty).clean
+
+
+def test_sharded_writer_exhausts_retries_to_typed_error(tmp_path):
+    plan = FaultPlan()
+    writer = ShardedSeriesWriter.create(
+        tmp_path / "doomed.rphm", "sz-lr", 1e-3, n_shards=2,
+        parallel="serial", parity=0,
+        backend=FaultyBackend(LocalFileBackend(), plan),
+        retries=2, sleep=_no_sleep,
+    )
+    # Arm the outage only after create() has laid down the headers.
+    plan.always(match="*.rph2s", kind="transient")
+    try:
+        with pytest.raises(TransientStorageError):
+            writer.append_step(campaign_steps()[0], step=0)
+        # One initial attempt + two retries per failing append.
+        assert plan.faults >= 3
+    finally:
+        writer.abort()
