@@ -1,66 +1,16 @@
-"""Ablation: artifact morphology — block-wise vs smooth (paper §3.3/§4).
+"""Ablation: artifact morphology (registry-backed).
 
-The paper explains its visual findings by artifact *shape*: SZ-L/R's
-independent blocks produce "block-wise artifacts" that the dual-cell
-method amplifies (Figs 9f, 11e), while SZ-Interp produces smooth global
-bumps (Fig 10b). The :func:`repro.metrics.blockiness` metric quantifies
-this: error-jump energy on 6-cube boundaries over interior jump energy.
-This bench also measures iso-surface displacement (Hausdorff) per codec.
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``ablation_artifacts`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run ablation_artifacts``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-from conftest import emit, once
-
-from repro.compression.registry import make_codec
-from repro.metrics import blockiness, hausdorff_distance
-from repro.viz import marching_cubes
+from conftest import registry_entry
 
 
-@dataclass(frozen=True)
-class Row:
-    app: str
-    codec: str
-    blockiness: float
-    iso_hausdorff: float
-
-
-def _measure(datasets) -> list[Row]:
-    rows = []
-    for name, ds in datasets:
-        data = ds.uniform_field()
-        ref_mesh = marching_cubes(data, ds.iso)
-        for codec_name in ("sz-lr", "sz-interp"):
-            codec = make_codec(codec_name)
-            restored = codec.decompress(codec.compress(data, 1e-2, mode="rel"))
-            mesh = marching_cubes(restored, ds.iso)
-            rows.append(
-                Row(
-                    app=name,
-                    codec=codec_name,
-                    blockiness=blockiness(data, restored, 6),
-                    iso_hausdorff=(
-                        hausdorff_distance(ref_mesh, mesh)
-                        if not (ref_mesh.is_empty() or mesh.is_empty())
-                        else float("nan")
-                    ),
-                )
-            )
-    return rows
-
-
-def test_artifact_morphology(benchmark, warpx, nyx):
-    """SZ-L/R errors must be blockier than SZ-Interp's on both apps."""
-    rows = once(benchmark, _measure, [("warpx", warpx), ("nyx", nyx)])
-    emit("Ablation: artifact morphology at eb 1e-2", rows)
-    for app in ("warpx", "nyx"):
-        lr = next(r for r in rows if r.app == app and r.codec == "sz-lr")
-        it = next(r for r in rows if r.app == app and r.codec == "sz-interp")
-        assert lr.blockiness > it.blockiness, (
-            f"{app}: SZ-L/R artifacts must align with the block grid"
-        )
-        assert lr.blockiness > 1.2, "block-wise artifacts must be detectable"
-        assert np.isfinite(lr.iso_hausdorff) and lr.iso_hausdorff > 0
+def test_artifact_morphology(benchmark, scale):
+    """Run the ``ablation_artifacts`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "ablation_artifacts", scale)

@@ -1,54 +1,16 @@
-"""Ablation: SZ-L/R block size (the paper fixes 6x6x6; §3.3).
+"""Ablation: SZ-L/R block size (registry-backed).
 
-Sweeps the block edge over {4, 6, 8, 12} on both applications' fields and
-reports ratio + PSNR, showing the 6-cube is a reasonable middle ground
-between prediction locality (small blocks) and overhead (per-block DC and
-coefficients).
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``ablation_blocksize`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run ablation_blocksize``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from conftest import emit, once
-
-from repro.compression.sz_lr import SZLR
-from repro.metrics.error import psnr
+from conftest import registry_entry
 
 
-@dataclass(frozen=True)
-class Row:
-    app: str
-    block_size: int
-    cr: float
-    psnr: float
-
-
-def _sweep(datasets) -> list[Row]:
-    rows = []
-    for name, ds in datasets:
-        data = ds.uniform_field()
-        for bs in (4, 6, 8, 12):
-            codec = SZLR(block_size=bs)
-            blob = codec.compress(data, 1e-3, mode="rel")
-            rows.append(
-                Row(
-                    app=name,
-                    block_size=bs,
-                    cr=data.nbytes / len(blob),
-                    psnr=psnr(data, codec.decompress(blob)),
-                )
-            )
-    return rows
-
-
-def test_blocksize_ablation(benchmark, warpx, nyx):
-    """Block-size sweep at eb 1e-3 relative."""
-    rows = once(benchmark, _sweep, [("warpx", warpx), ("nyx", nyx)])
-    emit("Ablation: SZ-L/R block size", rows)
-    for app in ("warpx", "nyx"):
-        series = [r for r in rows if r.app == app]
-        best = max(series, key=lambda r: r.cr)
-        worst = min(series, key=lambda r: r.cr)
-        # Block size matters but not catastrophically (< 3x spread).
-        assert best.cr / worst.cr < 3.0
+def test_blocksize_ablation(benchmark, scale):
+    """Run the ``ablation_blocksize`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "ablation_blocksize", scale)

@@ -1,45 +1,16 @@
-"""Ablation: entropy stage (Huffman + DEFLATE vs DEFLATE alone).
+"""Ablation: entropy stage (registry-backed).
 
-SZ's pipeline entropy-codes quantization codes with a customized Huffman
-coder before the general lossless pass (§2.1). This bench measures what
-the Huffman stage buys over handing raw codes to DEFLATE.
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``ablation_entropy`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run ablation_entropy``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from conftest import emit, once
-
-from repro.compression.sz_interp import SZInterp
-from repro.compression.sz_lr import SZLR
+from conftest import registry_entry
 
 
-@dataclass(frozen=True)
-class Row:
-    app: str
-    codec: str
-    entropy: str
-    cr: float
-
-
-def _sweep(datasets) -> list[Row]:
-    rows = []
-    for name, ds in datasets:
-        data = ds.uniform_field()
-        for codec_name, cls in (("sz-lr", SZLR), ("sz-interp", SZInterp)):
-            for entropy in ("huffman", "deflate"):
-                blob = cls(entropy=entropy).compress(data, 1e-3, mode="rel")
-                rows.append(
-                    Row(app=name, codec=codec_name, entropy=entropy, cr=data.nbytes / len(blob))
-                )
-    return rows
-
-
-def test_entropy_ablation(benchmark, warpx, nyx):
-    """Huffman-vs-DEFLATE entropy stage at eb 1e-3 relative."""
-    rows = once(benchmark, _sweep, [("warpx", warpx), ("nyx", nyx)])
-    emit("Ablation: entropy stage", rows)
-    # Both stages must produce working, competitive streams.
-    for row in rows:
-        assert row.cr > 1.0
+def test_entropy_ablation(benchmark, scale):
+    """Run the ``ablation_entropy`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "ablation_entropy", scale)

@@ -1,42 +1,16 @@
-"""Ablation: SZ-L/R predictor selection (Lorenzo / regression / hybrid).
+"""Ablation: SZ-L/R predictor selection (registry-backed).
 
-The paper describes SZ-L/R as choosing per block between the Lorenzo and
-linear-regression predictors. This bench forces each predictor alone and
-confirms the hybrid never loses (it *is* the per-block minimum of the two,
-up to the selection heuristic)."""
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``ablation_predictor`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run ablation_predictor``).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from conftest import emit, once
-
-from repro.compression.sz_lr import SZLR
+from conftest import registry_entry
 
 
-@dataclass(frozen=True)
-class Row:
-    app: str
-    predictor: str
-    cr: float
-
-
-def _sweep(datasets) -> list[Row]:
-    rows = []
-    for name, ds in datasets:
-        data = ds.uniform_field()
-        for predictor in ("lorenzo", "regression", "auto"):
-            blob = SZLR(predictor=predictor).compress(data, 1e-3, mode="rel")
-            rows.append(Row(app=name, predictor=predictor, cr=data.nbytes / len(blob)))
-    return rows
-
-
-def test_predictor_ablation(benchmark, warpx, nyx):
-    """Forced-predictor sweep at eb 1e-3 relative."""
-    rows = once(benchmark, _sweep, [("warpx", warpx), ("nyx", nyx)])
-    emit("Ablation: SZ-L/R predictor", rows)
-    for app in ("warpx", "nyx"):
-        by = {r.predictor: r.cr for r in rows if r.app == app}
-        assert by["auto"] >= 0.95 * max(by["lorenzo"], by["regression"]), (
-            "hybrid selection must not lose to either fixed predictor"
-        )
+def test_predictor_ablation(benchmark, scale):
+    """Run the ``ablation_predictor`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "ablation_predictor", scale)

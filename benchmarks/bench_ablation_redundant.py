@@ -1,51 +1,16 @@
-"""Ablation: excluding redundant covered-coarse data (paper §2.2).
+"""Ablation: redundant covered-data exclusion (registry-backed).
 
-Patch-based AMR stores coarse values under refined regions that
-post-analysis never reads (Figure 3); the paper notes they can be omitted
-to improve the ratio. This bench compares hierarchy compression with and
-without the exclusion, per codec.
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``ablation_redundant`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run ablation_redundant``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from conftest import emit, once
-
-from repro.compression.amr_codec import compress_hierarchy
+from conftest import registry_entry
 
 
-@dataclass(frozen=True)
-class Row:
-    app: str
-    codec: str
-    cr_plain: float
-    cr_excluded: float
-
-    @property
-    def gain(self) -> float:
-        return self.cr_excluded / self.cr_plain
-
-
-def _sweep(datasets) -> list[Row]:
-    rows = []
-    for name, ds in datasets:
-        for codec in ("sz-lr", "sz-interp"):
-            plain = compress_hierarchy(ds.hierarchy, codec, 1e-3, fields=[ds.field])
-            excl = compress_hierarchy(
-                ds.hierarchy, codec, 1e-3, fields=[ds.field], exclude_covered=True
-            )
-            rows.append(Row(app=name, codec=codec, cr_plain=plain.ratio, cr_excluded=excl.ratio))
-    return rows
-
-
-def test_redundant_exclusion(benchmark, warpx, nyx):
-    """Redundant-coarse-data exclusion at eb 1e-3 relative."""
-    rows = once(benchmark, _sweep, [("warpx", warpx), ("nyx", nyx)])
-    emit("Ablation: redundant coarse-data exclusion (gain = excluded/plain)", rows)
-    for row in rows:
-        # Nyx refines ~40% of the domain, so the constant-filled region
-        # must help; WarpX refines only ~9%, so gains are small either way.
-        assert row.gain > 0.95
-    nyx_rows = [r for r in rows if r.app == "nyx"]
-    assert any(r.gain > 1.02 for r in nyx_rows), "exclusion should pay off on Nyx"
+def test_redundant_exclusion(benchmark, scale):
+    """Run the ``ablation_redundant`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "ablation_redundant", scale)

@@ -1,63 +1,16 @@
-"""Ablation: zMesh-style 1-D reordering vs 3-D per-patch compression.
+"""Ablation: zMesh 1-D vs 3-D per-patch (registry-backed).
 
-The paper's §1 recounts the zMesh -> TAC lineage: flattening AMR levels to
-1-D loses spatial locality that higher-dimensional predictors exploit, but
-buys a single merged entropy stream. This bench measures both sides of the
-trade-off:
-
-* on the *smooth* WarpX field, 3-D prediction locality dominates and
-  per-patch 3-D compression wins (the TAC motivation);
-* on the *spiky* Nyx field at a large absolute bound, most values quantize
-  to a handful of bins, prediction dimensionality stops mattering, and the
-  merged 1-D stream's single entropy table wins — which is exactly why
-  zMesh was a real improvement and why TAC needed *adaptive* 3-D (not
-  plain per-patch 3-D) to beat it.
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``ablation_zmesh`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run ablation_zmesh``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from conftest import emit, once
-
-from repro.compression.amr_codec import compress_hierarchy
-from repro.compression.zmesh_like import ZMeshLike
+from conftest import registry_entry
 
 
-@dataclass(frozen=True)
-class Row:
-    app: str
-    cr_zmesh_1d: float
-    cr_patch_3d: float
-
-    @property
-    def advantage_3d(self) -> float:
-        return self.cr_patch_3d / self.cr_zmesh_1d
-
-
-def _sweep(datasets) -> list[Row]:
-    rows = []
-    for name, ds in datasets:
-        # Resolve ONE absolute bound for both schemes so the comparison is
-        # about prediction dimensionality, not bound bookkeeping (per-patch
-        # relative bounds would be tighter than a global relative bound).
-        uniform = ds.uniform_field()
-        eb_abs = 1e-3 * float(uniform.max() - uniform.min())
-        z = ZMeshLike("sz-lr")
-        blob = z.compress_hierarchy(ds.hierarchy, ds.field, eb_abs, mode="abs")
-        cr_1d = ds.hierarchy.nbytes(ds.field) / len(blob)
-        c3d = compress_hierarchy(ds.hierarchy, "sz-lr", eb_abs, mode="abs", fields=[ds.field])
-        rows.append(Row(app=name, cr_zmesh_1d=cr_1d, cr_patch_3d=c3d.ratio))
-    return rows
-
-
-def test_zmesh_ablation(benchmark, warpx, nyx):
-    """1-D reorder vs 3-D per-patch at eb 1e-3 relative."""
-    rows = once(benchmark, _sweep, [("warpx", warpx), ("nyx", nyx)])
-    emit("Ablation: zMesh-style 1-D vs 3-D per-patch compression", rows)
-    by = {r.app: r for r in rows}
-    # Smooth data: 3-D locality must win (the TAC premise).
-    assert by["warpx"].advantage_3d > 1.0
-    # Spiky data: the merged 1-D entropy stream is allowed to win, but the
-    # 3-D path must stay within a small factor (sanity of both paths).
-    assert by["nyx"].advantage_3d > 0.3
+def test_zmesh_ablation(benchmark, scale):
+    """Run the ``ablation_zmesh`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "ablation_zmesh", scale)

@@ -1,27 +1,16 @@
-"""Figure 12: rate-distortion on the WarpX Ez field."""
+"""Figure 12: rate-distortion on WarpX Ez (registry-backed).
+
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``fig12`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run fig12``).
+"""
 
 from __future__ import annotations
 
-from conftest import emit, once
-
-from repro.experiments.figures import run_fig12
-from repro.experiments.report import ascii_plot
+from conftest import registry_entry
 
 
 def test_fig12(benchmark, scale):
-    """Sweep both codecs across error bounds on WarpX."""
-    rows = once(benchmark, run_fig12, scale)
-    emit("Figure 12 (WarpX rate-distortion)", rows)
-    series_psnr = {}
-    series_rssim = {}
-    for r in rows:
-        series_psnr.setdefault(r.codec, []).append((r.cr, r.psnr))
-        series_rssim.setdefault(r.codec, []).append((r.cr, max(r.r_ssim, 1e-12)))
-    print(ascii_plot(series_psnr, title="Fig 12a: PSNR vs CR", xlabel="CR", ylabel="PSNR"))
-    print(ascii_plot(series_rssim, logy=True, title="Fig 12b: R-SSIM vs CR", xlabel="CR", ylabel="R-SSIM"))
-    # WarpX is smooth: SZ-Interp dominates the rate axis at every bound.
-    by_eb = {}
-    for r in rows:
-        by_eb.setdefault(r.error_bound, {})[r.codec] = r
-    for eb, pair in by_eb.items():
-        assert pair["sz-interp"].cr > pair["sz-lr"].cr
+    """Run the ``fig12`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "fig12", scale)

@@ -1,25 +1,16 @@
-"""Figure 13: rate-distortion on the Nyx density field."""
+"""Figure 13: rate-distortion on Nyx density (registry-backed).
+
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``fig13`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run fig13``).
+"""
 
 from __future__ import annotations
 
-from conftest import emit, once
-
-from repro.experiments.figures import run_fig13
-from repro.experiments.report import ascii_plot
+from conftest import registry_entry
 
 
 def test_fig13(benchmark, scale):
-    """Sweep both codecs on Nyx; SZ-L/R competitive on irregular data."""
-    rows = once(benchmark, run_fig13, scale)
-    emit("Figure 13 (Nyx rate-distortion)", rows)
-    series = {}
-    for r in rows:
-        series.setdefault(r.codec, []).append((r.cr, max(r.r_ssim, 1e-12)))
-    print(ascii_plot(series, logy=True, title="Fig 13b: R-SSIM vs CR", xlabel="CR", ylabel="R-SSIM"))
-    # The paper's Nyx observation (needs enough small-scale structure; holds
-    # from scale 0.5 up): SZ-L/R's R-SSIM beats SZ-Interp's at the largest eb.
-    if scale >= 0.5:
-        largest = max(r.error_bound for r in rows)
-        lr = next(r for r in rows if r.codec == "sz-lr" and r.error_bound == largest)
-        it = next(r for r in rows if r.codec == "sz-interp" and r.error_bound == largest)
-        assert lr.r_ssim < it.r_ssim, "SZ-L/R captures Nyx's local patterns better"
+    """Run the ``fig13`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "fig13", scale)

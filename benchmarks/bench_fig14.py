@@ -1,25 +1,16 @@
-"""Figure 14: the 1-D interpolation-smoothing construction."""
+"""Figure 14: 1-D interpolation-smoothing demo (registry-backed).
+
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``fig14`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run fig14``).
+"""
 
 from __future__ import annotations
 
-from conftest import emit, once
-
-from repro.experiments.figures import run_fig14
+from conftest import registry_entry
 
 
-def test_fig14(benchmark):
-    """Rebuild the paper's exact 1-D example and its generalization."""
-    demo = once(benchmark, run_fig14)
-    print()
-    print("original:     ", demo.original.tolist())
-    print("decompressed: ", demo.decompressed.tolist())
-    print("re-sampled:   ", demo.resampled.tolist())
-    assert demo.decompressed.tolist() == [1, 1, 1, 4, 4, 4, 7, 7, 7]
-    assert demo.resampled.tolist() == [1, 1, 1, 2.5, 4, 4, 5.5, 7, 7, 7]
-    assert demo.resampled_rmse < demo.dual_cell_rmse
-    # Generalization: holds for longer signals and other block sizes.
-    from repro.experiments.figures import run_fig14 as fig14
-
-    for n, block in ((60, 4), (100, 5)):
-        d = fig14(n, block)
-        assert d.resampled_rmse <= d.dual_cell_rmse
+def test_fig14(benchmark, scale):
+    """Run the ``fig14`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "fig14", scale)

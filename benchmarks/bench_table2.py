@@ -1,29 +1,16 @@
-"""Table 2: the full CR / PSNR / SSIM / R-SSIM sweep."""
+"""Table 2: CR / PSNR / SSIM sweep (registry-backed).
+
+Thin back-compat wrapper: the experiment body, its paper-shape checks,
+and its gated metrics live in the ``table2`` entry of the experiment
+registry (``repro.experiments.fleet`` / ``repro.experiments.scenarios``;
+run it directly with ``python -m repro.experiments run table2``).
+"""
 
 from __future__ import annotations
 
-from conftest import emit, once
-
-from repro.experiments.table2 import run_table2
+from conftest import registry_entry
 
 
 def test_table2(benchmark, scale):
-    """Regenerate Table 2 across apps x codecs x error bounds."""
-    rows = once(benchmark, run_table2, scale)
-    emit("Table 2 (measured; paper_* columns are the paper's values)", rows)
-    # Shape checks mirroring the paper:
-    for app in ("warpx", "nyx"):
-        for codec in ("sz-lr", "sz-interp"):
-            series = sorted(
-                (r for r in rows if r.app == app and r.codec == codec),
-                key=lambda r: r.error_bound,
-            )
-            crs = [r.cr for r in series]
-            psnrs = [r.psnr for r in series]
-            assert crs == sorted(crs), "CR must grow with eb"
-            assert psnrs == sorted(psnrs, reverse=True), "PSNR must fall with eb"
-    # WarpX: SZ-Interp wins compression ratio at every bound.
-    for eb in (1e-4, 1e-3, 1e-2):
-        lr = next(r for r in rows if r.app == "warpx" and r.codec == "sz-lr" and r.error_bound == eb)
-        it = next(r for r in rows if r.app == "warpx" and r.codec == "sz-interp" and r.error_bound == eb)
-        assert it.cr > lr.cr
+    """Run the ``table2`` registry entry at benchmark scale."""
+    registry_entry(benchmark, "table2", scale)

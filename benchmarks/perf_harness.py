@@ -37,9 +37,18 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
-__all__ = ["record", "peak_rss_mb", "json_dir", "flush", "metric_count"]
+__all__ = [
+    "record",
+    "peak_rss_mb",
+    "json_dir",
+    "flush",
+    "session_flush",
+    "metric_count",
+    "write_artifact",
+    "validate_artifact",
+]
 
 #: Environment variable naming the directory BENCH_<name>.json files go to.
 ENV_JSON_DIR = "REPRO_BENCH_JSON"
@@ -111,32 +120,101 @@ def json_dir() -> Path | None:
     return Path(value) if value else None
 
 
+def write_artifact(
+    out_dir: Path,
+    bench: str,
+    metrics: Mapping[str, Mapping[str, Any]],
+    scale: float,
+    peak_rss: float | None = None,
+) -> Path:
+    """Write one ``BENCH_<bench>.json`` artifact and return its path.
+
+    The single artifact writer shared by the pytest session hook
+    (:func:`flush`) and the registry runner
+    (``repro.experiments.registry``): both producers emit byte-identical
+    documents for the same inputs. ``peak_rss`` is an optional,
+    machine-volatile annotation — registry runs omit it so their
+    artifacts stay deterministic and byte-comparable against committed
+    baselines (the ``bench-registry-consistency`` CI check).
+    """
+    doc: dict[str, Any] = {
+        "bench": bench,
+        "scale": float(scale),
+        "metrics": {k: dict(v) for k, v in metrics.items()},
+    }
+    if peak_rss is not None:
+        doc["peak_rss_mb"] = peak_rss
+    validate_artifact(doc)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_artifact(doc: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` matches the artifact schema.
+
+    Schema: ``bench`` (str), ``scale`` (number), ``metrics`` (mapping of
+    metric name -> record with numeric ``value``, str ``unit``, bool
+    ``higher_is_better``, and optional ``tolerance`` in (0, 1]);
+    ``peak_rss_mb`` is optional and may be null.
+    """
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        raise ValueError("artifact 'bench' must be a non-empty string")
+    if not isinstance(doc.get("scale"), (int, float)) or isinstance(doc.get("scale"), bool):
+        raise ValueError("artifact 'scale' must be a number")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        raise ValueError("artifact 'metrics' must be a non-empty mapping")
+    for name, entry in metrics.items():
+        if not isinstance(name, str) or not name:
+            raise ValueError("metric names must be non-empty strings")
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"metric {name!r} record must be a mapping")
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"metric {name!r} 'value' must be a number")
+        if not isinstance(entry.get("unit"), str):
+            raise ValueError(f"metric {name!r} 'unit' must be a string")
+        if not isinstance(entry.get("higher_is_better"), bool):
+            raise ValueError(f"metric {name!r} 'higher_is_better' must be a bool")
+        if "tolerance" in entry:
+            tol = entry["tolerance"]
+            if not isinstance(tol, (int, float)) or isinstance(tol, bool) or not 0 < tol <= 1:
+                raise ValueError(f"metric {name!r} 'tolerance' must be in (0, 1]")
+        unknown = set(entry) - {"value", "unit", "higher_is_better", "tolerance"}
+        if unknown:
+            raise ValueError(f"metric {name!r} has unknown keys {sorted(unknown)}")
+
+
 def flush() -> list[Path]:
     """Write one ``BENCH_<name>.json`` per recording module and reset.
 
     No-op (still resets) when :data:`ENV_JSON_DIR` is unset, so benchmark
     runs without the variable behave exactly as before. Returns the paths
-    written. Called by the ``pytest_sessionfinish`` hook in
-    ``benchmarks/conftest.py``.
+    written. Called (through :func:`session_flush`) by the
+    ``pytest_sessionfinish`` hook in ``benchmarks/conftest.py``.
     """
     out_dir = json_dir()
     written: list[Path] = []
     try:
         if out_dir is None:
             return written
-        out_dir.mkdir(parents=True, exist_ok=True)
         rss = peak_rss_mb()
         scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
         for bench, metrics in sorted(_METRICS.items()):
-            doc = {
-                "bench": bench,
-                "scale": scale,
-                "peak_rss_mb": rss,
-                "metrics": metrics,
-            }
-            path = out_dir / f"BENCH_{bench}.json"
-            path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-            written.append(path)
+            written.append(write_artifact(out_dir, bench, metrics, scale, peak_rss=rss))
     finally:
         _METRICS.clear()
     return written
+
+
+def session_flush() -> None:
+    """The whole ``pytest_sessionfinish`` body: flush and report paths.
+
+    Lives here (not in ``benchmarks/conftest.py``) so the legacy pytest
+    benches and the registry runner share one artifact writer and one
+    report format.
+    """
+    for path in flush():
+        print(f"\nwrote {path}")

@@ -58,6 +58,7 @@ __all__ = [
     "decompress_hierarchy",
     "decompress_selection",
     "resolve_patch_codec",
+    "validate_field_bounds",
     "average_down",
 ]
 
@@ -125,6 +126,8 @@ class CompressedHierarchy:
     groups: list[bytes] = field(default_factory=list)
     #: (level, field, patch) -> (gid, member) for grouped streams.
     stream_groups: dict[tuple[int, str, int], tuple[int, int]] = field(default_factory=dict)
+    #: per-field error-bound overrides (empty when single-bound).
+    field_bounds: dict[str, float] = field(default_factory=dict)
 
     @property
     def compressed_bytes(self) -> int:
@@ -139,7 +142,7 @@ class CompressedHierarchy:
         return self.original_bytes / self.compressed_bytes
 
     def _meta(self) -> dict:
-        return {
+        meta = {
             "codec": self.codec,
             "error_bound": self.error_bound,
             "mode": self.mode,
@@ -147,6 +150,9 @@ class CompressedHierarchy:
             "exclude_covered": self.exclude_covered,
             "original_bytes": self.original_bytes,
         }
+        if self.field_bounds:
+            meta["field_bounds"] = dict(self.field_bounds)
+        return meta
 
     def tobytes(self) -> bytes:
         """Serialize to the seekable patch-indexed ``RPH2`` container."""
@@ -275,6 +281,7 @@ class CompressedHierarchy:
             original_bytes=reader.original_bytes,
             groups=groups,
             stream_groups=stream_groups,
+            field_bounds=reader.field_bounds,
         )
 
 def _compress_task(task: tuple[Compressor, np.ndarray, float, str]) -> bytes:
@@ -323,6 +330,35 @@ def resolve_patch_codec(codec: str | Compressor, k_streams: int | str = "auto") 
     return codec
 
 
+def validate_field_bounds(field_bounds, fields) -> dict[str, float]:
+    """Normalize a ``{field: bound}`` override mapping (empty when None).
+
+    Bounds must be positive finite numbers; when the field set is already
+    known (``fields`` is not None), every override key must name one of
+    its fields. Shared by :func:`compress_hierarchy`, the streaming
+    writer, and the sharded campaign writer so every entry point rejects
+    bad overrides identically.
+    """
+    if not field_bounds:
+        return {}
+    out: dict[str, float] = {}
+    for name, bound in field_bounds.items():
+        eb = float(bound)
+        if not eb > 0 or eb != eb or eb == float("inf"):
+            raise CompressionError(
+                f"field_bounds[{name!r}] must be a positive finite bound, got {bound!r}"
+            )
+        out[str(name)] = eb
+    if fields is not None:
+        unknown = sorted(set(out) - set(fields))
+        if unknown:
+            raise CompressionError(
+                f"field_bounds name unknown fields {unknown} "
+                f"(known fields: {sorted(fields)})"
+            )
+    return out
+
+
 def compress_hierarchy(
     hierarchy: AMRHierarchy,
     codec: str | Compressor,
@@ -335,6 +371,7 @@ def compress_hierarchy(
     k_streams: int | str = "auto",
     batch: str = "patch",
     pool=None,
+    field_bounds=None,
 ) -> CompressedHierarchy:
     """Compress selected fields of ``hierarchy`` patch by patch.
 
@@ -374,6 +411,12 @@ def compress_hierarchy(
         Optional persistent :class:`repro.parallel.WorkerPool`, reused
         across calls (e.g. across timesteps) instead of building an
         executor per call; overrides ``parallel``/``workers``.
+    field_bounds:
+        Optional ``{field: bound}`` overrides of ``error_bound`` — the
+        mixed-physics knob (e.g. WarpX E fields at one bound, B fields at
+        a tighter one). Overridden fields resolve their bound under the
+        same ``mode``; fields not named keep ``error_bound``. Recorded in
+        the container index (``ContainerReader.field_bounds``).
     """
     comp = resolve_patch_codec(codec, k_streams=k_streams)
     names = tuple(fields) if fields is not None else hierarchy.field_names
@@ -382,10 +425,11 @@ def compress_hierarchy(
             raise CompressionError(f"hierarchy has no field {name!r}")
     if batch not in ("patch", "level"):
         raise CompressionError(f"unknown batch mode {batch!r} (use 'patch' or 'level')")
+    field_bounds = validate_field_bounds(field_bounds, names)
     if batch == "level":
         return _compress_hierarchy_batched(
             hierarchy, comp, error_bound, mode, names, exclude_covered,
-            parallel, workers, pool,
+            parallel, workers, pool, field_bounds,
         )
     # Flatten the hierarchy into an ordered task list: the map over patches
     # is pure (paper §3.3), so any executor that preserves order produces
@@ -398,17 +442,18 @@ def compress_hierarchy(
         for name in names:
             patches = lev.patches(name)
             counts[name] = len(patches)
+            field_eb = field_bounds.get(name, error_bound)
             for p_idx, patch in enumerate(patches):
                 data = patch.data
                 if masks is not None and masks[p_idx].any():
                     # Resolve the bound against the *original* values first:
                     # filling may shrink the range (peaks often live under
                     # the refined region) and must not tighten the bound.
-                    eb_abs = comp.resolve_error_bound(data, error_bound, mode)
+                    eb_abs = comp.resolve_error_bound(data, field_eb, mode)
                     data = _fill_covered(data, masks[p_idx])
                     tasks.append((comp, data, eb_abs, "abs"))
                 else:
-                    tasks.append((comp, data, error_bound, mode))
+                    tasks.append((comp, data, field_eb, mode))
         layout.append(counts)
     blobs = parallel_map(_compress_task, tasks, mode=parallel, workers=workers, pool=pool)
     streams: list[dict[str, list[bytes]]] = []
@@ -428,6 +473,7 @@ def compress_hierarchy(
         exclude_covered=exclude_covered,
         streams=streams,
         original_bytes=original,
+        field_bounds=field_bounds,
     )
 
 
@@ -441,6 +487,7 @@ def _compress_hierarchy_batched(
     parallel: str,
     workers: int,
     pool,
+    field_bounds: dict[str, float],
 ) -> CompressedHierarchy:
     """The ``batch="level"`` body of :func:`compress_hierarchy`.
 
@@ -467,6 +514,7 @@ def _compress_hierarchy_batched(
         for name in names:
             patches = lev.patches(name)
             counts[name] = len(patches)
+            field_eb = field_bounds.get(name, error_bound)
             by_shape: dict[tuple[int, ...], list[int]] = {}
             for p_idx, patch in enumerate(patches):
                 by_shape.setdefault(patch.box.shape, []).append(p_idx)
@@ -475,7 +523,7 @@ def _compress_hierarchy_batched(
                 # Bounds resolve against the *original* values, vectorized
                 # over the stack; the covered-cell fill (which may shrink a
                 # patch's range and must not tighten its bound) runs after.
-                bounds = comp.resolve_error_bounds(stacked, error_bound, mode)
+                bounds = comp.resolve_error_bounds(stacked, field_eb, mode)
                 if masks is not None:
                     for row, p_idx in enumerate(idxs):
                         if masks[p_idx].any():
@@ -512,6 +560,7 @@ def _compress_hierarchy_batched(
         original_bytes=original,
         groups=groups,
         stream_groups=stream_groups,
+        field_bounds=field_bounds,
     )
 
 

@@ -411,6 +411,13 @@ def build_index_bytes(
         "n_levels": int(n_levels),
         "entries": [list(e) for e in entries],
     }
+    # Per-field error-bound overrides are an optional key: only emitted
+    # when non-empty, so single-bound containers stay byte-identical to
+    # the pre-override format.
+    if meta.get("field_bounds"):
+        index["field_bounds"] = {
+            str(k): float(v) for k, v in sorted(meta["field_bounds"].items())
+        }
     if groups:
         index["groups"] = [list(g) for g in groups]
     return json.dumps(index, separators=(",", ":")).encode()
@@ -602,6 +609,10 @@ class ContainerReader:
             raise FormatError(f"corrupt container index: {exc}") from exc
         try:
             self._meta = {k: index[k] for k in _META_KEYS}
+            if "field_bounds" in index:
+                self._meta["field_bounds"] = {
+                    str(k): float(v) for k, v in index["field_bounds"].items()
+                }
             self._payload_end = index_offset
             self.entries: list[PatchIndexEntry] = []
             for row in index["entries"]:
@@ -778,6 +789,11 @@ class ContainerReader:
     def exclude_covered(self) -> bool:
         """Whether the §2.2 covered-cell optimization was applied."""
         return bool(self._meta["exclude_covered"])
+
+    @property
+    def field_bounds(self) -> dict[str, float]:
+        """Per-field error-bound overrides (empty when single-bound)."""
+        return dict(self._meta.get("field_bounds", {}))
 
     @property
     def original_bytes(self) -> int:

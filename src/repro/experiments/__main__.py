@@ -8,6 +8,14 @@ Usage::
 
 Each experiment prints a paper-layout text table (and ASCII RD plots) and,
 with ``--out``, writes CSV rows plus PGM renders of the iso-surfaces.
+
+The **registry** mode runs the CI-gated benchmark fleet instead
+(:mod:`repro.experiments.registry` — checks + ``BENCH_<name>.json``
+artifacts)::
+
+    python -m repro.experiments run all --quick --out bench-out
+    python -m repro.experiments run figures fig09 --scale 0.5
+    python -m repro.experiments list
 """
 
 from __future__ import annotations
@@ -127,7 +135,12 @@ def run_one(name: str, scale: float, out: Path | None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point (legacy tables/figures mode + registry mode)."""
+    args_in = sys.argv[1:] if argv is None else argv
+    if args_in and args_in[0] in ("run", "list"):
+        from repro.experiments.registry import main as registry_main
+
+        return registry_main(args_in)
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",

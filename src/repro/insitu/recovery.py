@@ -55,8 +55,8 @@ from repro.insitu.series import (
     SERIES_VERSION,
     _SERIES_FOOTER,
     _SERIES_HEADER,
-    _SERIES_META_KEYS,
     SeriesReader,
+    extract_series_meta,
     SeriesStepEntry,
     build_series_index_bytes,
     unpack_seal,
@@ -430,7 +430,7 @@ def _scan(src: _Source) -> RecoveryReport:
     if steps:
         last = steps[-1].entry
         seg_meta = ContainerReader(src.read_at(last.offset, last.length)).meta()
-        meta = {k: seg_meta[k] for k in _SERIES_META_KEYS}
+        meta = extract_series_meta(seg_meta)
     return RecoveryReport(
         total_bytes=total,
         intact=False,

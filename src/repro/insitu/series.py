@@ -103,6 +103,23 @@ SEAL_SIZE = _SEAL_BODY.size + _SEAL_CRC.size
 #: Series-level meta keys serialized into the index besides the step rows.
 _SERIES_META_KEYS = ("codec", "error_bound", "mode", "fields", "exclude_covered")
 
+
+def extract_series_meta(source) -> dict:
+    """Pull the series meta keys (plus optional per-field bounds) out of a
+    parsed index / segment meta / manifest mapping.
+
+    The one place the optional ``field_bounds`` key is resolved, shared by
+    the footer parser, the recovery scanner, and the sharded manifest
+    reader — files written before per-field bounds existed simply lack the
+    key and yield no entry.
+    """
+    meta = {k: source[k] for k in _SERIES_META_KEYS}
+    if source.get("field_bounds"):
+        meta["field_bounds"] = {
+            str(k): float(v) for k, v in source["field_bounds"].items()
+        }
+    return meta
+
 #: Appended to truncation/damage errors so an interrupted campaign points
 #: straight at the salvage path.
 _RECOVERY_HINT = (
@@ -197,6 +214,12 @@ def build_series_index_bytes(
         "exclude_covered": bool(meta["exclude_covered"]),
         "steps": [e.row() for e in steps],
     }
+    # Optional per-field bounds: emitted only when non-empty so
+    # single-bound series stay byte-identical to the pre-override format.
+    if meta.get("field_bounds"):
+        index["field_bounds"] = {
+            str(k): float(v) for k, v in sorted(meta["field_bounds"].items())
+        }
     return json.dumps(index, separators=(",", ":")).encode()
 
 
@@ -360,7 +383,7 @@ class SeriesReader:
         try:
             if index["format"] != "rph2s":
                 raise FormatError(f"unexpected index format {index['format']!r}")
-            meta = {k: index[k] for k in _SERIES_META_KEYS}
+            meta = extract_series_meta(index)
             entries = [
                 SeriesStepEntry(
                     int(s), int(off), int(ln), int(crc), int(cver),
@@ -411,7 +434,7 @@ class SeriesReader:
             raise TruncatedSeriesError(
                 "recovery scan found no fully-sealed steps; nothing to serve"
             )
-        meta = {k: report.meta[k] for k in _SERIES_META_KEYS}
+        meta = extract_series_meta(report.meta)
         self._install(meta, report.data_end, report.entries)
 
     # ------------------------------------------------------------------
@@ -587,6 +610,11 @@ class SeriesReader:
     def exclude_covered(self) -> bool:
         """Whether the §2.2 covered-cell optimization was applied."""
         return bool(self._meta["exclude_covered"])
+
+    @property
+    def field_bounds(self) -> dict[str, float]:
+        """Per-field error-bound overrides (empty when single-bound)."""
+        return dict(self._meta.get("field_bounds", {}))
 
     @property
     def n_steps(self) -> int:

@@ -83,8 +83,13 @@ from repro.insitu.series import (
     SEAL_SIZE,
     SeriesReader,
     SeriesStepEntry,
+    extract_series_meta,
 )
-from repro.insitu.writer import DURABILITY_MODES, StreamingWriter
+from repro.insitu.writer import (
+    DURABILITY_MODES,
+    StreamingWriter,
+    _validate_field_bounds,
+)
 from repro.parallel.pool import WorkerPool
 from repro.storage import LocalFileBackend, StorageBackend
 
@@ -133,6 +138,12 @@ def pack_manifest(
         "mode": str(meta["mode"]),
         "fields": list(meta["fields"]),
         "exclude_covered": bool(meta["exclude_covered"]),
+    }
+    if meta.get("field_bounds"):
+        doc["field_bounds"] = {
+            str(k): float(v) for k, v in sorted(meta["field_bounds"].items())
+        }
+    doc.update({
         "shards": [
             {
                 "name": str(s["name"]),
@@ -141,7 +152,7 @@ def pack_manifest(
             }
             for s in shards
         ],
-    }
+    })
     if parity:
         doc["parity"] = [
             {
@@ -289,8 +300,14 @@ class ShardedSeriesWriter:
         retries: int = 2,
         retry_delay: float = 0.05,
         sleep=None,
+        field_bounds=None,
     ) -> "ShardedSeriesWriter":
         """Create a fresh sharded campaign at manifest ``path``.
+
+        ``field_bounds`` maps field names to per-field error bounds
+        overriding ``error_bound`` (mixed-physics campaigns compress e.g.
+        E and B fields at different tolerances); it is recorded in the
+        manifest and every shard's series footer.
 
         ``durability`` is one mode for every shard, or a per-shard
         sequence (rank 0 can run ``"step"`` while bulk ranks run
@@ -364,6 +381,9 @@ class ShardedSeriesWriter:
             "fields": list(fields) if fields is not None else [],
             "exclude_covered": bool(exclude_covered),
         }
+        field_bounds = _validate_field_bounds(field_bounds, fields)
+        if field_bounds:
+            meta["field_bounds"] = field_bounds
         # Write the non-final manifest BEFORE any shard exists: a campaign
         # killed at any later point still names its shards for recovery.
         rows = [
@@ -382,6 +402,7 @@ class ShardedSeriesWriter:
                         name, codec, error_bound, mode=mode, fields=fields,
                         exclude_covered=exclude_covered, parallel="serial",
                         overwrite=overwrite, durability=dur, backend=backend,
+                        field_bounds=field_bounds,
                     )
                 )
                 if lanes is not None:
@@ -801,12 +822,11 @@ class ShardedSeriesReader:
             man is not None and man["final"] and not salvage and not dropped
         )
         if man is not None and man["final"] and not recover:
-            meta = {k: man[k] for k in _SERIES_META_KEYS}
+            meta = extract_series_meta(man)
         else:
             # Salvage path: the shard indexes are authoritative (the
             # initial manifest may predate field inference).
-            meta = next(iter(readers.values())).meta()
-            meta = {k: meta[k] for k in _SERIES_META_KEYS}
+            meta = extract_series_meta(next(iter(readers.values())).meta())
         recovery = None if clean else _ShardedRecovery(salvage, dropped)
         parity = list(man.get("parity") or []) if man is not None else []
         return cls(manifest_name, meta, readers, recovery, parity=parity)
@@ -852,6 +872,11 @@ class ShardedSeriesReader:
     def exclude_covered(self) -> bool:
         """Whether the covered-cell optimization was applied."""
         return bool(self._meta["exclude_covered"])
+
+    @property
+    def field_bounds(self) -> dict[str, float]:
+        """Per-field error-bound overrides (empty when single-bound)."""
+        return dict(self._meta.get("field_bounds", {}))
 
     @property
     def n_shards(self) -> int:
@@ -1100,7 +1125,7 @@ def recover_sharded(
         for name, report in reports.items():
             with SeriesReader.open(name, backend=backend) as reader:
                 if meta is None:
-                    meta = {k: reader.meta()[k] for k in _SERIES_META_KEYS}
+                    meta = extract_series_meta(reader.meta())
                 rows.append({
                     "name": os.path.basename(name),
                     "durability": durabilities.get(name, "close"),

@@ -45,6 +45,7 @@ from repro.compression.amr_codec import (
     _compress_task,
     _fill_covered,
     resolve_patch_codec,
+    validate_field_bounds as _validate_field_bounds,
 )
 from repro.compression.base import Compressor
 from repro.compression.container import (
@@ -93,6 +94,14 @@ class StreamingWriter:
     error_bound, mode:
         Series-wide error-bound spec (individual patches may override via
         :meth:`add_patch`, e.g. for the covered-cell optimization).
+    field_bounds:
+        Optional ``{field: bound}`` overrides of ``error_bound`` — the
+        mixed-physics campaign knob (e.g. WarpX E fields at one bound, B
+        fields at a tighter one). Overridden fields resolve their bound
+        under the same ``mode``; fields not named keep ``error_bound``.
+        Recorded in the segment indexes and the series footer
+        (``SeriesReader.field_bounds``) and restored by
+        :meth:`append_to`.
     fields:
         Field names the series carries. ``None`` infers them from the first
         finished step; every later step must carry the same fields.
@@ -133,10 +142,14 @@ class StreamingWriter:
         max_pending: int | None = None,
         pool: WorkerPool | None = None,
         durability: str = "close",
+        field_bounds=None,
         _resume: tuple[int, list[SeriesStepEntry]] | None = None,
     ):
         if mode not in ("abs", "rel"):
             raise CompressionError(f"unknown error-bound mode {mode!r}")
+        self._field_bounds = _validate_field_bounds(
+            field_bounds, tuple(fields) if fields is not None else None
+        )
         if durability not in DURABILITY_MODES:
             raise CompressionError(
                 f"unknown durability mode {durability!r} (have {DURABILITY_MODES})"
@@ -204,6 +217,7 @@ class StreamingWriter:
         pool: WorkerPool | None = None,
         durability: str = "close",
         backend=None,
+        field_bounds=None,
     ) -> "StreamingWriter":
         """Create a fresh series file (writer owns the handle).
 
@@ -232,7 +246,7 @@ class StreamingWriter:
                 fileobj, codec, error_bound, mode=mode, fields=fields,
                 exclude_covered=exclude_covered, parallel=parallel,
                 workers=workers, max_pending=max_pending, pool=pool,
-                durability=durability,
+                durability=durability, field_bounds=field_bounds,
             )
         except Exception:
             fileobj.close()
@@ -295,6 +309,7 @@ class StreamingWriter:
                 max_pending=max_pending,
                 pool=pool,
                 durability=durability,
+                field_bounds=meta.get("field_bounds"),
                 _resume=(resume_pos, rows),
             )
             fileobj.seek(resume_pos)
@@ -391,6 +406,25 @@ class StreamingWriter:
         return self._degraded
 
     @property
+    def field_bounds(self) -> dict[str, float]:
+        """Per-field error-bound overrides (empty when single-bound)."""
+        return dict(self._field_bounds)
+
+    def _bound_for(self, field: str) -> float:
+        """The error bound patches of ``field`` compress under."""
+        return self._field_bounds.get(field, self._eb)
+
+    def _adopt_fields(self, names: tuple[str, ...]) -> None:
+        """Fix the series field set (first finished step infers it)."""
+        unknown = sorted(set(self._field_bounds) - set(names))
+        if unknown:
+            raise CompressionError(
+                f"field_bounds name unknown fields {unknown} "
+                f"(series fields: {sorted(names)})"
+            )
+        self._fields = tuple(names)
+
+    @property
     def n_steps(self) -> int:
         """Timesteps recorded so far (including any resumed from disk)."""
         return len(self._steps)
@@ -456,7 +490,7 @@ class StreamingWriter:
         self._orig_bytes += arr.nbytes
         p_idx = self._counts.get((level, field), 0)
         self._counts[(level, field)] = p_idx + 1
-        eb = self._eb if error_bound is None else float(error_bound)
+        eb = self._bound_for(field) if error_bound is None else float(error_bound)
         md = self._mode if mode is None else mode
         task = (self._comp, arr, eb, md)
         if self._pool is None:
@@ -479,7 +513,7 @@ class StreamingWriter:
             if field not in step_fields:
                 step_fields.append(field)
         if self._fields is None:
-            self._fields = tuple(step_fields)
+            self._adopt_fields(tuple(step_fields))
         elif set(step_fields) != set(self._fields):
             self._in_step = False
             raise CompressionError(
@@ -495,6 +529,7 @@ class StreamingWriter:
             "fields": list(self._fields),
             "exclude_covered": self._exclude_covered,
             "original_bytes": self._orig_bytes,
+            "field_bounds": self._field_bounds,
         }
         index_bytes = build_index_bytes(meta, n_levels, self._entries)
         rel_index_offset = self._pos - self._seg_start
@@ -585,7 +620,7 @@ class StreamingWriter:
                 f"carries {sorted(self._fields)}"
             )
         if self._fields is None:
-            self._fields = names
+            self._adopt_fields(names)
         self.begin_step(step=step, time=time)
         try:
             for lev_idx, lev in enumerate(hierarchy):
@@ -600,7 +635,9 @@ class StreamingWriter:
                         if masks is not None and masks[p_idx].any():
                             # Mirror the batch path: resolve the bound
                             # against the original values, then fill.
-                            eb_abs = self._comp.resolve_error_bound(data, self._eb, self._mode)
+                            eb_abs = self._comp.resolve_error_bound(
+                                data, self._bound_for(name), self._mode
+                            )
                             data = _fill_covered(data, masks[p_idx])
                             self.add_patch(lev_idx, name, data, error_bound=eb_abs, mode="abs")
                         else:
@@ -626,6 +663,7 @@ class StreamingWriter:
             "mode": self._mode,
             "fields": list(self._fields) if self._fields is not None else [],
             "exclude_covered": self._exclude_covered,
+            "field_bounds": self._field_bounds,
         }
         index_bytes = build_series_index_bytes(meta, self._steps)
         index_offset = self._pos

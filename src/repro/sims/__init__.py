@@ -8,7 +8,7 @@ from repro.sims.spectral import (
 )
 from repro.sims.amr_build import average_pool, calibrated_boxes, two_level_hierarchy
 from repro.sims.nyx import NyxConfig, nyx_hierarchy, nyx_timesteps, NYX_FIELDS
-from repro.sims.warpx import WarpXConfig, warpx_hierarchy, WARPX_FIELDS
+from repro.sims.warpx import WarpXConfig, warpx_hierarchy, WARPX_FIELDS, WARPX_B_FIELDS
 from repro.sims.streams import SimStep, nyx_step_stream, warpx_step_stream
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "WarpXConfig",
     "warpx_hierarchy",
     "WARPX_FIELDS",
+    "WARPX_B_FIELDS",
     "SimStep",
     "nyx_step_stream",
     "warpx_step_stream",

@@ -179,6 +179,68 @@ class TestConsolidate:
             _run(current, baseline, "--consolidate", str(current / "BENCH_perf.json"))
 
 
+class TestRequireBaseline:
+    def test_missing_baseline_fails_with_refresh_command(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, "x", _artifact("x", speedup=1.0))
+        assert _run(current, baseline, "--require-baseline") == 1
+        err = capsys.readouterr().err
+        assert "MISSING" in err
+        assert "--write-baseline" in err  # tells the dev the exact fix
+
+    def test_present_baseline_still_gates_normally(self, dirs):
+        current, baseline = dirs
+        _write(baseline, "x", _artifact("x", speedup=10.0))
+        _write(current, "x", _artifact("x", speedup=9.0))
+        assert _run(current, baseline, "--require-baseline") == 0
+        _write(current, "x", _artifact("x", speedup=5.0))  # 50% regression
+        assert _run(current, baseline, "--require-baseline") == 1
+
+    def test_write_baseline_then_require_passes(self, dirs):
+        current, baseline = dirs
+        _write(current, "x", _artifact("x", speedup=3.0))
+        assert _run(current, baseline, "--write-baseline") == 0
+        assert _run(current, baseline, "--require-baseline") == 0
+
+
+class TestCheckConsistency:
+    def test_byte_identical_passes(self, dirs, capsys):
+        current, baseline = dirs
+        path = _write(current, "x", _artifact("x", speedup=3.0))
+        (baseline / path.name).write_bytes(path.read_bytes())
+        assert _run(current, baseline, "--check-consistency") == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_differing_bytes_fail_with_refresh_command(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, "x", _artifact("x", speedup=3.0))
+        _write(baseline, "x", _artifact("x", speedup=3.0000001))
+        assert _run(current, baseline, "--check-consistency") == 1
+        err = capsys.readouterr().err
+        assert "differs from a fresh run" in err
+        assert "--write-baseline" in err
+
+    def test_missing_baseline_fails(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, "x", _artifact("x", speedup=3.0))
+        assert _run(current, baseline, "--check-consistency") == 1
+        assert "no committed baseline" in capsys.readouterr().err
+
+    def test_malformed_current_artifact_is_a_named_error(self, dirs):
+        current, baseline = dirs
+        (current / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot read"):
+            _run(current, baseline, "--check-consistency")
+
+    def test_ignores_thresholds_entirely(self, dirs):
+        """Even a wild regression passes if bytes match (that's the point:
+        the check gates baseline freshness, not performance)."""
+        current, baseline = dirs
+        path = _write(current, "x", _artifact("x", speedup=0.001))
+        (baseline / path.name).write_bytes(path.read_bytes())
+        assert _run(current, baseline, "--check-consistency") == 0
+
+
 class TestChangeRatio:
     def test_signs(self):
         cr = bench_compare.change_ratio

@@ -26,12 +26,27 @@ of hand-editing JSON. ``--consolidate PATH`` additionally merges every
 artifact of the run into a single ``BENCH_perf.json`` document (the CI
 perf-smoke job uploads it as the run's one-stop perf record).
 
+Two stricter modes back the registry-driven CI gating:
+
+* ``--require-baseline`` turns "artifact with no committed baseline" from
+  an informational note into a failure that prints the exact
+  ``--write-baseline`` command to run — CI passes it so a newly
+  registered experiment cannot silently ship ungated.
+* ``--check-consistency`` ignores thresholds entirely and demands each
+  current artifact be **byte-identical** to its committed baseline. Only
+  meaningful for deterministic artifacts (the registry runner emits
+  those: fixed seeds, rounded metrics, no RSS annotation); the
+  ``bench-registry-consistency`` CI job uses it to catch committed
+  baselines that went stale against the code.
+
 Usage::
 
     REPRO_BENCH_JSON=bench-out PYTHONPATH=src pytest benchmarks/bench_entropy.py
     python tools/bench_compare.py --current bench-out
     python tools/bench_compare.py --current bench-out --threshold 0.1
     python tools/bench_compare.py --current bench-out --write-baseline
+    python tools/bench_compare.py --current bench-out --require-baseline
+    python tools/bench_compare.py --current bench-out --check-consistency
     python tools/bench_compare.py --current bench-out --consolidate bench-out/BENCH_perf.json
 """
 
@@ -133,6 +148,21 @@ def main(argv: list[str] | None = None) -> int:
         "documented way to refresh baselines) instead of comparing",
     )
     parser.add_argument(
+        "--require-baseline",
+        action="store_true",
+        help="fail (instead of noting informationally) when a current "
+        "artifact has no committed baseline; prints the exact "
+        "--write-baseline command to run. CI passes this so new "
+        "benchmarks cannot ship ungated.",
+    )
+    parser.add_argument(
+        "--check-consistency",
+        action="store_true",
+        help="require every current artifact to be byte-identical to its "
+        "committed baseline (no thresholds); catches stale committed "
+        "baselines for deterministic registry artifacts",
+    )
+    parser.add_argument(
         "--consolidate",
         type=Path,
         default=None,
@@ -176,16 +206,56 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.check_consistency:
+        failures = []
+        for path in artifacts:
+            load_artifact(path)  # malformed current artifacts fail loudly
+            base_path = args.baseline / path.name
+            if not base_path.exists():
+                failures.append(
+                    f"{path.name}: no committed baseline at {base_path}"
+                )
+            elif base_path.read_bytes() != path.read_bytes():
+                failures.append(
+                    f"{path.name}: committed baseline differs from a fresh run "
+                    "(stale baseline or nondeterministic artifact)"
+                )
+        for line in failures:
+            print(line, file=sys.stderr)
+        if failures:
+            print(
+                f"bench_compare: {len(failures)} artifact(s) out of sync with "
+                f"{args.baseline}; refresh with:\n"
+                f"  python tools/bench_compare.py --current {args.current} "
+                "--write-baseline\nand commit the result",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"bench_compare: {len(artifacts)} artifact(s) byte-identical to "
+            f"committed baselines"
+        )
+        return 0
+
     failures: list[str] = []
     notes: list[str] = []
     for path in artifacts:
         current = load_artifact(path)
         base_path = args.baseline / path.name
         if not base_path.exists():
-            notes.append(
-                f"info       {path.name}: no committed baseline at {base_path} "
-                "— informational first run; commit this artifact to start tracking"
-            )
+            if args.require_baseline:
+                failures.append(
+                    f"MISSING    {path.name}: no committed baseline at "
+                    f"{base_path}; every artifact must be tracked "
+                    "(--require-baseline). Refresh with:\n"
+                    f"  python tools/bench_compare.py --current {args.current} "
+                    "--write-baseline\nand commit the result"
+                )
+            else:
+                notes.append(
+                    f"info       {path.name}: no committed baseline at {base_path} "
+                    "— informational first run; commit this artifact to start tracking"
+                )
             continue
         f, n = compare_artifact(
             current, load_artifact(base_path), args.threshold, path.name
@@ -199,8 +269,8 @@ def main(argv: list[str] | None = None) -> int:
         print(line, file=sys.stderr)
     if failures:
         print(
-            f"bench_compare: {len(failures)} tracked metric(s) regressed "
-            f"beyond tolerance",
+            f"bench_compare: {len(failures)} failure(s) — tracked metrics "
+            f"regressed beyond tolerance or baselines missing",
             file=sys.stderr,
         )
         return 1
